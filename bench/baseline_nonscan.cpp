@@ -1,0 +1,69 @@
+// The comparison that motivates the paper (Section 1 / concluding
+// remarks): functional testing *without* scan — references [2] and [3] —
+// "did not report complete fault coverage of gate-level faults", while the
+// scan-based functional tests do. This bench generates a non-scan checking
+// sequence for each circuit (reset + transfer walks + UIO verification),
+// fault-simulates it under PO-only observation, and puts the coverage next
+// to the scan-based tests' complete coverage of detectable faults.
+
+#include <iostream>
+
+#include "atpg/nonscan.h"
+#include "base/table_printer.h"
+#include "fault/fault.h"
+#include "fault/nonscan_sim.h"
+#include "harness/experiment.h"
+
+int main() {
+  using namespace fstg;
+
+  TablePrinter t({"circuit", "seq.len", "complete", "unverif.trans",
+                  "nonscan sa.fc", "scan sa.fc(detectable)"});
+  int scan_wins = 0, circuits = 0;
+  for (const std::string& name : benchmark_names(/*max_weight=*/0)) {
+    CircuitExperiment exp = run_circuit(name);
+    const ScanCircuit& circuit = exp.synth.circuit;
+
+    // Reset state: the machine's declared reset, encoded; fall back to 0.
+    std::uint32_t reset_code = 0;
+    const int reset_sym = exp.fsm.reset_state.empty()
+                              ? 0
+                              : exp.fsm.state_index(exp.fsm.reset_state);
+    if (reset_sym >= 0)
+      reset_code = exp.synth.encoding
+                       .code_of_state[static_cast<std::size_t>(reset_sym)];
+
+    NonScanResult nonscan = generate_nonscan_sequence(
+        exp.table, static_cast<int>(reset_code));
+    const std::vector<FaultSpec> faults = enumerate_stuck_at(circuit.comb);
+    NonScanSimResult ns_sim = simulate_faults_nonscan(
+        circuit, reset_code, nonscan.sequence, faults);
+
+    GateLevelOptions options;
+    options.classify_redundancy = true;
+    GateLevelResult gate = run_gate_level(exp, options);
+
+    ++circuits;
+    if (gate.sa_redundancy.detectable_coverage_percent() >
+        ns_sim.coverage_percent())
+      ++scan_wins;
+
+    t.add_row({name,
+               TablePrinter::num(static_cast<long long>(nonscan.sequence.size())),
+               nonscan.complete ? "yes" : "no",
+               TablePrinter::num(static_cast<long long>(nonscan.transitions_unverified)),
+               TablePrinter::num(ns_sim.coverage_percent()),
+               TablePrinter::num(
+                   gate.sa_redundancy.detectable_coverage_percent())});
+  }
+
+  std::cout << "== Baseline: non-scan functional testing vs the paper's "
+               "scan-based tests (stuck-at) ==\n";
+  t.print(std::cout);
+  std::cout << "\ncircuits where scan-based coverage is strictly higher: "
+            << scan_wins << "/" << circuits << "\n";
+  std::cout << "(the scan-based column is 100.00 everywhere by Table 6; the "
+               "non-scan column shows the coverage gap the paper's approach "
+               "closes)\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Classical alternative: Chow's W-method adapted to full scan. A
+// characterization set W distinguishes every state pair, so testing each
+// transition against every w in W is complete for state-transition faults
+// on minimal machines — but it costs |W| tests per transition, where the
+// paper's UIO-based chaining needs (at most) one. This bench compares test
+// counts and application cycles; circuits whose completed table has
+// equivalent states (no W exists) are reported as such.
+
+#include <iostream>
+
+#include "atpg/cycles.h"
+#include "base/table_printer.h"
+#include "harness/experiment.h"
+#include "seq/wmethod.h"
+
+int main() {
+  using namespace fstg;
+
+  TablePrinter t({"circuit", "|W|", "W tests", "W cycles", "funct tests",
+                  "funct cycles", "W/funct"});
+  int wins_for_functional = 0, comparable = 0;
+  for (const std::string& name : benchmark_names(/*max_weight=*/0)) {
+    CircuitExperiment exp = run_circuit(name);
+    const int sv = exp.synth.circuit.num_sv;
+    WMethodResult w = w_method_tests(exp.table);
+    const std::size_t funct_cycles = test_application_cycles(sv, exp.gen.tests);
+
+    if (!w.machine_is_minimal) {
+      t.add_row({name, "-", "-", "-",
+                 TablePrinter::num(static_cast<long long>(exp.gen.tests.size())),
+                 TablePrinter::num(static_cast<long long>(funct_cycles)),
+                 "no W (equivalent states)"});
+      continue;
+    }
+    const std::size_t w_cycles = test_application_cycles(sv, w.tests);
+    ++comparable;
+    if (funct_cycles <= w_cycles) ++wins_for_functional;
+    t.add_row({name,
+               TablePrinter::num(static_cast<long long>(w.w_set.size())),
+               TablePrinter::num(static_cast<long long>(w.tests.size())),
+               TablePrinter::num(static_cast<long long>(w_cycles)),
+               TablePrinter::num(static_cast<long long>(exp.gen.tests.size())),
+               TablePrinter::num(static_cast<long long>(funct_cycles)),
+               TablePrinter::num(static_cast<double>(w_cycles) /
+                                 static_cast<double>(funct_cycles))});
+  }
+
+  std::cout << "== Baseline: W-method (transition cover x W) vs the paper's "
+               "UIO-chained tests ==\n";
+  t.print(std::cout);
+  std::cout << "\nfunctional tests cost at most as much on "
+            << wins_for_functional << "/" << comparable
+            << " comparable circuits\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces the paper's Table 3: stuck-at fault simulation of the nine
+// lion functional tests, longest first, with cumulative detection counts
+// and effectiveness marks. Our gate-level implementation differs from the
+// authors' (we synthesize two-level logic ourselves), so the absolute fault
+// count differs from the paper's 40; the shape — a handful of long tests
+// suffices and no length-one test is needed — is the reproduced claim.
+
+#include <iostream>
+
+#include "harness/tables.h"
+
+int main() {
+  using namespace fstg;
+
+  CircuitExperiment exp = run_circuit("lion");
+  GateLevelResult gate = run_gate_level(exp, /*classify_redundancy=*/true);
+
+  std::cout << "== Table 3: stuck-at fault simulation for lion ==\n";
+  const std::vector<Table3Row> rows = compute_table3(exp, gate);
+  print_table3(rows, gate.sa.sim.total_faults, std::cout);
+
+  std::size_t effective = 0;
+  int longest_effective_length = 0, shortest_effective_length = 0;
+  for (const auto& r : rows) {
+    if (!r.effective) continue;
+    ++effective;
+    if (longest_effective_length == 0) longest_effective_length = r.length;
+    shortest_effective_length = r.length;
+  }
+  std::cout << "\neffective tests: " << effective
+            << " (shortest effective length " << shortest_effective_length
+            << ")\n";
+  std::cout << "coverage: " << gate.sa.sim.detected_faults << "/"
+            << gate.sa.sim.total_faults << " detected; detectable coverage "
+            << gate.sa_redundancy.detectable_coverage_percent() << "%\n";
+  std::cout << "\npaper reports (their implementation, 40 faults): 4 of 9 "
+               "tests effective, all of length > 1; full coverage after the "
+               "four longest tests.\n";
+  return 0;
+}

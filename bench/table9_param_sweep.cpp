@@ -1,0 +1,34 @@
+// Reproduces the paper's Table 9: the effect of the UIO length bound on
+// chaining and test-application time, for the paper's four sweep subjects
+// (dk512, ex4, mark1, rie). For each bound L = 1, 2, 3, ... (transfer
+// length fixed at 1) the table reports how many states have UIOs, the test
+// counts, and the clock-cycle percentage; the sweep stops once raising L no
+// longer yields new UIOs, as in the paper.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "base/table_printer.h"
+#include "harness/paper_data.h"
+#include "harness/tables.h"
+
+int main() {
+  using namespace fstg;
+
+  for (const std::string& name : paper_table9_circuits()) {
+    std::cout << "== Table 9 (measured) ";
+    print_table9(name, compute_table9(name), std::cout);
+
+    std::cout << "\n-- paper (" << name << ") --\n";
+    TablePrinter paper({"unique", "m.len", "tests", "len", "1len", "cycles",
+                        "%"});
+    for (const auto& r : paper_table9(name))
+      paper.add_row({std::to_string(r.unique), std::to_string(r.mlen),
+                     std::to_string(r.tests), std::to_string(r.len),
+                     TablePrinter::num(r.onelen_percent),
+                     std::to_string(r.cycles), TablePrinter::num(r.percent)});
+    paper.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Parameter exploration (the paper's Table 9 methodology, on any circuit):
+// sweep the UIO length bound and the transfer-sequence bound and report how
+// they trade chaining (fewer, longer tests = more at-speed transitions)
+// against test-application clock cycles.
+//
+//   param_explorer            # sweeps dk512
+//   param_explorer ex4        # any benchmark name
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "atpg/cycles.h"
+#include "base/table_printer.h"
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace fstg;
+  const std::string name = argc > 1 ? argv[1] : "dk512";
+
+  ExperimentOptions base;
+  base.gen.uio_max_length = 1;
+  CircuitExperiment exp = run_circuit(name, base);
+  const StateTable& table = exp.table;
+  const int sv = exp.synth.circuit.num_sv;
+  const std::size_t baseline =
+      per_transition_cycles(sv, table.num_transitions());
+
+  std::printf("== %s: UIO-length x transfer-length sweep ==\n", name.c_str());
+  std::printf("baseline (one test per transition): %zu cycles\n\n", baseline);
+
+  TablePrinter t({"L_uio", "L_xfer", "unique", "tests", "len", "1len%",
+                  "cycles", "%base"});
+  for (int uio_bound = 1; uio_bound <= table.state_bits() + 1; ++uio_bound) {
+    UioOptions uio_options;
+    uio_options.max_length = uio_bound;
+    const UioSet uios = derive_uio_sequences(table, uio_options);
+    for (int xfer = 0; xfer <= 2; ++xfer) {
+      GeneratorOptions gen_options;
+      gen_options.uio_max_length = uio_bound;
+      gen_options.transfer_max_length = xfer;
+      GeneratorResult gen =
+          generate_functional_tests(table, gen_options, uios);
+      const std::size_t cycles = test_application_cycles(sv, gen.tests);
+      t.add_row({TablePrinter::num(static_cast<long long>(uio_bound)),
+                 TablePrinter::num(static_cast<long long>(xfer)),
+                 TablePrinter::num(static_cast<long long>(uios.count())),
+                 TablePrinter::num(static_cast<long long>(gen.tests.size())),
+                 TablePrinter::num(static_cast<long long>(gen.tests.total_length())),
+                 TablePrinter::num(100.0 *
+                                   static_cast<double>(gen.transitions_in_length_one) /
+                                   static_cast<double>(table.num_transitions())),
+                 TablePrinter::num(static_cast<long long>(cycles)),
+                 TablePrinter::num(100.0 * static_cast<double>(cycles) /
+                                   static_cast<double>(baseline))});
+    }
+  }
+  t.print(std::cout);
+
+  std::printf("\nslow-scan variant (scan clock M times slower than the "
+              "circuit clock):\n");
+  GeneratorResult gen = generate_functional_tests(table);
+  for (int m : {1, 2, 4, 8}) {
+    const std::size_t funct = test_application_cycles_slow_scan(
+        sv, gen.tests.size(), gen.tests.total_length(), m);
+    const std::size_t trans = test_application_cycles_slow_scan(
+        sv, table.num_transitions(), table.num_transitions(), m);
+    std::printf("  M=%d: functional %zu vs per-transition %zu cycles "
+                "(%.2f%%)\n",
+                m, funct, trans,
+                100.0 * static_cast<double>(funct) / static_cast<double>(trans));
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the full paper pipeline on the `lion` benchmark (the paper's
+// running example) in ~40 lines of user code.
+//
+//   1. Load a KISS2 state table.
+//   2. Synthesize a full-scan gate-level implementation.
+//   3. Derive UIO sequences and generate functional tests for every
+//      single state-transition fault.
+//   4. Fault-simulate the tests against gate-level stuck-at and bridging
+//      faults and keep only the effective tests.
+
+#include <cstdio>
+
+#include "atpg/cycles.h"
+#include "harness/experiment.h"
+
+int main() {
+  using namespace fstg;
+
+  CircuitExperiment exp = run_circuit("lion");
+
+  std::printf("circuit: %s  (%d inputs, %d outputs, %d states)\n",
+              exp.fsm.name.c_str(), exp.fsm.num_inputs, exp.fsm.num_outputs,
+              exp.table.num_states());
+  std::printf("gate-level implementation: %d gates, depth %d\n",
+              exp.synth.circuit.comb.num_gates(),
+              exp.synth.circuit.comb.depth());
+
+  std::printf("\nUIO sequences (L <= %d):\n", exp.table.state_bits());
+  for (int s = 0; s < exp.table.num_states(); ++s) {
+    const UioSequence& u = exp.gen.uios.of(s);
+    if (u.exists)
+      std::printf("  state %d: length %d, ends in state %d\n", s, u.length(),
+                  u.final_state);
+    else
+      std::printf("  state %d: none\n", s);
+  }
+
+  std::printf("\nfunctional tests (%zu tests, total length %zu):\n",
+              exp.gen.tests.size(), exp.gen.tests.total_length());
+  for (const FunctionalTest& t : exp.gen.tests.tests)
+    std::printf("  %s\n", t.to_string(exp.table.input_bits()).c_str());
+
+  GateLevelResult gate = run_gate_level(exp, /*classify_redundancy=*/true);
+  std::printf("\nstuck-at:  %zu/%zu detected (%.2f%%), %zu effective tests\n",
+              gate.sa.sim.detected_faults, gate.sa.sim.total_faults,
+              gate.sa.sim.coverage_percent(),
+              gate.sa.effective_tests.size());
+  std::printf("bridging:  %zu/%zu detected (%.2f%%), %zu effective tests\n",
+              gate.br.sim.detected_faults, gate.br.sim.total_faults,
+              gate.br.sim.coverage_percent(),
+              gate.br.effective_tests.size());
+  std::printf("coverage of detectable faults: stuck-at %.2f%%, bridging %.2f%%\n",
+              gate.sa_redundancy.detectable_coverage_percent(),
+              gate.br_redundancy.detectable_coverage_percent());
+
+  const int sv = exp.synth.circuit.num_sv;
+  std::printf("\nclock cycles: per-transition %zu, functional %zu, "
+              "stuck-at-effective %zu\n",
+              per_transition_cycles(sv, exp.table.num_transitions()),
+              test_application_cycles(sv, exp.gen.tests),
+              test_application_cycles(sv, gate.sa.effective_tests));
+  return 0;
+}

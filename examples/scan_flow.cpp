@@ -1,0 +1,79 @@
+// End-to-end ATPG flow on a user-supplied KISS2 file (or a named built-in
+// benchmark): parse -> synthesize full-scan implementation -> derive UIO
+// sequences -> generate functional tests -> gate-level fault simulation ->
+// effective-test selection -> test-application cost report.
+//
+//   scan_flow                 # runs the built-in `dk16`
+//   scan_flow mark1           # any benchmark from the paper's Table 4
+//   scan_flow my_machine.kiss # any KISS2 file
+
+#include <cstdio>
+#include <string>
+
+#include "atpg/cycles.h"
+#include "base/error.h"
+#include "harness/experiment.h"
+#include "kiss/kiss2_parser.h"
+
+int main(int argc, char** argv) {
+  using namespace fstg;
+
+  const std::string arg = argc > 1 ? argv[1] : "dk16";
+  Kiss2Fsm fsm;
+  try {
+    fsm = load_benchmark(arg);
+  } catch (const Error&) {
+    fsm = parse_kiss2_file(arg);
+  }
+
+  std::printf("== %s: %d inputs, %d outputs, %d specified states ==\n",
+              fsm.name.c_str(), fsm.num_inputs, fsm.num_outputs,
+              fsm.num_states());
+
+  CircuitExperiment exp = run_fsm(fsm);
+  const ScanCircuit& circuit = exp.synth.circuit;
+  std::printf("synthesis: %d gates (depth %d), %d state variables, "
+              "%d completed states\n",
+              circuit.comb.num_gates(), circuit.comb.depth(), circuit.num_sv,
+              exp.table.num_states());
+
+  std::printf("UIO sequences: %d of %d states (max length %d)\n",
+              exp.gen.uios.count(), exp.table.num_states(),
+              exp.gen.uios.max_length());
+  std::printf("functional tests: %zu tests, total length %zu, covering all "
+              "%zu state-transitions\n",
+              exp.gen.tests.size(), exp.gen.tests.total_length(),
+              exp.table.num_transitions());
+
+  GateLevelResult gate = run_gate_level(exp, /*classify_redundancy=*/true);
+  std::printf("\nstuck-at faults:  %zu total, %zu detected (%.2f%%); "
+              "detectable coverage %.2f%%\n",
+              gate.sa.sim.total_faults, gate.sa.sim.detected_faults,
+              gate.sa.sim.coverage_percent(),
+              gate.sa_redundancy.detectable_coverage_percent());
+  std::printf("bridging faults:  %zu enumerated, %zu simulated, %zu detected "
+              "(%.2f%%); detectable coverage %.2f%%\n",
+              gate.br_enumerated, gate.br.sim.total_faults,
+              gate.br.sim.detected_faults, gate.br.sim.coverage_percent(),
+              gate.br_redundancy.detectable_coverage_percent());
+  std::printf("effective tests:  %zu for stuck-at, %zu for bridging\n",
+              gate.sa.effective_tests.size(), gate.br.effective_tests.size());
+
+  const int sv = circuit.num_sv;
+  const std::size_t base = per_transition_cycles(sv, exp.table.num_transitions());
+  auto pct = [base](std::size_t cycles) {
+    return 100.0 * static_cast<double>(cycles) / static_cast<double>(base);
+  };
+  std::printf("\ntest application cycles:\n");
+  std::printf("  per-transition baseline : %8zu (100.00%%)\n", base);
+  std::printf("  functional tests        : %8zu (%.2f%%)\n",
+              test_application_cycles(sv, exp.gen.tests),
+              pct(test_application_cycles(sv, exp.gen.tests)));
+  std::printf("  stuck-at effective      : %8zu (%.2f%%)\n",
+              test_application_cycles(sv, gate.sa.effective_tests),
+              pct(test_application_cycles(sv, gate.sa.effective_tests)));
+  std::printf("  bridging effective      : %8zu (%.2f%%)\n",
+              test_application_cycles(sv, gate.br.effective_tests),
+              pct(test_application_cycles(sv, gate.br.effective_tests)));
+  return 0;
+}

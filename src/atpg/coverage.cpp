@@ -1,0 +1,66 @@
+#include "atpg/coverage.h"
+
+#include "base/error.h"
+
+namespace fstg {
+
+std::vector<StFault> enumerate_st_faults(const StateTable& table) {
+  std::vector<StFault> faults;
+  for (int s = 0; s < table.num_states(); ++s) {
+    for (std::uint32_t ic = 0; ic < table.num_input_combos(); ++ic) {
+      const int good_next = table.next(s, ic);
+      const std::uint32_t good_out = table.output(s, ic);
+      for (int t = 0; t < table.num_states(); ++t) {
+        if (t == good_next) continue;
+        faults.push_back({s, ic, t, good_out});
+      }
+      for (int b = 0; b < table.output_bits(); ++b)
+        faults.push_back({s, ic, good_next, good_out ^ (1u << b)});
+    }
+  }
+  return faults;
+}
+
+namespace {
+
+/// Simulate one test on the faulty machine; true if any observed output
+/// differs or the scanned-out final state differs.
+bool test_detects(const StateTable& table, const FunctionalTest& test,
+                  const StFault& fault) {
+  int good = test.init_state;
+  int bad = test.init_state;
+  for (std::uint32_t ic : test.inputs) {
+    std::uint32_t good_out = table.output(good, ic);
+    std::uint32_t bad_out = (bad == fault.state && ic == fault.input)
+                                ? fault.faulty_output
+                                : table.output(bad, ic);
+    if (good_out != bad_out) return true;
+    int good_next = table.next(good, ic);
+    int bad_next = (bad == fault.state && ic == fault.input)
+                       ? fault.faulty_next
+                       : table.next(bad, ic);
+    good = good_next;
+    bad = bad_next;
+  }
+  return good != bad;  // scan-out comparison
+}
+
+}  // namespace
+
+StCoverageResult simulate_st_faults(const StateTable& table,
+                                    const TestSet& tests,
+                                    const std::vector<StFault>& faults) {
+  StCoverageResult result;
+  result.total = faults.size();
+  for (const StFault& fault : faults) {
+    for (const FunctionalTest& test : tests.tests) {
+      if (test_detects(table, test, fault)) {
+        ++result.detected;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fstg

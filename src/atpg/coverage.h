@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/test.h"
+
+namespace fstg {
+
+/// A concrete single state-transition fault: transition (state, input)
+/// produces `faulty_next` / `faulty_output` instead of the specified pair
+/// (exactly one of the two differs from the fault-free machine for the
+/// faults we enumerate).
+struct StFault {
+  int state = -1;
+  std::uint32_t input = 0;
+  int faulty_next = -1;
+  std::uint32_t faulty_output = 0;
+};
+
+/// Enumerate single state-transition faults. Next-state faults: every
+/// wrong destination (num_states - 1 per transition). Output faults:
+/// single-bit flips of the transition's output (output_bits per
+/// transition); the paper's model allows arbitrary faulty combinations,
+/// but a test that detects every single-bit flip detects every multi-bit
+/// combination too (some flipped bit is observed), so this enumeration is
+/// exact for coverage purposes.
+std::vector<StFault> enumerate_st_faults(const StateTable& table);
+
+/// Coverage of a fault list by a test set under scan-test observation
+/// (primary outputs every cycle + scanned-out final state). This measures
+/// the effect the paper only argues about: a fault can corrupt the UIO
+/// sequences a test relies on, so chained tests are not a priori
+/// guaranteed to detect every state-transition fault.
+struct StCoverageResult {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  double percent() const {
+    return total == 0 ? 100.0 : 100.0 * static_cast<double>(detected) /
+                                    static_cast<double>(total);
+  }
+};
+
+StCoverageResult simulate_st_faults(const StateTable& table,
+                                    const TestSet& tests,
+                                    const std::vector<StFault>& faults);
+
+}  // namespace fstg

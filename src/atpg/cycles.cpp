@@ -1,0 +1,42 @@
+#include "atpg/cycles.h"
+
+#include "base/error.h"
+
+namespace fstg {
+
+std::size_t test_application_cycles(int num_sv, std::size_t num_tests,
+                                    std::size_t total_length) {
+  require(num_sv >= 1, "cycles: need at least one state variable");
+  return static_cast<std::size_t>(num_sv) * (num_tests + 1) + total_length;
+}
+
+std::size_t test_application_cycles(int num_sv, const TestSet& tests) {
+  return test_application_cycles(num_sv, tests.size(), tests.total_length());
+}
+
+std::size_t per_transition_cycles(int num_sv, std::size_t num_transitions) {
+  return test_application_cycles(num_sv, num_transitions, num_transitions);
+}
+
+std::size_t test_application_cycles_slow_scan(int num_sv,
+                                              std::size_t num_tests,
+                                              std::size_t total_length,
+                                              int scan_ratio) {
+  require(scan_ratio >= 1, "cycles: scan ratio must be >= 1");
+  return static_cast<std::size_t>(num_sv) * (num_tests + 1) *
+             static_cast<std::size_t>(scan_ratio) +
+         total_length;
+}
+
+std::size_t test_application_cycles_multi_chain(int num_sv, int num_chains,
+                                                std::size_t num_tests,
+                                                std::size_t total_length) {
+  require(num_sv >= 1, "cycles: need at least one state variable");
+  require(num_chains >= 1, "cycles: need at least one scan chain");
+  const std::size_t shift =
+      (static_cast<std::size_t>(num_sv) + static_cast<std::size_t>(num_chains) - 1) /
+      static_cast<std::size_t>(num_chains);
+  return shift * (num_tests + 1) + total_length;
+}
+
+}  // namespace fstg

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "atpg/test.h"
+
+namespace fstg {
+
+/// The paper's test-application-time model (Table 7): for N_T tests with a
+/// total of N_PIC applied input combinations on a machine with N_SV state
+/// variables, the clock-cycle count is N_SV * (N_T + 1) + N_PIC — adjacent
+/// tests share one scan operation (scan-out of one overlaps scan-in of the
+/// next), hence N_T + 1 scan operations of N_SV cycles each.
+std::size_t test_application_cycles(int num_sv, std::size_t num_tests,
+                                    std::size_t total_length);
+
+std::size_t test_application_cycles(int num_sv, const TestSet& tests);
+
+/// Baseline: every state-transition in its own length-one test.
+std::size_t per_transition_cycles(int num_sv, std::size_t num_transitions);
+
+/// Generalization the paper discusses: a scan clock `scan_ratio` times
+/// slower than the circuit clock multiplies the scan contribution.
+std::size_t test_application_cycles_slow_scan(int num_sv,
+                                              std::size_t num_tests,
+                                              std::size_t total_length,
+                                              int scan_ratio);
+
+/// Multiple balanced scan chains: a scan operation costs
+/// ceil(num_sv / num_chains) cycles instead of num_sv, shrinking the scan
+/// term of the paper's formula (a standard DFT lever the paper's model
+/// extends to naturally).
+std::size_t test_application_cycles_multi_chain(int num_sv, int num_chains,
+                                                std::size_t num_tests,
+                                                std::size_t total_length);
+
+}  // namespace fstg

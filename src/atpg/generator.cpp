@@ -1,0 +1,161 @@
+#include "atpg/generator.h"
+
+#include "base/error.h"
+#include "base/timer.h"
+#include "seq/transfer.h"
+
+namespace fstg {
+
+namespace {
+
+/// Tracks which transitions remain untested, with a per-state count so
+/// "does state s still have untested transitions" is O(1).
+class UntestedTracker {
+ public:
+  UntestedTracker(const StateTable& table)
+      : nic_(table.num_input_combos()),
+        tested_(table.num_transitions(), -1),
+        per_state_(static_cast<std::size_t>(table.num_states()),
+                   table.num_input_combos()) {}
+
+  bool is_tested(int state, std::uint32_t ic) const {
+    return tested_[id(state, ic)] >= 0;
+  }
+  void mark(int state, std::uint32_t ic, int test_index) {
+    require(!is_tested(state, ic), "transition tested twice");
+    tested_[id(state, ic)] = test_index;
+    --per_state_[static_cast<std::size_t>(state)];
+  }
+  bool state_has_untested(int state) const {
+    return per_state_[static_cast<std::size_t>(state)] > 0;
+  }
+  /// Lowest untested input combination out of `state`, or nic if none.
+  std::uint32_t first_untested(int state) const {
+    if (!state_has_untested(state)) return nic_;
+    for (std::uint32_t a = 0; a < nic_; ++a)
+      if (!is_tested(state, a)) return a;
+    return nic_;
+  }
+  const std::vector<int>& tested_by() const { return tested_; }
+
+ private:
+  std::size_t id(int state, std::uint32_t ic) const {
+    return static_cast<std::size_t>(state) * nic_ + ic;
+  }
+  std::uint32_t nic_;
+  std::vector<int> tested_;
+  std::vector<std::uint32_t> per_state_;
+};
+
+}  // namespace
+
+GeneratorResult generate_functional_tests(const StateTable& table,
+                                          const GeneratorOptions& options) {
+  Timer timer;
+  UioOptions uio_options;
+  uio_options.max_length = options.uio_max_length;
+  uio_options.eval_budget = options.uio_eval_budget;
+  UioSet uios = derive_uio_sequences(table, uio_options);
+  const double uio_seconds = timer.seconds();
+  GeneratorResult result =
+      generate_functional_tests(table, options, std::move(uios));
+  result.uio_seconds = uio_seconds;
+  return result;
+}
+
+GeneratorResult generate_functional_tests(const StateTable& table,
+                                          const GeneratorOptions& options,
+                                          UioSet uios) {
+  Timer timer;
+  GeneratorResult result;
+  result.uios = std::move(uios);
+  require(static_cast<int>(result.uios.per_state.size()) == table.num_states(),
+          "UIO set does not match the machine");
+
+  const std::uint32_t nic = table.num_input_combos();
+  UntestedTracker tracker(table);
+  TestSet& tests = result.tests;
+
+  auto has_uio = [&](int state) {
+    return result.uios.of(state).exists;
+  };
+
+  // Two passes over first transitions: pass 0 honors the postponement rule
+  // (skip starts whose destination has no UIO); pass 1 picks up the rest.
+  const int first_pass = options.postpone_no_uio_starts ? 0 : 1;
+  for (int pass = first_pass; pass <= 1; ++pass) {
+    for (int s0 = 0; s0 < table.num_states(); ++s0) {
+      for (std::uint32_t a0 = 0; a0 < nic; ++a0) {
+        if (tracker.is_tested(s0, a0)) continue;
+        if (pass == 0 && !has_uio(table.next(s0, a0))) continue;  // postpone
+
+        // Grow one test starting with the transition s0 --a0--> .
+        const int test_index = static_cast<int>(tests.tests.size());
+        FunctionalTest test;
+        test.init_state = s0;
+        int s = s0;
+        std::uint32_t a = a0;
+        std::size_t transitions_in_test = 0;
+        while (true) {
+          // Apply the transition under test.
+          test.inputs.push_back(a);
+          tracker.mark(s, a, test_index);
+          ++transitions_in_test;
+          const int end_state = table.next(s, a);
+
+          // No UIO for the destination: the scan-out itself verifies it.
+          if (!has_uio(end_state)) {
+            test.final_state = end_state;
+            break;
+          }
+          const UioSequence& uio = result.uios.of(end_state);
+          const int after_uio = uio.final_state;
+
+          if (tracker.state_has_untested(after_uio)) {
+            // Apply the UIO and continue with the next untested transition.
+            test.inputs.insert(test.inputs.end(), uio.inputs.begin(),
+                               uio.inputs.end());
+            s = after_uio;
+            a = tracker.first_untested(s);
+            continue;
+          }
+
+          // The post-UIO state is exhausted: look for a transfer sequence
+          // into a state that still has untested transitions.
+          if (options.transfer_max_length > 0) {
+            auto xfer = find_transfer(
+                table, after_uio, options.transfer_max_length,
+                [&](int t) { return tracker.state_has_untested(t); });
+            if (xfer.has_value()) {
+              test.inputs.insert(test.inputs.end(), uio.inputs.begin(),
+                                 uio.inputs.end());
+              test.inputs.insert(test.inputs.end(), xfer->begin(),
+                                 xfer->end());
+              s = table.run(after_uio, *xfer);
+              a = tracker.first_untested(s);
+              continue;
+            }
+          }
+
+          // No continuation: stop at the last tested transition's end state
+          // *without* applying the UIO (the scan-out verifies it directly).
+          test.final_state = end_state;
+          break;
+        }
+
+        if (test.inputs.size() == 1)
+          result.transitions_in_length_one += transitions_in_test;
+        tests.tests.push_back(std::move(test));
+      }
+    }
+  }
+
+  result.tested_by = tracker.tested_by();
+  for (int t : result.tested_by)
+    require(t >= 0, "internal error: a transition was never tested");
+  tests.validate(table);
+  result.generation_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace fstg

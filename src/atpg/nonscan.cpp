@@ -1,0 +1,116 @@
+#include "atpg/nonscan.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/error.h"
+
+namespace fstg {
+
+namespace {
+
+/// Shortest input sequence (possibly empty) from `from` to any state with
+/// an untested outgoing transition. Unlike seq/transfer.h this accepts the
+/// start state itself and has no length bound (non-scan has no scan
+/// operation to compare against).
+bool path_to_untested(const StateTable& table, int from,
+                      const std::vector<std::uint32_t>& untested_per_state,
+                      std::vector<std::uint32_t>& path_out) {
+  path_out.clear();
+  if (untested_per_state[static_cast<std::size_t>(from)] > 0) return true;
+
+  struct Node {
+    int state, parent;
+    std::uint32_t via;
+  };
+  std::vector<Node> arena{{from, -1, 0}};
+  std::deque<int> queue{0};
+  std::vector<bool> seen(static_cast<std::size_t>(table.num_states()), false);
+  seen[static_cast<std::size_t>(from)] = true;
+
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    const Node node = arena[static_cast<std::size_t>(id)];
+    for (std::uint32_t a = 0; a < table.num_input_combos(); ++a) {
+      const int t = table.next(node.state, a);
+      if (seen[static_cast<std::size_t>(t)]) continue;
+      seen[static_cast<std::size_t>(t)] = true;
+      arena.push_back({t, id, a});
+      const int child = static_cast<int>(arena.size()) - 1;
+      if (untested_per_state[static_cast<std::size_t>(t)] > 0) {
+        for (int cur = child; cur > 0;
+             cur = arena[static_cast<std::size_t>(cur)].parent)
+          path_out.push_back(arena[static_cast<std::size_t>(cur)].via);
+        std::reverse(path_out.begin(), path_out.end());
+        return true;
+      }
+      queue.push_back(child);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+NonScanResult generate_nonscan_sequence(const StateTable& table,
+                                        int reset_state,
+                                        const NonScanOptions& options) {
+  require(reset_state >= 0 && reset_state < table.num_states(),
+          "generate_nonscan_sequence: bad reset state");
+
+  NonScanResult result;
+  UioOptions uio_options;
+  uio_options.max_length = options.uio_max_length;
+  uio_options.eval_budget = options.uio_eval_budget;
+  result.uios = derive_uio_sequences(table, uio_options);
+
+  const std::uint32_t nic = table.num_input_combos();
+  std::vector<bool> tested(table.num_transitions(), false);
+  std::vector<std::uint32_t> untested_per_state(
+      static_cast<std::size_t>(table.num_states()), nic);
+  std::size_t remaining = table.num_transitions();
+
+  int state = reset_state;
+  std::vector<std::uint32_t> path;
+  while (remaining > 0 &&
+         result.sequence.size() < options.max_sequence_length) {
+    if (!path_to_untested(table, state, untested_per_state, path)) break;
+    // Walk to a state with untested transitions.
+    for (std::uint32_t a : path) {
+      result.sequence.push_back(a);
+      state = table.next(state, a);
+    }
+    // Apply the lowest untested transition out of here.
+    std::uint32_t apply = nic;
+    for (std::uint32_t a = 0; a < nic; ++a) {
+      if (!tested[static_cast<std::size_t>(state) * nic + a]) {
+        apply = a;
+        break;
+      }
+    }
+    require(apply < nic, "internal error: no untested transition found");
+    tested[static_cast<std::size_t>(state) * nic + apply] = true;
+    --untested_per_state[static_cast<std::size_t>(state)];
+    --remaining;
+    result.sequence.push_back(apply);
+    const int dest = table.next(state, apply);
+
+    // Verify the destination with its UIO when it has one.
+    const UioSequence& uio = result.uios.of(dest);
+    if (uio.exists) {
+      result.sequence.insert(result.sequence.end(), uio.inputs.begin(),
+                             uio.inputs.end());
+      state = uio.final_state;
+      ++result.transitions_verified;
+    } else {
+      state = dest;
+      ++result.transitions_unverified;
+    }
+  }
+
+  result.complete = remaining == 0;
+  return result;
+}
+
+}  // namespace fstg

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/test.h"
+#include "seq/uio.h"
+
+namespace fstg {
+
+/// Functional test generation *without* scan — the baseline the paper
+/// improves on (its references [2] and [3]: Cheng & Jou 1990, Pomeranz &
+/// Reddy 1994). With no scan there is no state set/observe shortcut: a
+/// single test sequence starts from the reset state, walks to each
+/// untested transition via transfer sequences, applies it, and verifies
+/// the destination with a UIO when one exists. Fault effects must reach
+/// the primary outputs — the final state is never scanned out. The paper's
+/// observation, reproduced by bench/baseline_nonscan: such tests do not
+/// achieve complete gate-level fault coverage, while the scan-based tests
+/// do.
+struct NonScanOptions {
+  int uio_max_length = 0;       ///< 0 = state_bits()
+  std::uint64_t uio_eval_budget = 50'000'000;
+  /// Safety valve on the total sequence length.
+  std::size_t max_sequence_length = 1'000'000;
+};
+
+struct NonScanResult {
+  /// The single test sequence, applied from the reset state.
+  std::vector<std::uint32_t> sequence;
+  /// True if every transition was exercised.
+  bool complete = false;
+  /// Transitions applied and followed by a UIO of their destination.
+  std::size_t transitions_verified = 0;
+  /// Transitions applied whose destination has no UIO: exercised, but the
+  /// next state is never functionally confirmed.
+  std::size_t transitions_unverified = 0;
+  UioSet uios;
+};
+
+/// Generate the non-scan functional test sequence. The machine should be
+/// strongly connected for completeness (the synthetic benchmarks are, on
+/// their specified states; completion can add unreachable codes, which are
+/// then skipped and reported via `complete == false`).
+NonScanResult generate_nonscan_sequence(const StateTable& table,
+                                        int reset_state,
+                                        const NonScanOptions& options = {});
+
+}  // namespace fstg

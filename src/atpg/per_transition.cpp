@@ -1,0 +1,24 @@
+#include "atpg/per_transition.h"
+
+namespace fstg {
+
+TestSet per_transition_tests(const StateTable& table) {
+  TestSet set;
+  set.tests.reserve(table.num_transitions());
+  for (int s = 0; s < table.num_states(); ++s) {
+    for (std::uint32_t ic = 0; ic < table.num_input_combos(); ++ic) {
+      FunctionalTest t;
+      t.init_state = s;
+      t.inputs = {ic};
+      t.final_state = table.next(s, ic);
+      set.tests.push_back(std::move(t));
+    }
+  }
+  return set;
+}
+
+TestSet exhaustive_tests(const StateTable& table) {
+  return per_transition_tests(table);
+}
+
+}  // namespace fstg

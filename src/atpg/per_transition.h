@@ -1,0 +1,18 @@
+#pragma once
+
+#include "atpg/test.h"
+
+namespace fstg {
+
+/// The paper's baseline: one scan test per state-transition (length one
+/// each), in (state, input combination) order. N_ST * N_PIC tests needing
+/// N_ST * N_PIC + 1 scan operations.
+TestSet per_transition_tests(const StateTable& table);
+
+/// The exhaustive combinational test set (every state code with every
+/// input combination, as length-one scan tests). Identical to
+/// per_transition_tests on a completed table; kept as a named concept
+/// because the paper uses it to prove leftover faults undetectable.
+TestSet exhaustive_tests(const StateTable& table);
+
+}  // namespace fstg

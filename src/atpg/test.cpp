@@ -1,0 +1,63 @@
+#include "atpg/test.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace fstg {
+
+namespace {
+// MSB-first rendering: bit (bits-1) prints leftmost, matching KISS2 fields
+// and the paper's input-combination notation.
+std::string binary(std::uint32_t v, int bits) {
+  std::string s(static_cast<std::size_t>(bits), '0');
+  for (int b = 0; b < bits; ++b)
+    if ((v >> b) & 1u) s[static_cast<std::size_t>(bits - 1 - b)] = '1';
+  return s;
+}
+}  // namespace
+
+std::string FunctionalTest::to_string(int input_bits) const {
+  std::string s = "(" + std::to_string(init_state) + ", (";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i) s += ",";
+    s += binary(inputs[i], input_bits);
+  }
+  s += "), " + std::to_string(final_state) + ")";
+  return s;
+}
+
+std::size_t TestSet::total_length() const {
+  std::size_t n = 0;
+  for (const auto& t : tests) n += t.inputs.size();
+  return n;
+}
+
+std::size_t TestSet::length_one_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tests) n += t.inputs.size() == 1 ? 1 : 0;
+  return n;
+}
+
+void TestSet::validate(const StateTable& table) const {
+  for (const auto& t : tests) {
+    require(t.init_state >= 0 && t.init_state < table.num_states(),
+            "test has bad initial state");
+    require(!t.inputs.empty(), "test has empty input sequence");
+    for (std::uint32_t ic : t.inputs)
+      require(ic < table.num_input_combos(), "test has bad input combination");
+    require(table.run(t.init_state, t.inputs) == t.final_state,
+            "test final state does not match the machine");
+  }
+}
+
+TestSet TestSet::sorted_by_decreasing_length() const {
+  TestSet out = *this;
+  std::stable_sort(out.tests.begin(), out.tests.end(),
+                   [](const FunctionalTest& a, const FunctionalTest& b) {
+                     return a.inputs.size() > b.inputs.size();
+                   });
+  return out;
+}
+
+}  // namespace fstg

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsm/state_table.h"
+
+namespace fstg {
+
+/// One functional scan test in the paper's notation
+/// tau = (initial state, input sequence, final state): scan in the initial
+/// state, apply the inputs (one per clock, observing primary outputs),
+/// scan out and compare the final state.
+struct FunctionalTest {
+  int init_state = -1;
+  std::vector<std::uint32_t> inputs;
+  int final_state = -1;
+
+  int length() const { return static_cast<int>(inputs.size()); }
+
+  /// Paper-style rendering, e.g. "(0, (10,00,11,00,01,00), 1)" with
+  /// input combinations printed as binary over `input_bits` lines.
+  std::string to_string(int input_bits) const;
+
+  bool operator==(const FunctionalTest& o) const = default;
+};
+
+/// An ordered set of functional tests.
+struct TestSet {
+  std::vector<FunctionalTest> tests;
+
+  std::size_t size() const { return tests.size(); }
+  /// Sum of test lengths (Table 5 column `len`).
+  std::size_t total_length() const;
+  /// Number of tests of length exactly one.
+  std::size_t length_one_count() const;
+
+  /// Check internal consistency against the machine: every test's final
+  /// state must equal the state reached by its inputs. Throws on violation.
+  void validate(const StateTable& table) const;
+
+  /// Stable sort by decreasing length (the paper's fault-simulation order).
+  TestSet sorted_by_decreasing_length() const;
+};
+
+}  // namespace fstg

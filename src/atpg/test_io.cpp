@@ -1,0 +1,130 @@
+#include "atpg/test_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace fstg {
+
+namespace {
+
+std::string binary(std::uint32_t v, int bits) {
+  std::string s(static_cast<std::size_t>(bits), '0');
+  for (int b = 0; b < bits; ++b)
+    if ((v >> b) & 1u) s[static_cast<std::size_t>(bits - 1 - b)] = '1';
+  return s;
+}
+
+std::uint32_t parse_binary(const std::string& s, int bits, int line) {
+  if (static_cast<int>(s.size()) != bits)
+    throw ParseError("field `" + s + "` is not " + std::to_string(bits) +
+                         " bits wide",
+                     line);
+  std::uint32_t v = 0;
+  for (int b = 0; b < bits; ++b) {
+    const char c = s[static_cast<std::size_t>(bits - 1 - b)];
+    if (c == '1')
+      v |= 1u << b;
+    else if (c != '0')
+      throw ParseError("field `" + s + "` is not binary", line);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string write_test_file(const TestFile& file) {
+  std::ostringstream os;
+  os << "# functional scan tests";
+  if (!file.circuit.empty()) os << " for " << file.circuit;
+  os << "\n";
+  if (!file.circuit.empty()) os << ".circuit " << file.circuit << "\n";
+  os << ".inputs " << file.input_bits << "\n";
+  os << ".sv " << file.state_bits << "\n";
+  os << ".tests " << file.tests.size() << "\n";
+  for (const FunctionalTest& t : file.tests.tests) {
+    os << binary(static_cast<std::uint32_t>(t.init_state), file.state_bits)
+       << ' ';
+    for (std::size_t i = 0; i < t.inputs.size(); ++i) {
+      if (i) os << ',';
+      os << binary(t.inputs[i], file.input_bits);
+    }
+    os << ' '
+       << binary(static_cast<std::uint32_t>(t.final_state), file.state_bits)
+       << "\n";
+  }
+  return os.str();
+}
+
+TestFile parse_test_file(const std::string& text) {
+  TestFile file;
+  int declared_tests = -1;
+  int line_no = 0;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const std::string line{trim(raw)};
+    if (line.empty()) continue;
+    const std::vector<std::string> tok = split_ws(line);
+
+    if (tok[0][0] == '.') {
+      if (tok.size() < 2) throw ParseError("directive needs an argument", line_no);
+      if (tok[0] == ".circuit") {
+        file.circuit = tok[1];
+      } else if (tok[0] == ".inputs") {
+        file.input_bits = std::stoi(tok[1]);
+      } else if (tok[0] == ".sv") {
+        file.state_bits = std::stoi(tok[1]);
+      } else if (tok[0] == ".tests") {
+        declared_tests = std::stoi(tok[1]);
+      } else {
+        throw ParseError("unknown directive " + tok[0], line_no);
+      }
+      continue;
+    }
+
+    if (file.input_bits <= 0 || file.state_bits <= 0)
+      throw ParseError("test row before .inputs/.sv", line_no);
+    if (tok.size() != 3)
+      throw ParseError("expected `init inputs final`", line_no);
+
+    FunctionalTest t;
+    t.init_state =
+        static_cast<int>(parse_binary(tok[0], file.state_bits, line_no));
+    for (const std::string& field : split_char(tok[1], ','))
+      t.inputs.push_back(parse_binary(field, file.input_bits, line_no));
+    if (t.inputs.empty()) throw ParseError("test with no inputs", line_no);
+    t.final_state =
+        static_cast<int>(parse_binary(tok[2], file.state_bits, line_no));
+    file.tests.tests.push_back(std::move(t));
+  }
+
+  if (declared_tests >= 0 &&
+      declared_tests != static_cast<int>(file.tests.size()))
+    throw ParseError(".tests declares " + std::to_string(declared_tests) +
+                         ", found " + std::to_string(file.tests.size()),
+                     line_no);
+  return file;
+}
+
+void save_test_file(const TestFile& file, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "cannot open for writing: " + path);
+  out << write_test_file(file);
+  require(out.good(), "write failed: " + path);
+}
+
+TestFile load_test_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open test file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_test_file(ss.str());
+}
+
+}  // namespace fstg

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "atpg/test.h"
+
+namespace fstg {
+
+/// Plain-text interchange format for functional scan test sets:
+///
+///     # comments
+///     .circuit lion
+///     .inputs 2
+///     .sv 2
+///     .tests 9
+///     00 00,00,01 01
+///
+/// Each test row is `init_state_code input,input,... final_state_code`,
+/// every field in MSB-first binary (state codes over .sv bits, inputs over
+/// .inputs bits), matching the paper's notation.
+struct TestFile {
+  std::string circuit;
+  int input_bits = 0;
+  int state_bits = 0;
+  TestSet tests;
+};
+
+std::string write_test_file(const TestFile& file);
+TestFile parse_test_file(const std::string& text);
+
+/// Disk helpers.
+void save_test_file(const TestFile& file, const std::string& path);
+TestFile load_test_file(const std::string& path);
+
+}  // namespace fstg

@@ -1,0 +1,120 @@
+#include "base/bitvec.h"
+
+#include <bit>
+
+namespace fstg {
+
+namespace {
+std::size_t words_for(std::size_t n) { return (n + 63) >> 6; }
+}  // namespace
+
+BitVec::BitVec(std::size_t n, bool value) { resize(n, value); }
+
+void BitVec::resize(std::size_t n, bool value) {
+  const std::size_t old_size = size_;
+  size_ = n;
+  words_.resize(words_for(n), value ? ~std::uint64_t{0} : 0);
+  if (value && old_size < n) {
+    // Bits between old_size and the end of the old last word must be raised.
+    for (std::size_t i = old_size; i < n && (i & 63) != 0; ++i) set(i);
+    std::size_t first_fresh_word = words_for(old_size);
+    for (std::size_t w = first_fresh_word; w < words_.size(); ++w)
+      words_[w] = ~std::uint64_t{0};
+  }
+  trim_tail();
+}
+
+void BitVec::clear() {
+  size_ = 0;
+  words_.clear();
+}
+
+void BitVec::set_all() {
+  for (auto& w : words_) w = ~std::uint64_t{0};
+  trim_tail();
+}
+
+void BitVec::reset_all() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVec::trim_tail() {
+  if (size_ & 63) {
+    if (!words_.empty())
+      words_.back() &= (std::uint64_t{1} << (size_ & 63)) - 1;
+  }
+}
+
+std::size_t BitVec::count() const {
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool BitVec::any() const {
+  for (auto w : words_)
+    if (w) return true;
+  return false;
+}
+
+std::size_t BitVec::find_first(std::size_t from) const {
+  if (from >= size_) return npos;
+  std::size_t w = from >> 6;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (word) {
+      std::size_t bit = (w << 6) +
+                        static_cast<std::size_t>(std::countr_zero(word));
+      return bit < size_ ? bit : npos;
+    }
+    if (++w >= words_.size()) return npos;
+    word = words_[w];
+  }
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  for (std::size_t i = 0; i < words_.size() && i < o.words_.size(); ++i)
+    words_[i] |= o.words_[i];
+  trim_tail();
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    words_[i] &= i < o.words_.size() ? o.words_[i] : 0;
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  for (std::size_t i = 0; i < words_.size() && i < o.words_.size(); ++i)
+    words_[i] ^= o.words_[i];
+  trim_tail();
+  return *this;
+}
+
+BitVec& BitVec::and_not(const BitVec& o) {
+  for (std::size_t i = 0; i < words_.size() && i < o.words_.size(); ++i)
+    words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return size_ == o.size_ && words_ == o.words_;
+}
+
+bool BitVec::intersects(const BitVec& o) const {
+  const std::size_t n = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (words_[i] & o.words_[i]) return true;
+  return false;
+}
+
+bool BitVec::is_subset_of(const BitVec& o) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t ow = i < o.words_.size() ? o.words_[i] : 0;
+    if (words_[i] & ~ow) return false;
+  }
+  return true;
+}
+
+}  // namespace fstg

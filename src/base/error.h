@@ -1,0 +1,34 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fstg {
+
+/// Base exception for all library errors. Thrown on malformed input,
+/// violated preconditions detectable at runtime, and resource limits.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Input files / embedded benchmark text that fail to parse.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("parse error at line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Throw Error with a message if `cond` is false. Used for precondition
+/// checks that must stay active in release builds (they guard user input).
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace fstg

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fstg {
+
+/// Deterministic 64-bit RNG (xoshiro256** seeded via splitmix64).
+/// Used everywhere randomness is needed so every run, test, and synthetic
+/// benchmark is reproducible from a seed or a name.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Seed from a string (e.g. a benchmark circuit name) via FNV-1a.
+  static Rng from_name(std::string_view name);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) using Lemire's method; bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fstg

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fstg {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on runs of ASCII whitespace; no empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string> split_char(std::string_view s, char sep);
+
+/// True if `s` consists only of the characters in `allowed` and is nonempty.
+bool all_chars_in(std::string_view s, std::string_view allowed);
+
+/// printf-style helper returning std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace fstg

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fstg {
+
+/// Column-aligned plain-text table writer used by the benchmark harness to
+/// print the paper's tables (paper values alongside measured values).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into cells.
+  static std::string num(long long v);
+  static std::string num(double v, int decimals = 2);
+
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fstg

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <chrono>
+
+namespace fstg {
+
+/// Wall-clock stopwatch for the CPU-time columns of Tables 4 and 5.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fstg

@@ -1,0 +1,63 @@
+#include "fault/bridging.h"
+
+#include "netlist/reach.h"
+
+namespace fstg {
+
+std::vector<FaultSpec> enumerate_bridging(const Netlist& nl) {
+  std::vector<FaultSpec> faults;
+
+  // Candidate lines: outputs of multi-input gates.
+  std::vector<int> candidates;
+  for (int g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    switch (gate.type) {
+      case GateType::kAnd:
+      case GateType::kOr:
+      case GateType::kNand:
+      case GateType::kNor:
+      case GateType::kXor:
+        if (gate.fanins.size() >= 2) candidates.push_back(g);
+        break;
+      default:
+        break;
+    }
+  }
+  if (candidates.size() < 2) return faults;
+
+  const std::vector<std::vector<int>> fanouts = nl.fanouts();
+  const std::vector<BitVec> reach = forward_reachability(nl);
+
+  // Consumer sets as bit vectors for the shared-consumer test.
+  const std::size_t n = static_cast<std::size_t>(nl.num_gates());
+  std::vector<BitVec> consumers(n);
+  for (int g : candidates) {
+    BitVec& c = consumers[static_cast<std::size_t>(g)];
+    c.resize(n);
+    for (int f : fanouts[static_cast<std::size_t>(g)])
+      c.set(static_cast<std::size_t>(f));
+  }
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const int g1 = candidates[i];
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      const int g2 = candidates[j];
+      // (2) Both lines feed at least one gate, and no gate consumes both.
+      if (fanouts[static_cast<std::size_t>(g1)].empty() ||
+          fanouts[static_cast<std::size_t>(g2)].empty())
+        continue;
+      if (consumers[static_cast<std::size_t>(g1)].intersects(
+              consumers[static_cast<std::size_t>(g2)]))
+        continue;
+      // (3) No structural path either way.
+      if (reach[static_cast<std::size_t>(g1)].test(static_cast<std::size_t>(g2)) ||
+          reach[static_cast<std::size_t>(g2)].test(static_cast<std::size_t>(g1)))
+        continue;
+      faults.push_back(FaultSpec::bridge_and(g1, g2));
+      faults.push_back(FaultSpec::bridge_or(g1, g2));
+    }
+  }
+  return faults;
+}
+
+}  // namespace fstg

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+
+namespace fstg {
+
+/// Enumerate non-feedback bridging faults per the paper's conditions:
+///  (1) both lines are outputs of multi-input gates;
+///  (2) the lines are inputs of different gates (no shared consumer);
+///  (3) there is no structural path between the two lines in either
+///      direction (so the bridge cannot create a feedback loop).
+/// Both an AND-type and an OR-type fault are produced for each pair.
+std::vector<FaultSpec> enumerate_bridging(const Netlist& nl);
+
+}  // namespace fstg

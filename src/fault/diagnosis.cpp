@@ -1,0 +1,107 @@
+#include "fault/diagnosis.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/error.h"
+
+namespace fstg {
+
+namespace {
+
+/// Full (no-drop) signature: which tests detect the fault. run_faulty's
+/// attribution-exact early exits stop at the lowest detecting lane, so for
+/// complete signatures each test runs in its own single-lane batch against
+/// a precomputed good trace. Dictionaries are built offline; this keeps
+/// the hot fault-dropping path optimized for the common case.
+BitVec full_signature(ScanBatchSim& sim,
+                      const std::vector<ScanPattern>& patterns,
+                      const std::vector<GoodTrace>& goods,
+                      const FaultSpec& fault, const std::vector<int>& cone) {
+  BitVec signature(patterns.size());
+  for (std::size_t t = 0; t < patterns.size(); ++t) {
+    const std::vector<ScanPattern> one = {patterns[t]};
+    if (sim.run_faulty(one, goods[t], fault, &cone) != 0) signature.set(t);
+  }
+  return signature;
+}
+
+std::vector<GoodTrace> good_traces(ScanBatchSim& sim,
+                                   const std::vector<ScanPattern>& patterns) {
+  std::vector<GoodTrace> goods;
+  goods.reserve(patterns.size());
+  for (const ScanPattern& p : patterns) goods.push_back(sim.run_good({p}));
+  return goods;
+}
+
+}  // namespace
+
+FaultDictionary::FaultDictionary(const ScanCircuit& circuit,
+                                 const TestSet& tests,
+                                 std::vector<FaultSpec> faults)
+    : circuit_(&circuit), tests_(tests), faults_(std::move(faults)) {
+  num_tests_ = tests_.tests.size();
+  require(num_tests_ > 0, "FaultDictionary: empty test set");
+
+  const std::vector<ScanPattern> patterns = to_scan_patterns(tests_);
+  const std::vector<std::vector<int>> cones =
+      compute_fault_cones(circuit.comb, faults_);
+  ScanBatchSim sim(circuit);
+  const std::vector<GoodTrace> goods = good_traces(sim, patterns);
+
+  signatures_.reserve(faults_.size());
+  for (std::size_t f = 0; f < faults_.size(); ++f)
+    signatures_.push_back(
+        full_signature(sim, patterns, goods, faults_[f], cones[f]));
+}
+
+std::vector<std::size_t> FaultDictionary::exact_matches(
+    const BitVec& observed) const {
+  std::vector<std::size_t> out;
+  for (std::size_t f = 0; f < signatures_.size(); ++f)
+    if (signatures_[f] == observed) out.push_back(f);
+  return out;
+}
+
+std::vector<FaultDictionary::Candidate> FaultDictionary::nearest(
+    const BitVec& observed, std::size_t max_candidates) const {
+  std::vector<Candidate> all;
+  all.reserve(signatures_.size());
+  for (std::size_t f = 0; f < signatures_.size(); ++f) {
+    BitVec diff = signatures_[f];
+    diff ^= observed;
+    all.push_back({f, diff.count()});
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.distance < b.distance;
+                   });
+  if (all.size() > max_candidates) all.resize(max_candidates);
+  return all;
+}
+
+BitVec FaultDictionary::simulate_device(const FaultSpec& fault) const {
+  const std::vector<std::vector<int>> cones =
+      compute_fault_cones(circuit_->comb, {fault});
+  ScanBatchSim sim(*circuit_);
+  const std::vector<ScanPattern> patterns = to_scan_patterns(tests_);
+  const std::vector<GoodTrace> goods = good_traces(sim, patterns);
+  return full_signature(sim, patterns, goods, fault, cones[0]);
+}
+
+FaultDictionary::Resolution FaultDictionary::resolution() const {
+  std::map<std::vector<std::uint64_t>, std::size_t> classes;
+  std::size_t undetected = 0;
+  for (const BitVec& s : signatures_) {
+    ++classes[s.words()];
+    if (s.none()) ++undetected;
+  }
+  Resolution r;
+  r.classes = classes.size();
+  r.undetected = undetected;
+  for (const auto& [key, size] : classes)
+    r.largest_class = std::max(r.largest_class, size);
+  return r;
+}
+
+}  // namespace fstg

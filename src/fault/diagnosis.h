@@ -1,0 +1,64 @@
+#pragma once
+
+#include <vector>
+
+#include "base/bitvec.h"
+#include "fault/fault_sim.h"
+
+namespace fstg {
+
+/// Dictionary-based fault diagnosis on top of the functional scan tests: a
+/// natural downstream use of the test set the paper generates. For every
+/// modeled fault the dictionary records its pass/fail *signature* (which
+/// tests detect it); a failing device's observed signature is matched
+/// against the dictionary to return candidate faults.
+class FaultDictionary {
+ public:
+  /// Build by simulating every fault against every test (no dropping —
+  /// full signatures need every (fault, test) pair).
+  FaultDictionary(const ScanCircuit& circuit, const TestSet& tests,
+                  std::vector<FaultSpec> faults);
+
+  const std::vector<FaultSpec>& faults() const { return faults_; }
+  std::size_t num_tests() const { return num_tests_; }
+
+  /// Signature of fault f: bit t set iff test t fails.
+  const BitVec& signature(std::size_t fault_index) const {
+    return signatures_[fault_index];
+  }
+
+  /// Faults whose signature equals the observation exactly.
+  std::vector<std::size_t> exact_matches(const BitVec& observed) const;
+
+  /// Faults ranked by Hamming distance to the observation (ties by index);
+  /// at most `max_candidates` returned.
+  struct Candidate {
+    std::size_t fault_index;
+    std::size_t distance;
+  };
+  std::vector<Candidate> nearest(const BitVec& observed,
+                                 std::size_t max_candidates = 10) const;
+
+  /// Observed signature of a (single-fault) device under test, computed by
+  /// simulation — the oracle for the diagnosis tests and examples.
+  BitVec simulate_device(const FaultSpec& fault) const;
+
+  /// Diagnostic resolution: partition faults into equivalence classes by
+  /// signature; returns class count (higher = better resolution) and the
+  /// size of the largest class.
+  struct Resolution {
+    std::size_t classes = 0;
+    std::size_t largest_class = 0;
+    std::size_t undetected = 0;  ///< faults with an all-pass signature
+  };
+  Resolution resolution() const;
+
+ private:
+  const ScanCircuit* circuit_;
+  TestSet tests_;
+  std::vector<FaultSpec> faults_;
+  std::size_t num_tests_ = 0;
+  std::vector<BitVec> signatures_;
+};
+
+}  // namespace fstg

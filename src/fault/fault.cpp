@@ -1,0 +1,74 @@
+#include "fault/fault.h"
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace fstg {
+
+std::vector<FaultSpec> enumerate_stuck_at(const Netlist& nl,
+                                          const StuckAtOptions& options) {
+  std::vector<FaultSpec> faults;
+  std::vector<std::vector<int>> fanouts = nl.fanouts();
+
+  for (int g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == GateType::kConst0 || gate.type == GateType::kConst1)
+      continue;  // constant lines carry no testable stuck-at faults
+    faults.push_back(FaultSpec::stuck_gate(g, false));
+    faults.push_back(FaultSpec::stuck_gate(g, true));
+  }
+
+  if (!options.include_branches) return faults;
+
+  for (int g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      const int driver = gate.fanins[pin];
+      // Single-fanout branch == stem: skip.
+      if (fanouts[static_cast<std::size_t>(driver)].size() <= 1) continue;
+      for (int v = 0; v < 2; ++v) {
+        const bool value = v == 1;
+        if (options.collapse) {
+          // Controlling-value pin faults collapse onto the output fault.
+          const bool controlling =
+              ((gate.type == GateType::kAnd || gate.type == GateType::kNand) &&
+               !value) ||
+              ((gate.type == GateType::kOr || gate.type == GateType::kNor) &&
+               value);
+          const bool unary =
+              gate.type == GateType::kBuf || gate.type == GateType::kNot;
+          if (controlling || unary) continue;
+        }
+        faults.push_back(
+            FaultSpec::stuck_pin(g, static_cast<int>(pin), value));
+      }
+    }
+  }
+  return faults;
+}
+
+std::string describe_fault(const Netlist& nl, const FaultSpec& fault) {
+  auto gate_label = [&](int id) {
+    const Gate& g = nl.gate(id);
+    return g.name.empty()
+               ? strf("%s#%d", gate_type_name(g.type), id)
+               : g.name;
+  };
+  switch (fault.kind) {
+    case FaultSpec::Kind::kNone:
+      return "fault-free";
+    case FaultSpec::Kind::kStuckGate:
+      return strf("%s s-a-%d", gate_label(fault.gate).c_str(),
+                  fault.value ? 1 : 0);
+    case FaultSpec::Kind::kStuckPin:
+      return strf("%s.pin%d s-a-%d", gate_label(fault.gate).c_str(),
+                  fault.gate2_or_pin, fault.value ? 1 : 0);
+    case FaultSpec::Kind::kBridge:
+      return strf("bridge-%s(%s,%s)", fault.value ? "OR" : "AND",
+                  gate_label(fault.gate).c_str(),
+                  gate_label(fault.gate2_or_pin).c_str());
+  }
+  return "?";
+}
+
+}  // namespace fstg

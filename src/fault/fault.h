@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+
+namespace fstg {
+
+/// Options for single stuck-at fault enumeration.
+struct StuckAtOptions {
+  /// Include input-pin (branch) faults where the driving line fans out to
+  /// more than one gate. A branch on a single-fanout line is equivalent to
+  /// its stem, so those are always omitted.
+  bool include_branches = true;
+  /// Apply gate-local equivalence collapsing: a controlling-value pin fault
+  /// (AND/NAND pin s-a-0, OR/NOR pin s-a-1) is equivalent to the matching
+  /// output fault and is dropped; BUF/NOT pin faults collapse onto the
+  /// output likewise.
+  bool collapse = true;
+};
+
+/// Enumerate single stuck-at faults of a combinational netlist as
+/// injectable FaultSpecs: stem (gate output) s-a-0/1 for every gate, plus
+/// branch (gate input pin) faults per the options.
+std::vector<FaultSpec> enumerate_stuck_at(const Netlist& nl,
+                                          const StuckAtOptions& options = {});
+
+/// Human-readable fault name for reports, e.g. "z0 s-a-1" or
+/// "AND#12.pin2 s-a-0" or "bridge-AND(#5,#9)".
+std::string describe_fault(const Netlist& nl, const FaultSpec& fault);
+
+}  // namespace fstg

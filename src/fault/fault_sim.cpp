@@ -1,0 +1,111 @@
+#include "fault/fault_sim.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "base/error.h"
+#include "netlist/reach.h"
+
+namespace fstg {
+
+/// Output cone of each fault (sorted gate ids needing re-evaluation in the
+/// single-fault-propagation fast path). Stuck faults include their own
+/// gate; bridges exclude the two forced gates.
+std::vector<std::vector<int>> compute_fault_cones(
+    const Netlist& nl, const std::vector<FaultSpec>& faults) {
+  const std::vector<BitVec> reach = forward_reachability(nl);
+  std::vector<std::vector<int>> cones(faults.size());
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    const FaultSpec& fault = faults[f];
+    std::vector<int>& cone = cones[f];
+    switch (fault.kind) {
+      case FaultSpec::Kind::kNone:
+        break;
+      case FaultSpec::Kind::kStuckGate:
+      case FaultSpec::Kind::kStuckPin: {
+        cone.push_back(fault.gate);
+        const BitVec& r = reach[static_cast<std::size_t>(fault.gate)];
+        for (std::size_t g = r.find_first(); g != BitVec::npos;
+             g = r.find_first(g + 1))
+          if (static_cast<int>(g) != fault.gate)
+            cone.push_back(static_cast<int>(g));
+        std::sort(cone.begin(), cone.end());
+        break;
+      }
+      case FaultSpec::Kind::kBridge: {
+        BitVec u = reach[static_cast<std::size_t>(fault.gate)];
+        u |= reach[static_cast<std::size_t>(fault.gate2_or_pin)];
+        u.reset(static_cast<std::size_t>(fault.gate));
+        u.reset(static_cast<std::size_t>(fault.gate2_or_pin));
+        for (std::size_t g = u.find_first(); g != BitVec::npos;
+             g = u.find_first(g + 1))
+          cone.push_back(static_cast<int>(g));
+        break;
+      }
+    }
+  }
+  return cones;
+}
+
+std::size_t FaultSimResult::num_effective_tests() const {
+  std::size_t n = 0;
+  for (bool e : test_effective) n += e ? 1 : 0;
+  return n;
+}
+
+std::vector<ScanPattern> to_scan_patterns(const TestSet& tests) {
+  std::vector<ScanPattern> patterns;
+  patterns.reserve(tests.tests.size());
+  for (const auto& t : tests.tests) {
+    ScanPattern p;
+    p.init_state = static_cast<std::uint32_t>(t.init_state);
+    p.inputs = t.inputs;
+    patterns.push_back(std::move(p));
+  }
+  return patterns;
+}
+
+FaultSimResult simulate_faults(const ScanCircuit& circuit,
+                               const TestSet& tests,
+                               const std::vector<FaultSpec>& faults) {
+  FaultSimResult result;
+  result.total_faults = faults.size();
+  result.detected_by.assign(faults.size(), -1);
+  result.test_effective.assign(tests.tests.size(), false);
+
+  const std::vector<ScanPattern> all_patterns = to_scan_patterns(tests);
+  ScanBatchSim sim(circuit);
+  const std::vector<std::vector<int>> cones =
+      compute_fault_cones(circuit.comb, faults);
+
+  std::vector<std::size_t> alive(faults.size());
+  for (std::size_t f = 0; f < faults.size(); ++f) alive[f] = f;
+
+  for (std::size_t base = 0; base < all_patterns.size() && !alive.empty();
+       base += kWordBits) {
+    const std::size_t count =
+        std::min<std::size_t>(kWordBits, all_patterns.size() - base);
+    const std::vector<ScanPattern> batch(all_patterns.begin() + base,
+                                         all_patterns.begin() + base + count);
+    const GoodTrace good = sim.run_good(batch);
+
+    std::vector<std::size_t> still_alive;
+    still_alive.reserve(alive.size());
+    for (std::size_t f : alive) {
+      const Word det = sim.run_faulty(batch, good, faults[f], &cones[f]);
+      if (det == 0) {
+        still_alive.push_back(f);
+        continue;
+      }
+      const int lane = std::countr_zero(det);
+      const std::size_t test_index = base + static_cast<std::size_t>(lane);
+      result.detected_by[f] = static_cast<int>(test_index);
+      result.test_effective[test_index] = true;
+      ++result.detected_faults;
+    }
+    alive = std::move(still_alive);
+  }
+  return result;
+}
+
+}  // namespace fstg

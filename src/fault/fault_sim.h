@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "atpg/test.h"
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+#include "sim/scan_sim.h"
+
+namespace fstg {
+
+/// Outcome of simulating a fault list against an ordered test set.
+struct FaultSimResult {
+  std::size_t total_faults = 0;
+  std::size_t detected_faults = 0;
+  /// fault index -> index (into the given test order) of the *first* test
+  /// that detects it; -1 if undetected.
+  std::vector<int> detected_by;
+  /// test index -> true iff the test detects at least one fault not
+  /// detected by any earlier test (the paper's "effective" mark).
+  std::vector<bool> test_effective;
+
+  std::size_t num_effective_tests() const;
+  double coverage_percent() const {
+    return total_faults == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(detected_faults) /
+                     static_cast<double>(total_faults);
+  }
+};
+
+/// Word-parallel scan fault simulation with fault dropping: tests run 64
+/// per batch (one lane each); each still-undetected fault is injected and
+/// the faulty machine compared against the fault-free reference on every
+/// observed primary output and on the scanned-out state. Detection is
+/// attributed to the lowest-index detecting test, so effectiveness marks
+/// match the paper's sequential-simulation semantics exactly.
+FaultSimResult simulate_faults(const ScanCircuit& circuit,
+                               const TestSet& tests,
+                               const std::vector<FaultSpec>& faults);
+
+/// Convert functional tests (on the completed table, whose state index is
+/// the state code) into scan patterns.
+std::vector<ScanPattern> to_scan_patterns(const TestSet& tests);
+
+/// Output cone of each fault (sorted gate ids the single-fault-propagation
+/// fast path re-evaluates). Exposed for the redundancy checker and tests.
+std::vector<std::vector<int>> compute_fault_cones(
+    const Netlist& nl, const std::vector<FaultSpec>& faults);
+
+}  // namespace fstg

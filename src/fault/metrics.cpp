@@ -1,0 +1,61 @@
+#include "fault/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "base/error.h"
+
+namespace fstg {
+
+std::size_t NDetectProfile::detected_at_least(std::size_t n) const {
+  std::size_t count = 0;
+  for (std::size_t d : detections) count += d >= n ? 1 : 0;
+  return count;
+}
+
+double NDetectProfile::n_detect_percent(std::size_t n) const {
+  return total_faults == 0
+             ? 100.0
+             : 100.0 * static_cast<double>(detected_at_least(n)) /
+                   static_cast<double>(total_faults);
+}
+
+double NDetectProfile::average_detections() const {
+  std::size_t sum = 0, detected = 0;
+  for (std::size_t d : detections) {
+    sum += d;
+    detected += d > 0 ? 1 : 0;
+  }
+  return detected == 0 ? 0.0
+                       : static_cast<double>(sum) /
+                             static_cast<double>(detected);
+}
+
+NDetectProfile n_detect_profile(const ScanCircuit& circuit,
+                                const TestSet& tests,
+                                const std::vector<FaultSpec>& faults) {
+  require(!tests.tests.empty(), "n_detect_profile: empty test set");
+  NDetectProfile profile;
+  profile.total_faults = faults.size();
+  profile.detections.assign(faults.size(), 0);
+
+  const std::vector<ScanPattern> patterns = to_scan_patterns(tests);
+  const std::vector<std::vector<int>> cones =
+      compute_fault_cones(circuit.comb, faults);
+  ScanBatchSim sim(circuit);
+
+  // Full-matrix counting: each test in its own lane batch of one, so the
+  // attribution-exact early exits in run_faulty cannot hide detections.
+  for (std::size_t t = 0; t < patterns.size(); ++t) {
+    const std::vector<ScanPattern> one = {patterns[t]};
+    const GoodTrace good = sim.run_good(one);
+    for (std::size_t f = 0; f < faults.size(); ++f)
+      if (sim.run_faulty(one, good, faults[f], &cones[f]) != 0)
+        ++profile.detections[f];
+  }
+  for (std::size_t d : profile.detections)
+    if (d == 0) ++profile.undetected;
+  return profile;
+}
+
+}  // namespace fstg

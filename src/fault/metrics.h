@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_sim.h"
+
+namespace fstg {
+
+/// N-detect quality metrics of a test set: how many tests detect each
+/// fault. Defect coverage in practice correlates with redundancy of
+/// detection — a fault caught by one test only is one marginal defect away
+/// from escaping — so N-detect profiles are the standard way to compare
+/// test sets targeting *unmodeled* defects, which is the paper's argument
+/// for functional tests in the first place.
+struct NDetectProfile {
+  /// detections[f] = number of tests that detect fault f.
+  std::vector<std::size_t> detections;
+  std::size_t total_faults = 0;
+  std::size_t undetected = 0;
+
+  /// Faults detected by at least n tests.
+  std::size_t detected_at_least(std::size_t n) const;
+  /// Coverage percentage at redundancy level n.
+  double n_detect_percent(std::size_t n) const;
+  /// Average detections over detected faults.
+  double average_detections() const;
+};
+
+/// Count, for every fault, the number of detecting tests (no dropping).
+NDetectProfile n_detect_profile(const ScanCircuit& circuit,
+                                const TestSet& tests,
+                                const std::vector<FaultSpec>& faults);
+
+}  // namespace fstg

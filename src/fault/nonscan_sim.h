@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+
+namespace fstg {
+
+/// Fault simulation of a *non-scan* functional test: the circuit powers up
+/// in `reset_code`, the whole input sequence is applied, and only the
+/// primary outputs are observed — there is no scan-out, so a fault whose
+/// effect is trapped in the state registers at the end escapes. This is
+/// the observation model the paper contrasts scan-based testing against.
+struct NonScanSimResult {
+  std::size_t total_faults = 0;
+  std::size_t detected_faults = 0;
+  std::vector<bool> detected;
+
+  double coverage_percent() const {
+    return total_faults == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(detected_faults) /
+                     static_cast<double>(total_faults);
+  }
+};
+
+NonScanSimResult simulate_faults_nonscan(
+    const ScanCircuit& circuit, std::uint32_t reset_code,
+    const std::vector<std::uint32_t>& sequence,
+    const std::vector<FaultSpec>& faults);
+
+}  // namespace fstg

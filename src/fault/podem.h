@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/test.h"
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+#include "sim/scan_sim.h"
+
+namespace fstg {
+
+/// PODEM (path-oriented decision making) combinational ATPG for stuck-at
+/// faults on the full-scan circuit — the classic gate-level alternative
+/// the paper compares against in its closing discussion: it yields fewer,
+/// shorter tests than the functional procedure but optimizes for the
+/// stuck-at model only, so its bridging coverage is not guaranteed
+/// (bench/baseline_gate_atpg measures exactly that).
+///
+/// Standard 5-valued (0/1/D/D'/X) implementation: objective selection from
+/// the fault site or the D-frontier, backtrace through X-valued inputs to
+/// a primary-input assignment, forward implication by simulation, and
+/// chronological backtracking over the PI decision stack.
+struct PodemOptions {
+  /// Abort the target after this many backtracks.
+  std::size_t backtrack_limit = 50'000;
+};
+
+struct PodemResult {
+  enum class Status : std::uint8_t {
+    kDetected,   ///< `pattern` detects the fault
+    kRedundant,  ///< search space exhausted: combinationally undetectable
+    kAborted,    ///< backtrack limit hit
+  };
+  Status status = Status::kAborted;
+  /// One-vector scan test (state code + input combination).
+  ScanPattern pattern;
+  std::size_t backtracks = 0;
+};
+
+/// Generate a test for one stuck-at fault (kStuckGate or kStuckPin).
+PodemResult podem(const ScanCircuit& circuit, const FaultSpec& fault,
+                  const PodemOptions& options = {});
+
+/// Full gate-level ATPG with fault dropping: PODEM per undetected fault,
+/// each generated vector fault-simulated against the remaining list.
+struct GateAtpgResult {
+  TestSet tests;  ///< length-one scan tests, in generation order
+  std::size_t detected = 0;
+  std::size_t redundant = 0;
+  std::size_t aborted = 0;
+};
+
+GateAtpgResult gate_level_atpg(const ScanCircuit& circuit,
+                               const std::vector<FaultSpec>& faults,
+                               const PodemOptions& options = {});
+
+}  // namespace fstg

@@ -1,0 +1,73 @@
+#include "fault/static_compaction.h"
+
+#include <algorithm>
+
+#include "atpg/cycles.h"
+#include "base/error.h"
+
+namespace fstg {
+
+namespace {
+
+std::size_t count_detected(const ScanCircuit& circuit, const TestSet& tests,
+                           const std::vector<FaultSpec>& faults) {
+  return simulate_faults(circuit, tests, faults).detected_faults;
+}
+
+}  // namespace
+
+StaticCompactionResult static_compact(const ScanCircuit& circuit,
+                                      const TestSet& tests,
+                                      const std::vector<FaultSpec>& faults) {
+  StaticCompactionResult result;
+  result.cycles_before =
+      test_application_cycles(circuit.num_sv, tests);
+  result.detected_before = count_detected(circuit, tests, faults);
+
+  // Work on a copy; merged-away tests are tombstoned.
+  std::vector<FunctionalTest> pool = tests.tests;
+  std::vector<bool> alive(pool.size(), true);
+
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (!alive[i]) continue;
+    bool extended = true;
+    while (extended) {
+      extended = false;
+      for (std::size_t j = 0; j < pool.size(); ++j) {
+        if (i == j || !alive[j]) continue;
+        if (pool[j].init_state != pool[i].final_state) continue;
+
+        // Tentative merge: i followed by j, scan boundary removed.
+        FunctionalTest merged = pool[i];
+        merged.inputs.insert(merged.inputs.end(), pool[j].inputs.begin(),
+                             pool[j].inputs.end());
+        merged.final_state = pool[j].final_state;
+
+        TestSet candidate;
+        for (std::size_t k = 0; k < pool.size(); ++k) {
+          if (!alive[k] || k == j) continue;
+          candidate.tests.push_back(k == i ? merged : pool[k]);
+        }
+        if (count_detected(circuit, candidate, faults) >=
+            result.detected_before) {
+          pool[i] = std::move(merged);
+          alive[j] = false;
+          ++result.combinations_applied;
+          extended = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    if (alive[i]) result.compacted.tests.push_back(pool[i]);
+  result.cycles_after =
+      test_application_cycles(circuit.num_sv, result.compacted);
+  result.detected_after = count_detected(circuit, result.compacted, faults);
+  require(result.detected_after >= result.detected_before,
+          "static_compact: internal error, coverage dropped");
+  return result;
+}
+
+}  // namespace fstg

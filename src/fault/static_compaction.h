@@ -1,0 +1,34 @@
+#pragma once
+
+#include "fault/fault_sim.h"
+
+namespace fstg {
+
+/// The paper builds on Pomeranz & Reddy's static compaction for scan tests
+/// (Asian Test Symposium 1998, reference [7]): two tests tau_i and tau_j
+/// are *combined* by dropping the scan-out at the end of tau_i and the
+/// scan-in at the start of tau_j, which is possible when tau_i ends in the
+/// state tau_j expects, and acceptable when the combination does not
+/// reduce fault coverage (the intermediate state is no longer observed by
+/// scan, so detection that relied on it must survive through the suffix).
+struct StaticCompactionResult {
+  TestSet compacted;
+  std::size_t combinations_applied = 0;
+  std::size_t cycles_before = 0;
+  std::size_t cycles_after = 0;
+  /// Faults detected before and after (coverage is preserved by
+  /// construction; both counts are reported for the record).
+  std::size_t detected_before = 0;
+  std::size_t detected_after = 0;
+};
+
+/// Greedy combining: repeatedly append an unmerged test whose initial
+/// state equals the current test's final state, accepting the merge only
+/// if a fault simulation confirms no coverage loss. Quadratic in the
+/// number of tests with a fault simulation per accepted/rejected merge —
+/// intended for the compacted (effective) test sets, which are small.
+StaticCompactionResult static_compact(const ScanCircuit& circuit,
+                                      const TestSet& tests,
+                                      const std::vector<FaultSpec>& faults);
+
+}  // namespace fstg

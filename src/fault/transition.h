@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atpg/test.h"
+#include "netlist/netlist.h"
+
+namespace fstg {
+
+/// Transition-delay (gross delay) faults: a slow-to-rise (or slow-to-fall)
+/// defect on a gate output delays every rising (falling) transition past
+/// the capture edge, so the line shows its previous-cycle value whenever
+/// it should have switched:
+///
+///   slow-to-rise : observed(c) = raw(c) AND raw(c-1)
+///   slow-to-fall : observed(c) = raw(c) OR  raw(c-1)
+///
+/// where raw(c) is the gate's value from its (faulty-machine) inputs at
+/// cycle c, and raw(-1) = raw(0) — the state is settled after scan-in, so
+/// the first vector of a test can never launch a transition. This is the
+/// paper's at-speed argument in executable form: a length-one test has no
+/// second cycle, hence detects *no* transition fault at all; chained tests
+/// launch and capture transitions at speed.
+struct TransitionFault {
+  int gate = -1;
+  bool slow_to_rise = true;
+};
+
+/// All rise/fall faults on non-constant, non-input gates.
+std::vector<TransitionFault> enumerate_transition_faults(const Netlist& nl);
+
+std::string describe_transition_fault(const Netlist& nl,
+                                      const TransitionFault& fault);
+
+struct TransitionSimResult {
+  std::size_t total_faults = 0;
+  std::size_t detected_faults = 0;
+  std::vector<bool> detected;
+
+  double coverage_percent() const {
+    return total_faults == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(detected_faults) /
+                     static_cast<double>(total_faults);
+  }
+};
+
+/// Scan-test simulation of transition faults: per test, the faulty machine
+/// runs with the delayed line; detection on any primary-output mismatch or
+/// on the scanned-out final state.
+TransitionSimResult simulate_transition_faults(
+    const ScanCircuit& circuit, const TestSet& tests,
+    const std::vector<TransitionFault>& faults);
+
+}  // namespace fstg

@@ -1,0 +1,73 @@
+#include "fsm/encoding.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/error.h"
+#include "base/rng.h"
+
+namespace fstg {
+
+bool Encoding::valid() const {
+  if (state_bits < 1 || state_bits > 20) return false;
+  if (state_of_code.size() != num_codes()) return false;
+  std::size_t used = 0;
+  for (std::uint32_t c = 0; c < num_codes(); ++c) {
+    const int s = state_of_code[c];
+    if (s < 0) continue;
+    ++used;
+    if (static_cast<std::size_t>(s) >= code_of_state.size()) return false;
+    if (code_of_state[static_cast<std::size_t>(s)] != c) return false;
+  }
+  return used == code_of_state.size();
+}
+
+Encoding natural_encoding(int num_states) {
+  return make_encoding(num_states, EncodingStyle::kNatural);
+}
+
+Encoding make_encoding(int num_states, EncodingStyle style,
+                       const std::string& seed_name) {
+  require(num_states >= 1, "make_encoding: need at least one state");
+  Encoding enc;
+  enc.state_bits = 1;
+  while ((1 << enc.state_bits) < num_states) ++enc.state_bits;
+  require(enc.state_bits <= 20, "make_encoding: too many states");
+
+  std::vector<std::uint32_t> codes(static_cast<std::size_t>(num_states));
+  switch (style) {
+    case EncodingStyle::kNatural:
+      std::iota(codes.begin(), codes.end(), 0u);
+      break;
+    case EncodingStyle::kGray:
+      for (int i = 0; i < num_states; ++i) {
+        const std::uint32_t u = static_cast<std::uint32_t>(i);
+        codes[static_cast<std::size_t>(i)] = u ^ (u >> 1);
+      }
+      break;
+    case EncodingStyle::kRandom: {
+      // Shuffle all codes, then keep the first num_states. Deterministic
+      // from the seed name so experiments are reproducible.
+      std::vector<std::uint32_t> all(std::size_t{1} << enc.state_bits);
+      std::iota(all.begin(), all.end(), 0u);
+      Rng rng = Rng::from_name("encoding:" + seed_name);
+      for (std::size_t i = all.size() - 1; i > 0; --i)
+        std::swap(all[i], all[rng.below(i + 1)]);
+      std::copy_n(all.begin(), codes.size(), codes.begin());
+      break;
+    }
+  }
+
+  enc.code_of_state = codes;
+  enc.state_of_code.assign(std::size_t{1} << enc.state_bits, -1);
+  for (int i = 0; i < num_states; ++i)
+    enc.state_of_code[codes[static_cast<std::size_t>(i)]] = i;
+  require(enc.valid(), "make_encoding: internal error");
+  return enc;
+}
+
+Encoding encode_states(const Kiss2Fsm& fsm, EncodingStyle style) {
+  return make_encoding(fsm.num_states(), style, fsm.name);
+}
+
+}  // namespace fstg

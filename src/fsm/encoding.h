@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kiss/kiss2.h"
+
+namespace fstg {
+
+/// Binary state assignment. The paper completes every machine to 2^sv
+/// states, so the encoding maps each symbolic state to a code in
+/// [0, 2^state_bits) and records which codes are used.
+struct Encoding {
+  int state_bits = 0;
+  /// code_of_state[i] = binary code of symbolic state i.
+  std::vector<std::uint32_t> code_of_state;
+  /// state_of_code[c] = symbolic state index, or -1 for an unused code.
+  std::vector<int> state_of_code;
+
+  std::uint32_t num_codes() const { return 1u << state_bits; }
+  bool code_used(std::uint32_t code) const { return state_of_code[code] >= 0; }
+
+  /// Internal-consistency check (bijection between states and their codes).
+  bool valid() const;
+};
+
+/// Encoding styles. The functional tests are implementation-independent
+/// (the paper's point); the encoding changes the synthesized netlist and
+/// hence the gate-level fault lists, which the ablation benches exercise.
+enum class EncodingStyle {
+  kNatural,  ///< state i -> code i (the default everywhere)
+  kGray,     ///< state i -> i ^ (i >> 1), adjacent states differ in one bit
+  kRandom,   ///< deterministic shuffle seeded by the machine name
+};
+
+/// Natural binary encoding in order of state appearance (state i -> code i).
+Encoding natural_encoding(int num_states);
+
+/// Encoding of `num_states` states in the given style. `seed_name` only
+/// matters for kRandom.
+Encoding make_encoding(int num_states, EncodingStyle style,
+                       const std::string& seed_name = "");
+
+/// Encoding for a KISS2 machine.
+Encoding encode_states(const Kiss2Fsm& fsm,
+                       EncodingStyle style = EncodingStyle::kNatural);
+
+}  // namespace fstg

@@ -1,0 +1,239 @@
+#include "fsm/isfsm.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace fstg {
+
+namespace {
+
+/// Minterm-level view of an ISFSM: per (state, input combination) the
+/// specified next state (-1 if unspecified) and output care/value masks.
+struct Expanded {
+  int num_states = 0;
+  std::uint32_t nic = 0;
+  std::vector<int> next;                 ///< [state*nic + ic], -1 unspecified
+  std::vector<std::uint32_t> out_value;  ///< specified bits' values
+  std::vector<std::uint32_t> out_care;   ///< 1 = bit specified
+
+  std::size_t at(int s, std::uint32_t ic) const {
+    return static_cast<std::size_t>(s) * nic + ic;
+  }
+};
+
+Expanded expand(const Kiss2Fsm& fsm) {
+  require(fsm.num_inputs <= 10,
+          "reduce_isfsm: supported up to 10 input lines");
+  fsm.check_deterministic();
+  Expanded e;
+  e.num_states = fsm.num_states();
+  e.nic = 1u << fsm.num_inputs;
+  const std::size_t total = static_cast<std::size_t>(e.num_states) * e.nic;
+  e.next.assign(total, -1);
+  e.out_value.assign(total, 0);
+  e.out_care.assign(total, 0);
+
+  for (const auto& row : fsm.rows) {
+    const int ps = fsm.state_index(row.present);
+    const int ns = fsm.state_index(row.next);
+    std::uint32_t value = 0, care = 0;
+    for (int b = 0; b < fsm.num_outputs; ++b) {
+      const char c = row.output[static_cast<std::size_t>(fsm.num_outputs - 1 - b)];
+      if (c == '-') continue;
+      care |= 1u << b;
+      if (c == '1') value |= 1u << b;
+    }
+    // Enumerate the row's input minterms (MSB-first fields).
+    std::uint32_t fixed_value = 0;
+    std::vector<int> free_bits;
+    for (int b = 0; b < fsm.num_inputs; ++b) {
+      const char c = row.input[static_cast<std::size_t>(fsm.num_inputs - 1 - b)];
+      if (c == '-')
+        free_bits.push_back(b);
+      else if (c == '1')
+        fixed_value |= 1u << b;
+    }
+    for (std::uint32_t m = 0; m < (1u << free_bits.size()); ++m) {
+      std::uint32_t ic = fixed_value;
+      for (std::size_t k = 0; k < free_bits.size(); ++k)
+        if ((m >> k) & 1u) ic |= 1u << free_bits[k];
+      const std::size_t idx = e.at(ps, ic);
+      e.next[idx] = ns;
+      e.out_value[idx] |= value;
+      e.out_care[idx] |= care;
+    }
+  }
+  return e;
+}
+
+std::vector<std::vector<bool>> compatibility_from(const Expanded& e) {
+  const int n = e.num_states;
+  std::vector<std::vector<bool>> compatible(
+      static_cast<std::size_t>(n),
+      std::vector<bool>(static_cast<std::size_t>(n), true));
+
+  // Seed: output conflicts on co-specified entries.
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      for (std::uint32_t ic = 0; ic < e.nic; ++ic) {
+        const std::size_t ia = e.at(a, ic), ib = e.at(b, ic);
+        if (e.next[ia] < 0 || e.next[ib] < 0) continue;
+        const std::uint32_t care = e.out_care[ia] & e.out_care[ib];
+        if ((e.out_value[ia] ^ e.out_value[ib]) & care) {
+          compatible[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = false;
+          compatible[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = false;
+          break;
+        }
+      }
+    }
+  }
+
+  // Fixpoint: a pair is incompatible if some co-specified input leads to an
+  // incompatible pair.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (!compatible[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]) continue;
+        for (std::uint32_t ic = 0; ic < e.nic; ++ic) {
+          const int na = e.next[e.at(a, ic)];
+          const int nb = e.next[e.at(b, ic)];
+          if (na < 0 || nb < 0 || na == nb) continue;
+          const int lo = std::min(na, nb), hi = std::max(na, nb);
+          if (!compatible[static_cast<std::size_t>(lo)][static_cast<std::size_t>(hi)]) {
+            compatible[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = false;
+            compatible[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = false;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return compatible;
+}
+
+}  // namespace
+
+std::vector<std::vector<bool>> compatibility_matrix(const Kiss2Fsm& fsm) {
+  return compatibility_from(expand(fsm));
+}
+
+IsfsmReduction reduce_isfsm(const Kiss2Fsm& fsm) {
+  const Expanded e = expand(fsm);
+  const std::vector<std::vector<bool>> compatible = compatibility_from(e);
+  const int n = e.num_states;
+
+  IsfsmReduction result;
+  result.block_of_state.assign(static_cast<std::size_t>(n), -1);
+
+  // Greedy clique growth in state order.
+  std::vector<std::vector<int>> blocks;
+  for (int s = 0; s < n; ++s) {
+    int placed = -1;
+    for (std::size_t b = 0; b < blocks.size() && placed < 0; ++b) {
+      bool ok = true;
+      for (int member : blocks[b])
+        if (!compatible[static_cast<std::size_t>(member)][static_cast<std::size_t>(s)]) ok = false;
+      if (ok) placed = static_cast<int>(b);
+    }
+    if (placed < 0) {
+      blocks.push_back({});
+      placed = static_cast<int>(blocks.size()) - 1;
+    }
+    blocks[static_cast<std::size_t>(placed)].push_back(s);
+    result.block_of_state[static_cast<std::size_t>(s)] = placed;
+  }
+
+  // Closure repair: a block's specified next states under one input must
+  // land in a single block; otherwise evict the offender into a new block.
+  bool stable = false;
+  while (!stable) {
+    stable = true;
+    for (std::size_t b = 0; b < blocks.size() && stable; ++b) {
+      for (std::uint32_t ic = 0; ic < e.nic && stable; ++ic) {
+        int target = -1;
+        for (int member : blocks[b]) {
+          const int ns = e.next[e.at(member, ic)];
+          if (ns < 0) continue;
+          const int nb = result.block_of_state[static_cast<std::size_t>(ns)];
+          if (target < 0) {
+            target = nb;
+          } else if (nb != target) {
+            // Evict this member to a fresh singleton block.
+            const int evicted = member;
+            auto& vec = blocks[b];
+            vec.erase(std::find(vec.begin(), vec.end(), evicted));
+            blocks.push_back({evicted});
+            result.block_of_state[static_cast<std::size_t>(evicted)] =
+                static_cast<int>(blocks.size()) - 1;
+            stable = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Drop empty blocks and renumber densely.
+  std::vector<int> renumber(blocks.size(), -1);
+  int next_id = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b)
+    if (!blocks[b].empty()) renumber[b] = next_id++;
+  for (int s = 0; s < n; ++s)
+    result.block_of_state[static_cast<std::size_t>(s)] =
+        renumber[static_cast<std::size_t>(result.block_of_state[static_cast<std::size_t>(s)])];
+  result.num_blocks = next_id;
+
+  // Emit the reduced machine, minterm-level rows over class members.
+  Kiss2Fsm& red = result.reduced;
+  red.name = fsm.name + "_red";
+  red.num_inputs = fsm.num_inputs;
+  red.num_outputs = fsm.num_outputs;
+  auto class_label = [](int b) { return "c" + std::to_string(b); };
+  for (int b = 0; b < result.num_blocks; ++b) red.intern_state(class_label(b));
+  if (!fsm.reset_state.empty()) {
+    const int rs = fsm.state_index(fsm.reset_state);
+    red.reset_state = class_label(result.block_of_state[static_cast<std::size_t>(rs)]);
+  }
+
+  auto binary_field = [](std::uint32_t v, std::uint32_t care, int bits) {
+    std::string s(static_cast<std::size_t>(bits), '-');
+    for (int bit = 0; bit < bits; ++bit) {
+      if (!((care >> bit) & 1u)) continue;
+      s[static_cast<std::size_t>(bits - 1 - bit)] = ((v >> bit) & 1u) ? '1' : '0';
+    }
+    return s;
+  };
+
+  for (int b = 0; b < result.num_blocks; ++b) {
+    for (std::uint32_t ic = 0; ic < e.nic; ++ic) {
+      int target = -1;
+      std::uint32_t value = 0, care = 0;
+      for (int s = 0; s < n; ++s) {
+        if (result.block_of_state[static_cast<std::size_t>(s)] != b) continue;
+        const std::size_t idx = e.at(s, ic);
+        if (e.next[idx] < 0) continue;
+        target = result.block_of_state[static_cast<std::size_t>(e.next[idx])];
+        value |= e.out_value[idx];
+        care |= e.out_care[idx];
+      }
+      if (target < 0) continue;  // unspecified for the whole class
+      Kiss2Row row;
+      std::string in(static_cast<std::size_t>(fsm.num_inputs), '0');
+      for (int bit = 0; bit < fsm.num_inputs; ++bit)
+        if ((ic >> bit) & 1u)
+          in[static_cast<std::size_t>(fsm.num_inputs - 1 - bit)] = '1';
+      row.input = in;
+      row.present = class_label(b);
+      row.next = class_label(target);
+      row.output = binary_field(value, care, fsm.num_outputs);
+      red.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+}  // namespace fstg

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "kiss/kiss2.h"
+
+namespace fstg {
+
+/// State reduction for *incompletely specified* machines (ISFSMs) — the
+/// form the MCNC benchmarks actually take before completion. Unlike
+/// completely specified minimization (fsm/minimize.h), ISFSM reduction is
+/// about *compatibility*: two states are compatible if no input sequence
+/// through specified entries distinguishes them, and compatible states may
+/// be merged (the exact minimum cover is NP-hard; this is the standard
+/// pairwise-compatibility + greedy clique covering heuristic).
+struct IsfsmReduction {
+  /// block_of_state[i] = merged class of original state i.
+  std::vector<int> block_of_state;
+  int num_blocks = 0;
+  /// The reduced machine (rows re-emitted over class representatives;
+  /// entries left unspecified stay unspecified).
+  Kiss2Fsm reduced;
+};
+
+/// Pairwise compatibility matrix: compatible[a][b] (a < b) iff states a, b
+/// never conflict on any co-specified input (outputs compatible and next
+/// states recursively compatible).
+std::vector<std::vector<bool>> compatibility_matrix(const Kiss2Fsm& fsm);
+
+/// Greedy reduction: grow maximal cliques of mutually compatible states in
+/// state order, merge each clique. Sound (never merges incompatibles) but
+/// not minimum. Requires closure: merging is only applied when the implied
+/// next-state merges stay within the chosen cliques; otherwise states stay
+/// separate.
+IsfsmReduction reduce_isfsm(const Kiss2Fsm& fsm);
+
+}  // namespace fstg

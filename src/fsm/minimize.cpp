@@ -1,0 +1,89 @@
+#include "fsm/minimize.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "base/error.h"
+
+namespace fstg {
+
+MinimizationResult minimize(const StateTable& table) {
+  const int n = table.num_states();
+  const std::uint32_t nic = table.num_input_combos();
+
+  // Initial partition: by full output row.
+  std::vector<int> block(static_cast<std::size_t>(n));
+  {
+    std::map<std::vector<std::uint32_t>, int> index;
+    for (int s = 0; s < n; ++s) {
+      std::vector<std::uint32_t> row(nic);
+      for (std::uint32_t ic = 0; ic < nic; ++ic) row[ic] = table.output(s, ic);
+      auto [it, inserted] =
+          index.emplace(std::move(row), static_cast<int>(index.size()));
+      block[static_cast<std::size_t>(s)] = it->second;
+    }
+  }
+
+  // Refine: split blocks whose members disagree on the blocks of their
+  // successors. Iterate to fixpoint (O(n^2 * nic) worst case, fine here).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::pair<int, std::vector<int>>, int> index;
+    std::vector<int> next_block(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      std::vector<int> succ(nic);
+      for (std::uint32_t ic = 0; ic < nic; ++ic)
+        succ[ic] = block[static_cast<std::size_t>(table.next(s, ic))];
+      auto key = std::make_pair(block[static_cast<std::size_t>(s)],
+                                std::move(succ));
+      auto [it, inserted] =
+          index.emplace(std::move(key), static_cast<int>(index.size()));
+      next_block[static_cast<std::size_t>(s)] = it->second;
+    }
+    if (static_cast<int>(index.size()) !=
+        1 + *std::max_element(block.begin(), block.end())) {
+      changed = true;
+    }
+    // Detect change robustly: compare partitions.
+    if (next_block != block) changed = true;
+    block = std::move(next_block);
+    if (!changed) break;
+  }
+
+  MinimizationResult result;
+  result.block_of_state = block;
+  result.num_blocks = 1 + *std::max_element(block.begin(), block.end());
+
+  StateTable reduced(table.input_bits(), table.output_bits(),
+                     result.num_blocks);
+  reduced.name = table.name + "_min";
+  std::vector<int> representative(static_cast<std::size_t>(result.num_blocks),
+                                  -1);
+  for (int s = 0; s < n; ++s) {
+    int b = block[static_cast<std::size_t>(s)];
+    if (representative[static_cast<std::size_t>(b)] < 0)
+      representative[static_cast<std::size_t>(b)] = s;
+  }
+  for (int b = 0; b < result.num_blocks; ++b) {
+    int rep = representative[static_cast<std::size_t>(b)];
+    require(rep >= 0, "minimize: empty block");
+    for (std::uint32_t ic = 0; ic < nic; ++ic) {
+      reduced.set(b, ic, block[static_cast<std::size_t>(table.next(rep, ic))],
+                  table.output(rep, ic));
+    }
+  }
+  result.reduced = std::move(reduced);
+  return result;
+}
+
+bool states_equivalent(const StateTable& table, int a, int b) {
+  require(a >= 0 && a < table.num_states() && b >= 0 && b < table.num_states(),
+          "states_equivalent: bad state");
+  MinimizationResult r = minimize(table);
+  return r.block_of_state[static_cast<std::size_t>(a)] ==
+         r.block_of_state[static_cast<std::size_t>(b)];
+}
+
+}  // namespace fstg

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "fsm/state_table.h"
+
+namespace fstg {
+
+/// Result of state minimization: the block (equivalence class) of each
+/// original state, and the reduced machine (one state per block, block of
+/// state 0 first in order of block discovery).
+struct MinimizationResult {
+  std::vector<int> block_of_state;
+  StateTable reduced;
+  int num_blocks = 0;
+};
+
+/// Moore/Hopcroft-style partition refinement for completely specified
+/// machines. Two states are equivalent iff no input sequence distinguishes
+/// their output behaviour. Used to (a) validate UIO existence claims —
+/// a state merged with another can never have a UIO — and (b) sanity-check
+/// synthetic benchmarks.
+MinimizationResult minimize(const StateTable& table);
+
+/// True if states a and b are output-equivalent.
+bool states_equivalent(const StateTable& table, int a, int b);
+
+}  // namespace fstg

@@ -1,0 +1,91 @@
+#include "fsm/reachability.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/error.h"
+
+namespace fstg {
+
+BitVec reachable_states(const StateTable& table, int from) {
+  require(from >= 0 && from < table.num_states(), "reachable: bad state");
+  BitVec seen(static_cast<std::size_t>(table.num_states()));
+  std::deque<int> queue{from};
+  seen.set(static_cast<std::size_t>(from));
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (std::uint32_t ic = 0; ic < table.num_input_combos(); ++ic) {
+      int t = table.next(s, ic);
+      if (!seen.test(static_cast<std::size_t>(t))) {
+        seen.set(static_cast<std::size_t>(t));
+        queue.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+bool strongly_connected(const StateTable& table) {
+  const std::size_t n = static_cast<std::size_t>(table.num_states());
+  // Forward reachability from state 0 must cover everything...
+  if (reachable_states(table, 0).count() != n) return false;
+  // ...and every state must reach state 0. Check via reverse BFS.
+  std::vector<std::vector<int>> preds(n);
+  for (int s = 0; s < table.num_states(); ++s)
+    for (std::uint32_t ic = 0; ic < table.num_input_combos(); ++ic)
+      preds[static_cast<std::size_t>(table.next(s, ic))].push_back(s);
+  for (auto& p : preds) {
+    std::sort(p.begin(), p.end());
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+  }
+  BitVec seen(n);
+  std::deque<int> queue{0};
+  seen.set(0);
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (int p : preds[static_cast<std::size_t>(s)]) {
+      if (!seen.test(static_cast<std::size_t>(p))) {
+        seen.set(static_cast<std::size_t>(p));
+        queue.push_back(p);
+      }
+    }
+  }
+  return seen.count() == n;
+}
+
+bool shortest_path(const StateTable& table, int from, int to,
+                   std::vector<std::uint32_t>& seq_out) {
+  require(from >= 0 && from < table.num_states(), "shortest_path: bad from");
+  require(to >= 0 && to < table.num_states(), "shortest_path: bad to");
+  seq_out.clear();
+  if (from == to) return true;
+
+  const std::size_t n = static_cast<std::size_t>(table.num_states());
+  std::vector<int> parent(n, -1);
+  std::vector<std::uint32_t> via(n, 0);
+  std::deque<int> queue{from};
+  parent[static_cast<std::size_t>(from)] = from;
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (std::uint32_t ic = 0; ic < table.num_input_combos(); ++ic) {
+      int t = table.next(s, ic);
+      if (parent[static_cast<std::size_t>(t)] >= 0) continue;
+      parent[static_cast<std::size_t>(t)] = s;
+      via[static_cast<std::size_t>(t)] = ic;
+      if (t == to) {
+        for (int cur = to; cur != from;
+             cur = parent[static_cast<std::size_t>(cur)])
+          seq_out.push_back(via[static_cast<std::size_t>(cur)]);
+        std::reverse(seq_out.begin(), seq_out.end());
+        return true;
+      }
+      queue.push_back(t);
+    }
+  }
+  return false;
+}
+
+}  // namespace fstg

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "base/bitvec.h"
+#include "fsm/state_table.h"
+
+namespace fstg {
+
+/// States reachable from `from` (inclusive) under any input sequence.
+BitVec reachable_states(const StateTable& table, int from);
+
+/// True if every state can reach every other state.
+bool strongly_connected(const StateTable& table);
+
+/// Shortest input sequence from `from` to `to` (BFS); empty if from == to.
+/// Returns false if unreachable.
+bool shortest_path(const StateTable& table, int from, int to,
+                   std::vector<std::uint32_t>& seq_out);
+
+}  // namespace fstg

@@ -1,0 +1,106 @@
+#include "fsm/state_table.h"
+
+#include "base/error.h"
+
+namespace fstg {
+
+StateTable::StateTable(int input_bits, int output_bits, int num_states)
+    : input_bits_(input_bits),
+      output_bits_(output_bits),
+      num_states_(num_states) {
+  require(input_bits >= 1 && input_bits <= 20, "input_bits out of range");
+  require(output_bits >= 1 && output_bits <= 32, "output_bits out of range");
+  require(num_states >= 1, "num_states must be positive");
+  next_.assign(num_transitions(), -1);
+  out_.assign(num_transitions(), 0);
+}
+
+int StateTable::state_bits() const {
+  int bits = 1;
+  while ((1 << bits) < num_states_) ++bits;
+  return bits;
+}
+
+void StateTable::set(int state, std::uint32_t ic, int next_state,
+                     std::uint32_t out) {
+  require(state >= 0 && state < num_states_, "set: state out of range");
+  require(ic < num_input_combos(), "set: input combination out of range");
+  require(next_state >= 0 && next_state < num_states_,
+          "set: next state out of range");
+  next_[idx(state, ic)] = next_state;
+  out_[idx(state, ic)] = out;
+}
+
+int StateTable::run(int state, const std::vector<std::uint32_t>& seq) const {
+  for (std::uint32_t ic : seq) state = next(state, ic);
+  return state;
+}
+
+std::vector<std::uint32_t> StateTable::trace(
+    int state, const std::vector<std::uint32_t>& seq) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(seq.size());
+  for (std::uint32_t ic : seq) {
+    out.push_back(output(state, ic));
+    state = next(state, ic);
+  }
+  return out;
+}
+
+StateTable expand_fsm(const Kiss2Fsm& fsm, FillPolicy policy) {
+  fsm.check_deterministic();
+  StateTable table(fsm.num_inputs, fsm.num_outputs, fsm.num_states());
+  table.name = fsm.name;
+  table.state_names = fsm.state_names;
+
+  const std::uint32_t nic = table.num_input_combos();
+  std::vector<bool> specified(table.num_transitions(), false);
+
+  for (const auto& row : fsm.rows) {
+    const int ps = fsm.state_index(row.present);
+    const int ns = fsm.state_index(row.next);
+    // KISS2 text fields are MSB-first: the leftmost character is the
+    // highest-numbered bit, matching the paper's input-column order.
+    std::uint32_t out = 0;
+    for (int b = 0; b < fsm.num_outputs; ++b)
+      if (row.output[static_cast<std::size_t>(fsm.num_outputs - 1 - b)] == '1')
+        out |= 1u << b;
+
+    // Enumerate the minterms of the input cube.
+    std::uint32_t value = 0;
+    std::vector<int> free_bits;
+    for (int b = 0; b < fsm.num_inputs; ++b) {
+      char c = row.input[static_cast<std::size_t>(fsm.num_inputs - 1 - b)];
+      if (c == '-')
+        free_bits.push_back(b);
+      else if (c == '1')
+        value |= 1u << b;
+    }
+    const std::uint32_t n_free = 1u << free_bits.size();
+    for (std::uint32_t m = 0; m < n_free; ++m) {
+      std::uint32_t ic = value;
+      for (std::size_t k = 0; k < free_bits.size(); ++k)
+        if ((m >> k) & 1u) ic |= 1u << free_bits[k];
+      table.set(ps, ic, ns, out);
+      specified[static_cast<std::size_t>(ps) * nic + ic] = true;
+    }
+  }
+
+  for (int s = 0; s < table.num_states(); ++s) {
+    for (std::uint32_t ic = 0; ic < nic; ++ic) {
+      if (specified[static_cast<std::size_t>(s) * nic + ic]) continue;
+      switch (policy) {
+        case FillPolicy::kError:
+          throw Error("state " + fsm.state_names[static_cast<std::size_t>(s)] +
+                      " unspecified for input combination " +
+                      std::to_string(ic));
+        case FillPolicy::kSelfLoop:
+          table.set(s, ic, s, 0);
+          break;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace fstg

@@ -1,0 +1,91 @@
+#include "harness/experiment.h"
+
+#include "base/error.h"
+#include "base/log.h"
+#include "base/timer.h"
+
+namespace fstg {
+
+CircuitExperiment run_circuit(const std::string& name,
+                              const ExperimentOptions& options) {
+  CircuitExperiment exp = run_fsm(load_benchmark(name), options);
+  exp.spec = benchmark_spec(name);
+  require(exp.synth.circuit.num_sv == exp.spec.sv,
+          "circuit " + name + ": synthesized sv disagrees with Table 4");
+  return exp;
+}
+
+CircuitExperiment run_fsm(const Kiss2Fsm& fsm,
+                          const ExperimentOptions& options) {
+  CircuitExperiment exp;
+  exp.fsm = fsm;
+
+  Timer timer;
+  exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
+  exp.synth_seconds = timer.seconds();
+
+  std::string message;
+  const bool matches =
+      circuit_matches_fsm(exp.synth.circuit, exp.fsm, exp.synth.encoding,
+                          &message);
+  require(matches, "synthesis self-check failed for " + fsm.name + ": " + message);
+  exp.table = read_back_table(exp.synth.circuit, &exp.fsm, &exp.synth.encoding);
+
+  log_info("circuit " + fsm.name + ": " +
+           std::to_string(exp.synth.circuit.comb.num_gates()) + " gates, " +
+           std::to_string(exp.table.num_states()) + " states");
+
+  exp.gen = generate_functional_tests(exp.table, options.gen);
+  return exp;
+}
+
+GateLevelResult run_gate_level(const CircuitExperiment& exp,
+                               bool classify_redundancy) {
+  GateLevelOptions options;
+  options.classify_redundancy = classify_redundancy;
+  return run_gate_level(exp, options);
+}
+
+GateLevelResult run_gate_level(const CircuitExperiment& exp,
+                               const GateLevelOptions& options) {
+  const bool classify_redundancy = options.classify_redundancy;
+  GateLevelResult result;
+  const ScanCircuit& circuit = exp.synth.circuit;
+  result.sa_faults = enumerate_stuck_at(circuit.comb);
+  result.br_faults = enumerate_bridging(circuit.comb);
+  result.br_enumerated = result.br_faults.size();
+  if (options.max_bridging_faults > 0 &&
+      result.br_faults.size() > options.max_bridging_faults) {
+    // Deterministic stride sampling over AND/OR *pairs* (adjacent in the
+    // enumeration) so both polarities of a kept bridge survive.
+    const std::size_t pairs = result.br_faults.size() / 2;
+    const std::size_t want_pairs = options.max_bridging_faults / 2;
+    const std::size_t stride = (pairs + want_pairs - 1) / want_pairs;
+    std::vector<FaultSpec> sampled;
+    sampled.reserve(2 * (pairs / stride + 1));
+    for (std::size_t p = 0; p < pairs; p += stride) {
+      sampled.push_back(result.br_faults[2 * p]);
+      sampled.push_back(result.br_faults[2 * p + 1]);
+    }
+    log_info("circuit " + exp.fsm.name + ": sampled " +
+             std::to_string(sampled.size()) + " of " +
+             std::to_string(result.br_faults.size()) + " bridging faults");
+    result.br_faults = std::move(sampled);
+  }
+
+  result.sa = select_effective_tests(circuit, exp.gen.tests, result.sa_faults);
+  result.br = select_effective_tests(circuit, exp.gen.tests, result.br_faults);
+
+  if (classify_redundancy) {
+    // Reuse the compaction pass's simulation: only the misses get the
+    // exhaustive re-check.
+    result.sa_redundancy = classify_faults_from(circuit, result.sa_faults,
+                                                result.sa.sim.detected_by);
+    result.br_redundancy = classify_faults_from(circuit, result.br_faults,
+                                                result.br.sim.detected_by);
+    result.redundancy_classified = true;
+  }
+  return result;
+}
+
+}  // namespace fstg

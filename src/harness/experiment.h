@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+
+#include "atpg/generator.h"
+#include "fault/bridging.h"
+#include "fault/compaction.h"
+#include "fault/fault.h"
+#include "fault/redundancy.h"
+#include "kiss/benchmarks.h"
+#include "netlist/synth.h"
+#include "netlist/verify.h"
+
+namespace fstg {
+
+/// Options shared by every experiment (paper defaults).
+struct ExperimentOptions {
+  SynthesisOptions synth;
+  GeneratorOptions gen;  ///< uio_max_length = 0 (=> N_SV), transfer <= 1
+};
+
+/// Everything the functional part of the paper needs for one circuit:
+/// KISS2 machine -> synthesized full-scan implementation -> completed
+/// state table (read back from the netlist, so the functional model and
+/// the implementation agree by construction) -> functional tests.
+struct CircuitExperiment {
+  BenchmarkSpec spec;
+  Kiss2Fsm fsm;
+  SynthesisResult synth;
+  StateTable table;
+  GeneratorResult gen;
+  double synth_seconds = 0.0;
+};
+
+/// Run the functional pipeline on one named benchmark circuit.
+CircuitExperiment run_circuit(const std::string& name,
+                              const ExperimentOptions& options = {});
+
+/// Same pipeline on a caller-provided machine (examples, tests).
+CircuitExperiment run_fsm(const Kiss2Fsm& fsm,
+                          const ExperimentOptions& options = {});
+
+/// Gate-level evaluation of the functional tests (Tables 3, 6, 7):
+/// stuck-at and bridging fault lists, longest-first effective-test
+/// selection, and (optionally) exhaustive redundancy classification of the
+/// leftover faults.
+struct GateLevelOptions {
+  bool classify_redundancy = true;
+  /// Our two-level implementations have many more qualifying bridging
+  /// pairs than the paper's multi-level circuits (the candidate count is
+  /// quadratic in multi-input gates). Lists larger than this cap are
+  /// deterministically strided down to ~this many faults, keeping AND/OR
+  /// pairs together; 0 = no cap. The full enumerated count is reported.
+  std::size_t max_bridging_faults = 4096;
+};
+
+struct GateLevelResult {
+  std::vector<FaultSpec> sa_faults;
+  std::vector<FaultSpec> br_faults;  ///< after sampling, if any
+  std::size_t br_enumerated = 0;     ///< size of the full bridging list
+  CompactionResult sa;
+  CompactionResult br;
+  RedundancyResult sa_redundancy;
+  RedundancyResult br_redundancy;
+  bool redundancy_classified = false;
+};
+
+GateLevelResult run_gate_level(const CircuitExperiment& exp,
+                               const GateLevelOptions& options = {});
+GateLevelResult run_gate_level(const CircuitExperiment& exp,
+                               bool classify_redundancy);
+
+}  // namespace fstg

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fstg {
+
+/// The numbers Pomeranz & Reddy report (DATE 2000), transcribed for
+/// side-by-side printing in the benchmark harness and for the
+/// paper-vs-measured record in EXPERIMENTS.md. Absolute values are not
+/// expected to match for the 29 synthetic stand-in circuits (see
+/// DESIGN.md); lion and shiftreg anchor exact comparisons.
+
+struct PaperTable4Row {
+  std::string circuit;
+  int pi, states, unique, sv, mlen;
+  double seconds;  // HP J210 workstation
+};
+const std::vector<PaperTable4Row>& paper_table4();
+
+struct PaperTable5Row {
+  std::string circuit;
+  long long trans, tests, len;
+  double onelen_percent;
+  double seconds;
+};
+const std::vector<PaperTable5Row>& paper_table5();
+
+struct PaperTable6Row {
+  std::string circuit;
+  int sa_tests, sa_len, sa_total, sa_detected;
+  double sa_coverage;
+  int br_tests, br_len, br_total, br_detected;
+  double br_coverage;
+};
+const std::vector<PaperTable6Row>& paper_table6();
+
+struct PaperTable7Row {
+  std::string circuit;
+  long long trans_cycles, funct_cycles;
+  double funct_percent;
+  long long sa_cycles;
+  double sa_percent;
+  long long br_cycles;
+  double br_percent;
+};
+const std::vector<PaperTable7Row>& paper_table7();
+
+struct PaperTable8Row {
+  std::string circuit;
+  long long trans, tests, len;
+  double onelen_percent;
+  long long cycles;
+  double percent;
+};
+const std::vector<PaperTable8Row>& paper_table8();
+
+struct PaperTable9Row {
+  int unique, mlen;
+  long long tests, len;
+  double onelen_percent;
+  long long cycles;
+  double percent;
+};
+/// Sweeps for dk512, ex4, mark1, rie (the paper's Table 9 subjects).
+const std::vector<std::string>& paper_table9_circuits();
+const std::vector<PaperTable9Row>& paper_table9(const std::string& circuit);
+
+/// Lookup helpers; return nullptr if the circuit is absent from the table.
+const PaperTable4Row* find_paper_table4(const std::string& circuit);
+const PaperTable5Row* find_paper_table5(const std::string& circuit);
+const PaperTable6Row* find_paper_table6(const std::string& circuit);
+const PaperTable7Row* find_paper_table7(const std::string& circuit);
+
+}  // namespace fstg

@@ -1,0 +1,342 @@
+#include "harness/tables.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "atpg/cycles.h"
+#include "base/error.h"
+#include "base/string_util.h"
+#include "base/table_printer.h"
+#include "base/timer.h"
+
+namespace fstg {
+
+namespace {
+
+// MSB-first rendering, matching KISS2 fields and the paper's notation.
+std::string binary(std::uint32_t v, int bits) {
+  std::string s(static_cast<std::size_t>(bits), '0');
+  for (int b = 0; b < bits; ++b)
+    if ((v >> b) & 1u) s[static_cast<std::size_t>(bits - 1 - b)] = '1';
+  return s;
+}
+
+std::string pct(double v) { return strf("%.2f", v); }
+
+}  // namespace
+
+namespace {
+
+/// Print the table; additionally write `<FSTG_CSV_DIR>/<name>.csv` when the
+/// environment variable is set (machine-readable experiment records).
+void finish_table(const TablePrinter& t, const char* name, std::ostream& os) {
+  t.print(os);
+  if (const char* dir = std::getenv("FSTG_CSV_DIR")) {
+    std::ofstream f(std::string(dir) + "/" + name + ".csv");
+    if (f.good()) t.print_csv(f);
+  }
+}
+
+}  // namespace
+
+/// --- Table 2 -------------------------------------------------------------
+
+std::vector<Table2Row> compute_table2(const CircuitExperiment& exp) {
+  std::vector<Table2Row> rows;
+  const StateTable& table = exp.table;
+  for (int s = 0; s < table.num_states(); ++s) {
+    Table2Row row;
+    row.state = table.state_names.empty()
+                    ? std::to_string(s)
+                    : table.state_names[static_cast<std::size_t>(s)];
+    const UioSequence& u = exp.gen.uios.of(s);
+    row.has_uio = u.exists;
+    if (u.exists) {
+      for (std::size_t i = 0; i < u.inputs.size(); ++i) {
+        if (i) row.sequence += ' ';
+        row.sequence += binary(u.inputs[i], table.input_bits());
+      }
+      row.final_state =
+          table.state_names.empty()
+              ? std::to_string(u.final_state)
+              : table.state_names[static_cast<std::size_t>(u.final_state)];
+    } else {
+      row.sequence = "-";
+      row.final_state = "-";
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_table2(const std::vector<Table2Row>& rows, std::ostream& os) {
+  TablePrinter t({"state", "unique", "f.stat"});
+  for (const auto& r : rows) t.add_row({r.state, r.sequence, r.final_state});
+  finish_table(t, "table2", os);
+}
+
+/// --- Table 3 -------------------------------------------------------------
+
+std::vector<Table3Row> compute_table3(const CircuitExperiment& exp,
+                                      const GateLevelResult& gate) {
+  std::vector<Table3Row> rows;
+  const TestSet& ordered = gate.sa.ordered_tests;
+  // Cumulative detections: fault f counted from its first detecting test on.
+  std::vector<std::size_t> new_at(ordered.tests.size(), 0);
+  for (int t : gate.sa.sim.detected_by)
+    if (t >= 0) ++new_at[static_cast<std::size_t>(t)];
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < ordered.tests.size(); ++i) {
+    cumulative += new_at[i];
+    Table3Row row;
+    row.test = ordered.tests[i].to_string(exp.table.input_bits());
+    row.length = ordered.tests[i].length();
+    row.detected_cumulative = cumulative;
+    row.effective = gate.sa.sim.test_effective[i];
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_table3(const std::vector<Table3Row>& rows, std::size_t total_faults,
+                  std::ostream& os) {
+  TablePrinter t({"test", "length", "detected", "effective"});
+  for (const auto& r : rows)
+    t.add_row({r.test, TablePrinter::num(static_cast<long long>(r.length)),
+               TablePrinter::num(static_cast<long long>(r.detected_cumulative)),
+               r.effective ? "1" : "0"});
+  finish_table(t, "table3", os);
+  os << "total stuck-at faults: " << total_faults << "\n";
+}
+
+/// --- Table 4 -------------------------------------------------------------
+
+Table4Row compute_table4_row(const CircuitExperiment& exp) {
+  Table4Row row;
+  row.circuit = exp.spec.name.empty() ? exp.fsm.name : exp.spec.name;
+  row.pi = exp.table.input_bits();
+  row.states = exp.table.num_states();
+  row.unique = exp.gen.uios.count();
+  row.sv = exp.synth.circuit.num_sv;
+  row.mlen = exp.gen.uios.max_length();
+  row.seconds = exp.gen.uio_seconds;
+  return row;
+}
+
+void print_table4(const std::vector<Table4Row>& rows, std::ostream& os) {
+  TablePrinter t({"circuit", "pi", "states", "unique", "sv", "m.len", "time"});
+  for (const auto& r : rows)
+    t.add_row({r.circuit, TablePrinter::num(static_cast<long long>(r.pi)),
+               TablePrinter::num(static_cast<long long>(r.states)),
+               TablePrinter::num(static_cast<long long>(r.unique)),
+               TablePrinter::num(static_cast<long long>(r.sv)),
+               TablePrinter::num(static_cast<long long>(r.mlen)),
+               strf("%.2f", r.seconds)});
+  finish_table(t, "table4", os);
+}
+
+/// --- Table 5 -------------------------------------------------------------
+
+Table5Row compute_table5_row(const CircuitExperiment& exp) {
+  Table5Row row;
+  row.circuit = exp.spec.name.empty() ? exp.fsm.name : exp.spec.name;
+  row.trans = static_cast<long long>(exp.table.num_transitions());
+  row.tests = static_cast<long long>(exp.gen.tests.size());
+  row.len = static_cast<long long>(exp.gen.tests.total_length());
+  row.onelen_percent = 100.0 *
+                       static_cast<double>(exp.gen.transitions_in_length_one) /
+                       static_cast<double>(exp.table.num_transitions());
+  row.seconds = exp.gen.generation_seconds;
+  return row;
+}
+
+void print_table5(const std::vector<Table5Row>& rows, std::ostream& os) {
+  TablePrinter t({"circuit", "trans", "tests", "len", "1len", "time"});
+  double onelen_sum = 0;
+  for (const auto& r : rows) {
+    t.add_row({r.circuit, TablePrinter::num(r.trans),
+               TablePrinter::num(r.tests), TablePrinter::num(r.len),
+               pct(r.onelen_percent), strf("%.2f", r.seconds)});
+    onelen_sum += r.onelen_percent;
+  }
+  t.add_row({"average", "", "", "",
+             rows.empty() ? "-" : pct(onelen_sum / static_cast<double>(rows.size())),
+             ""});
+  finish_table(t, "table5", os);
+}
+
+/// --- Table 6 -------------------------------------------------------------
+
+Table6Row compute_table6_row(const CircuitExperiment& exp,
+                             const GateLevelResult& gate) {
+  Table6Row row;
+  row.circuit = exp.spec.name.empty() ? exp.fsm.name : exp.spec.name;
+  row.sa_tests = static_cast<long long>(gate.sa.effective_tests.size());
+  row.sa_len = static_cast<long long>(gate.sa.effective_tests.total_length());
+  row.sa_total = static_cast<long long>(gate.sa.sim.total_faults);
+  row.sa_detected = static_cast<long long>(gate.sa.sim.detected_faults);
+  row.sa_coverage = gate.sa.sim.coverage_percent();
+  row.br_tests = static_cast<long long>(gate.br.effective_tests.size());
+  row.br_len = static_cast<long long>(gate.br.effective_tests.total_length());
+  row.br_total = static_cast<long long>(gate.br.sim.total_faults);
+  row.br_detected = static_cast<long long>(gate.br.sim.detected_faults);
+  row.br_coverage = gate.br.sim.coverage_percent();
+  if (gate.redundancy_classified) {
+    row.sa_complete = gate.sa_redundancy.missed_detectable == 0;
+    row.br_complete = gate.br_redundancy.missed_detectable == 0;
+  }
+  return row;
+}
+
+void print_table6(const std::vector<Table6Row>& rows, std::ostream& os) {
+  TablePrinter t({"circuit", "sa.tsts", "sa.len", "sa.tot", "sa.det", "sa.fc",
+                  "sa.cmpl", "br.tsts", "br.len", "br.tot", "br.det", "br.fc",
+                  "br.cmpl"});
+  for (const auto& r : rows)
+    t.add_row({r.circuit, TablePrinter::num(r.sa_tests),
+               TablePrinter::num(r.sa_len), TablePrinter::num(r.sa_total),
+               TablePrinter::num(r.sa_detected), pct(r.sa_coverage),
+               r.sa_complete ? "yes" : "NO", TablePrinter::num(r.br_tests),
+               TablePrinter::num(r.br_len), TablePrinter::num(r.br_total),
+               TablePrinter::num(r.br_detected), pct(r.br_coverage),
+               r.br_complete ? "yes" : "NO"});
+  finish_table(t, "table6", os);
+}
+
+/// --- Table 7 -------------------------------------------------------------
+
+Table7Row compute_table7_row(const CircuitExperiment& exp,
+                             const GateLevelResult& gate) {
+  Table7Row row;
+  row.circuit = exp.spec.name.empty() ? exp.fsm.name : exp.spec.name;
+  const int sv = exp.synth.circuit.num_sv;
+  row.trans_cycles = static_cast<long long>(
+      per_transition_cycles(sv, exp.table.num_transitions()));
+  row.funct_cycles =
+      static_cast<long long>(test_application_cycles(sv, exp.gen.tests));
+  row.sa_cycles = static_cast<long long>(
+      test_application_cycles(sv, gate.sa.effective_tests));
+  row.br_cycles = static_cast<long long>(
+      test_application_cycles(sv, gate.br.effective_tests));
+  const double base = static_cast<double>(row.trans_cycles);
+  row.funct_percent = 100.0 * static_cast<double>(row.funct_cycles) / base;
+  row.sa_percent = 100.0 * static_cast<double>(row.sa_cycles) / base;
+  row.br_percent = 100.0 * static_cast<double>(row.br_cycles) / base;
+  return row;
+}
+
+void print_table7(const std::vector<Table7Row>& rows, std::ostream& os) {
+  TablePrinter t({"circuit", "trans", "funct.cyc", "funct.%", "sa.cyc", "sa.%",
+                  "bridg.cyc", "bridg.%"});
+  double f = 0, s = 0, b = 0;
+  for (const auto& r : rows) {
+    t.add_row({r.circuit, TablePrinter::num(r.trans_cycles),
+               TablePrinter::num(r.funct_cycles), pct(r.funct_percent),
+               TablePrinter::num(r.sa_cycles), pct(r.sa_percent),
+               TablePrinter::num(r.br_cycles), pct(r.br_percent)});
+    f += r.funct_percent;
+    s += r.sa_percent;
+    b += r.br_percent;
+  }
+  if (!rows.empty()) {
+    const double n = static_cast<double>(rows.size());
+    t.add_row({"average", "", "", pct(f / n), "", pct(s / n), "", pct(b / n)});
+  }
+  finish_table(t, "table7", os);
+}
+
+/// --- Table 8 -------------------------------------------------------------
+
+Table8Row compute_table8_row(const CircuitExperiment& exp_no_transfer) {
+  const CircuitExperiment& exp = exp_no_transfer;
+  Table8Row row;
+  row.circuit = exp.spec.name.empty() ? exp.fsm.name : exp.spec.name;
+  row.trans = static_cast<long long>(exp.table.num_transitions());
+  row.tests = static_cast<long long>(exp.gen.tests.size());
+  row.len = static_cast<long long>(exp.gen.tests.total_length());
+  row.onelen_percent = 100.0 *
+                       static_cast<double>(exp.gen.transitions_in_length_one) /
+                       static_cast<double>(exp.table.num_transitions());
+  const int sv = exp.synth.circuit.num_sv;
+  row.cycles =
+      static_cast<long long>(test_application_cycles(sv, exp.gen.tests));
+  row.percent = 100.0 * static_cast<double>(row.cycles) /
+                static_cast<double>(
+                    per_transition_cycles(sv, exp.table.num_transitions()));
+  return row;
+}
+
+void print_table8(const std::vector<Table8Row>& rows, std::ostream& os) {
+  TablePrinter t({"circuit", "trans", "tests", "len", "1len", "cycles", "%"});
+  for (const auto& r : rows)
+    t.add_row({r.circuit, TablePrinter::num(r.trans),
+               TablePrinter::num(r.tests), TablePrinter::num(r.len),
+               pct(r.onelen_percent), TablePrinter::num(r.cycles),
+               pct(r.percent)});
+  finish_table(t, "table8", os);
+}
+
+/// --- Table 9 -------------------------------------------------------------
+
+std::vector<Table9Row> compute_table9(const std::string& circuit,
+                                      const ExperimentOptions& options) {
+  // Build the machine once; re-derive UIOs and regenerate tests per bound.
+  ExperimentOptions base = options;
+  base.gen.uio_max_length = 1;
+  CircuitExperiment exp = run_circuit(circuit, base);
+  const StateTable& table = exp.table;
+  const int sv = exp.synth.circuit.num_sv;
+  const std::size_t baseline = per_transition_cycles(sv, table.num_transitions());
+
+  std::vector<Table9Row> rows;
+  int prev_unique = -1;
+  for (int bound = 1; bound <= 2 * table.state_bits() + 4; ++bound) {
+    UioOptions uio_options;
+    uio_options.max_length = bound;
+    uio_options.eval_budget = options.gen.uio_eval_budget;
+    UioSet uios = derive_uio_sequences(table, uio_options);
+    const int unique = uios.count();
+    const int mlen = bound;  // the paper indexes rows by the bound
+
+    GeneratorOptions gen_options = options.gen;
+    gen_options.uio_max_length = bound;
+    GeneratorResult gen =
+        generate_functional_tests(table, gen_options, std::move(uios));
+
+    Table9Row row;
+    row.unique = unique;
+    row.mlen = mlen;
+    row.tests = static_cast<long long>(gen.tests.size());
+    row.len = static_cast<long long>(gen.tests.total_length());
+    row.onelen_percent = 100.0 *
+                         static_cast<double>(gen.transitions_in_length_one) /
+                         static_cast<double>(table.num_transitions());
+    row.cycles =
+        static_cast<long long>(test_application_cycles(sv, gen.tests));
+    row.percent = 100.0 * static_cast<double>(row.cycles) /
+                  static_cast<double>(baseline);
+    rows.push_back(row);
+
+    // The paper raises the bound "until a further increase ... does not
+    // increase the number of states for which we can find" UIOs.
+    if (unique == prev_unique) break;
+    prev_unique = unique;
+  }
+  return rows;
+}
+
+void print_table9(const std::string& circuit,
+                  const std::vector<Table9Row>& rows, std::ostream& os) {
+  os << "(" << circuit << ")\n";
+  TablePrinter t({"unique", "m.len", "tests", "len", "1len", "cycles", "%"});
+  for (const auto& r : rows)
+    t.add_row({TablePrinter::num(static_cast<long long>(r.unique)),
+               TablePrinter::num(static_cast<long long>(r.mlen)),
+               TablePrinter::num(r.tests), TablePrinter::num(r.len),
+               pct(r.onelen_percent), TablePrinter::num(r.cycles),
+               pct(r.percent)});
+  finish_table(t, "table9", os);
+}
+
+}  // namespace fstg

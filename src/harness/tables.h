@@ -1,0 +1,128 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace fstg {
+
+/// --- Table 2 (and the Section 2 walkthrough): lion ---------------------
+
+struct Table2Row {
+  std::string state;
+  bool has_uio = false;
+  std::string sequence;  ///< space-separated input combinations, "-" if none
+  std::string final_state;
+};
+
+/// UIO sequences of a circuit (paper prints lion). Also returns the
+/// experiment so callers can print the generated tests tau_0..tau_8.
+std::vector<Table2Row> compute_table2(const CircuitExperiment& exp);
+void print_table2(const std::vector<Table2Row>& rows, std::ostream& os);
+
+/// --- Table 3: stuck-at simulation of the functional tests, longest first
+
+struct Table3Row {
+  std::string test;    ///< paper-style rendering of the test
+  int length = 0;
+  std::size_t detected_cumulative = 0;
+  bool effective = false;
+};
+
+std::vector<Table3Row> compute_table3(const CircuitExperiment& exp,
+                                      const GateLevelResult& gate);
+void print_table3(const std::vector<Table3Row>& rows, std::size_t total_faults,
+                  std::ostream& os);
+
+/// --- Table 4: circuit parameters + UIO derivation ----------------------
+
+struct Table4Row {
+  std::string circuit;
+  int pi = 0, states = 0, unique = 0, sv = 0, mlen = 0;
+  double seconds = 0.0;
+};
+
+Table4Row compute_table4_row(const CircuitExperiment& exp);
+void print_table4(const std::vector<Table4Row>& rows, std::ostream& os);
+
+/// --- Table 5: functional test generation --------------------------------
+
+struct Table5Row {
+  std::string circuit;
+  long long trans = 0, tests = 0, len = 0;
+  double onelen_percent = 0.0;
+  double seconds = 0.0;
+};
+
+Table5Row compute_table5_row(const CircuitExperiment& exp);
+void print_table5(const std::vector<Table5Row>& rows, std::ostream& os);
+
+/// --- Table 6: gate-level stuck-at and bridging coverage -----------------
+
+struct Table6Row {
+  std::string circuit;
+  long long sa_tests = 0, sa_len = 0, sa_total = 0, sa_detected = 0;
+  double sa_coverage = 0.0;
+  long long br_tests = 0, br_len = 0, br_total = 0, br_detected = 0;
+  double br_coverage = 0.0;
+  /// True when every undetected fault was proven combinationally
+  /// undetectable by the exhaustive check (the paper's complete-coverage
+  /// claim for detectable faults).
+  bool sa_complete = false;
+  bool br_complete = false;
+};
+
+Table6Row compute_table6_row(const CircuitExperiment& exp,
+                             const GateLevelResult& gate);
+void print_table6(const std::vector<Table6Row>& rows, std::ostream& os);
+
+/// --- Table 7: clock cycles ----------------------------------------------
+
+struct Table7Row {
+  std::string circuit;
+  long long trans_cycles = 0;
+  long long funct_cycles = 0;
+  double funct_percent = 0.0;
+  long long sa_cycles = 0;
+  double sa_percent = 0.0;
+  long long br_cycles = 0;
+  double br_percent = 0.0;
+};
+
+Table7Row compute_table7_row(const CircuitExperiment& exp,
+                             const GateLevelResult& gate);
+void print_table7(const std::vector<Table7Row>& rows, std::ostream& os);
+
+/// --- Table 8: generation without transfer sequences ---------------------
+
+struct Table8Row {
+  std::string circuit;
+  long long trans = 0, tests = 0, len = 0;
+  double onelen_percent = 0.0;
+  long long cycles = 0;
+  double percent = 0.0;
+};
+
+Table8Row compute_table8_row(const CircuitExperiment& exp_no_transfer);
+void print_table8(const std::vector<Table8Row>& rows, std::ostream& os);
+
+/// --- Table 9: UIO length-bound sweep -------------------------------------
+
+struct Table9Row {
+  int unique = 0, mlen = 0;
+  long long tests = 0, len = 0;
+  double onelen_percent = 0.0;
+  long long cycles = 0;
+  double percent = 0.0;
+};
+
+/// Sweep L = 1, 2, 3, ... (transfer length 1) until raising L no longer
+/// increases the number of states with a UIO, exactly as the paper does.
+std::vector<Table9Row> compute_table9(const std::string& circuit,
+                                      const ExperimentOptions& options = {});
+void print_table9(const std::string& circuit,
+                  const std::vector<Table9Row>& rows, std::ostream& os);
+
+}  // namespace fstg

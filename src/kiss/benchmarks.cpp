@@ -1,0 +1,227 @@
+#include "kiss/benchmarks.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "kiss/kiss2_parser.h"
+
+namespace fstg {
+
+namespace {
+
+/// The paper's Table 1 (MCNC benchmark `lion`), embedded verbatim.
+/// Two inputs, one output, four states.
+constexpr const char* kLionKiss2 = R"(.i 2
+.o 1
+.s 4
+.p 16
+.r st0
+00 st0 st0 0
+01 st0 st1 1
+10 st0 st0 0
+11 st0 st0 0
+00 st1 st1 1
+01 st1 st1 1
+10 st1 st3 1
+11 st1 st0 0
+00 st2 st2 1
+01 st2 st2 1
+10 st2 st3 1
+11 st2 st3 1
+00 st3 st1 1
+01 st3 st2 1
+10 st3 st3 1
+11 st3 st3 1
+.e
+)";
+
+std::string state_label(int i) { return "s" + std::to_string(i); }
+
+/// MCNC `shiftreg` is a 3-bit shift register: state = register contents,
+/// the input bit shifts in at the LSB, the output is the bit shifted out
+/// (the MSB of the present state). 8 states, 1 input, 1 output.
+Kiss2Fsm make_shiftreg() {
+  Kiss2Fsm fsm;
+  fsm.name = "shiftreg";
+  fsm.num_inputs = 1;
+  fsm.num_outputs = 1;
+  fsm.reset_state = state_label(0);
+  for (int s = 0; s < 8; ++s) fsm.intern_state(state_label(s));
+  for (int s = 0; s < 8; ++s) {
+    for (int x = 0; x < 2; ++x) {
+      Kiss2Row row;
+      row.input = x ? "1" : "0";
+      row.present = state_label(s);
+      row.next = state_label(((s << 1) | x) & 7);
+      row.output = (s >> 2) & 1 ? "1" : "0";
+      fsm.rows.push_back(std::move(row));
+    }
+  }
+  return fsm;
+}
+
+/// Recursively partition the input space into cubes by splitting on unused
+/// variables, producing `target` leaves (or as many as the space allows).
+void split_cubes(Rng& rng, std::vector<std::string>& leaves,
+                 std::size_t target) {
+  while (leaves.size() < target) {
+    // Pick the splittable cube with the most '-' to keep leaves balanced.
+    std::size_t best = leaves.size();
+    int best_dc = 0;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      int dc = static_cast<int>(
+          std::count(leaves[i].begin(), leaves[i].end(), '-'));
+      if (dc > best_dc) {
+        best_dc = dc;
+        best = i;
+      }
+    }
+    if (best == leaves.size()) break;  // all cubes are minterms
+    std::string cube = leaves[best];
+    // Choose a random '-' position to split on.
+    std::vector<int> dcs;
+    for (std::size_t b = 0; b < cube.size(); ++b)
+      if (cube[b] == '-') dcs.push_back(static_cast<int>(b));
+    int bit = dcs[rng.below(dcs.size())];
+    std::string lo = cube, hi = cube;
+    lo[static_cast<std::size_t>(bit)] = '0';
+    hi[static_cast<std::size_t>(bit)] = '1';
+    leaves[best] = lo;
+    leaves.push_back(hi);
+  }
+}
+
+}  // namespace
+
+Kiss2Fsm make_synthetic_fsm(const std::string& name, int pi, int states,
+                            int outputs) {
+  require(pi >= 1 && pi <= 16, "make_synthetic_fsm: pi out of range");
+  require(states >= 2, "make_synthetic_fsm: need at least two states");
+  require(outputs >= 1 && outputs <= 32,
+          "make_synthetic_fsm: outputs out of range");
+  Rng rng = Rng::from_name(name);
+
+  Kiss2Fsm fsm;
+  fsm.name = name;
+  fsm.num_inputs = pi;
+  fsm.num_outputs = outputs;
+  fsm.reset_state = state_label(0);
+  for (int s = 0; s < states; ++s) fsm.intern_state(state_label(s));
+
+  // Real MCNC machines expose little output information per transition
+  // (the paper finds UIOs for only ~25-85% of states). Mimic that by
+  // drawing row outputs from a small per-machine palette of patterns
+  // instead of uniform random bits.
+  const std::size_t palette_size = 2 + rng.below(3);
+  std::vector<std::string> palette;
+  for (std::size_t p = 0; p < palette_size; ++p) {
+    std::string pattern(static_cast<std::size_t>(outputs), '0');
+    for (int b = 0; b < outputs; ++b) {
+      std::size_t ub = static_cast<std::size_t>(b);
+      if (rng.chance(1, 12))
+        pattern[ub] = '-';
+      else
+        pattern[ub] = rng.chance(1, 2) ? '1' : '0';
+    }
+    palette.push_back(std::move(pattern));
+  }
+
+  for (int s = 0; s < states; ++s) {
+    // Partition this state's input space into a few cubes.
+    const std::size_t max_leaves = pi >= 4 ? 8 : (std::size_t{1} << pi);
+    const std::size_t target =
+        std::min<std::size_t>(max_leaves, 3 + rng.below(6));
+    std::vector<std::string> leaves{std::string(static_cast<std::size_t>(pi), '-')};
+    split_cubes(rng, leaves, target);
+
+    for (std::size_t leaf = 0; leaf < leaves.size(); ++leaf) {
+      Kiss2Row row;
+      row.input = leaves[leaf];
+      row.present = state_label(s);
+      // Leaf 0 closes a cycle through all states, guaranteeing strong
+      // connectivity; the rest are uniform random.
+      int next = leaf == 0 ? (s + 1) % states
+                           : static_cast<int>(rng.below(
+                                 static_cast<std::uint64_t>(states)));
+      row.next = state_label(next);
+      row.output = palette[rng.below(palette.size())];
+      fsm.rows.push_back(std::move(row));
+    }
+  }
+  return fsm;
+}
+
+const std::vector<BenchmarkSpec>& benchmark_specs() {
+  using Src = BenchmarkSource;
+  // (name, pi, sv, specified_states, outputs, source, weight)
+  // pi / sv / completed-state counts are the paper's Table 4. The number of
+  // specified states follows the documented MCNC counts where known; output
+  // counts for synthetic stand-ins are plausible small values (see DESIGN.md).
+  static const std::vector<BenchmarkSpec> specs = {
+      {"bbara", 4, 4, 10, 2, Src::kSynthetic, 0},
+      {"bbsse", 7, 4, 16, 7, Src::kSynthetic, 1},
+      {"bbtas", 2, 3, 6, 2, Src::kSynthetic, 0},
+      {"beecount", 3, 3, 7, 4, Src::kSynthetic, 0},
+      {"cse", 7, 4, 16, 7, Src::kSynthetic, 1},
+      {"dk14", 3, 3, 7, 5, Src::kSynthetic, 0},
+      {"dk15", 3, 2, 4, 5, Src::kSynthetic, 0},
+      {"dk16", 2, 5, 27, 3, Src::kSynthetic, 0},
+      {"dk17", 2, 3, 8, 3, Src::kSynthetic, 0},
+      {"dk27", 1, 3, 7, 2, Src::kSynthetic, 0},
+      {"dk512", 1, 4, 15, 3, Src::kSynthetic, 0},
+      {"dvram", 8, 6, 35, 6, Src::kSynthetic, 1},
+      {"ex2", 2, 5, 19, 2, Src::kSynthetic, 0},
+      {"ex3", 2, 4, 10, 2, Src::kSynthetic, 0},
+      {"ex4", 5, 4, 14, 9, Src::kSynthetic, 0},
+      {"ex5", 2, 3, 8, 2, Src::kSynthetic, 0},
+      {"ex6", 5, 3, 8, 8, Src::kSynthetic, 0},
+      {"ex7", 2, 4, 10, 2, Src::kSynthetic, 0},
+      {"fetch", 9, 5, 26, 7, Src::kSynthetic, 1},
+      {"keyb", 7, 5, 19, 2, Src::kSynthetic, 1},
+      {"lion", 2, 2, 4, 1, Src::kExactEmbedded, 0},
+      {"lion9", 2, 3, 8, 1, Src::kSynthetic, 0},
+      {"log", 9, 5, 17, 6, Src::kSynthetic, 1},
+      {"mark1", 4, 4, 15, 16, Src::kSynthetic, 0},
+      {"mc", 3, 2, 4, 5, Src::kSynthetic, 0},
+      {"nucpwr", 13, 5, 29, 9, Src::kSynthetic, 2},
+      {"opus", 5, 4, 10, 6, Src::kSynthetic, 0},
+      {"rie", 9, 5, 29, 8, Src::kSynthetic, 1},
+      {"shiftreg", 1, 3, 8, 1, Src::kDerived, 0},
+      {"tav", 4, 2, 4, 4, Src::kSynthetic, 0},
+      {"train11", 2, 4, 11, 1, Src::kSynthetic, 0},
+  };
+  return specs;
+}
+
+const BenchmarkSpec& benchmark_spec(const std::string& name) {
+  for (const auto& spec : benchmark_specs())
+    if (spec.name == name) return spec;
+  throw Error("unknown benchmark circuit: " + name);
+}
+
+Kiss2Fsm load_benchmark(const std::string& name) {
+  const BenchmarkSpec& spec = benchmark_spec(name);
+  switch (spec.source) {
+    case BenchmarkSource::kExactEmbedded: {
+      Kiss2Fsm fsm = parse_kiss2(kLionKiss2, "lion");
+      fsm.check_deterministic();
+      return fsm;
+    }
+    case BenchmarkSource::kDerived:
+      return make_shiftreg();
+    case BenchmarkSource::kSynthetic:
+      return make_synthetic_fsm(spec.name, spec.pi, spec.specified_states,
+                                spec.outputs);
+  }
+  throw Error("unreachable");
+}
+
+std::vector<std::string> benchmark_names(int max_weight) {
+  std::vector<std::string> names;
+  for (const auto& spec : benchmark_specs())
+    if (spec.weight <= max_weight) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace fstg

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kiss/kiss2.h"
+
+namespace fstg {
+
+/// Provenance of a benchmark state table in this reproduction.
+enum class BenchmarkSource {
+  kExactEmbedded,  ///< verbatim from the paper (lion, Table 1)
+  kDerived,        ///< generated from the circuit's published definition
+  kSynthetic,      ///< deterministic stand-in with the paper's dimensions
+};
+
+/// One circuit of the paper's Table 4, with the interface dimensions the
+/// paper reports. `sv` is the number of state variables; the *completed*
+/// machine has 2^sv states. `specified_states` is the number of states in
+/// the (original or synthetic) KISS2 description before completion.
+struct BenchmarkSpec {
+  std::string name;
+  int pi = 0;
+  int sv = 0;
+  int specified_states = 0;
+  int outputs = 0;
+  BenchmarkSource source = BenchmarkSource::kSynthetic;
+  /// 0 = light, 1 = medium, 2 = heavy (nucpwr: 262144 transitions).
+  int weight = 0;
+};
+
+/// All 31 circuits of the paper's Table 4, in the paper's order.
+const std::vector<BenchmarkSpec>& benchmark_specs();
+
+/// Spec lookup by name; throws Error if unknown.
+const BenchmarkSpec& benchmark_spec(const std::string& name);
+
+/// Load the benchmark state table (embedded, derived, or synthetic).
+/// Deterministic: repeated calls return identical FSMs.
+Kiss2Fsm load_benchmark(const std::string& name);
+
+/// Names of all benchmarks whose weight is <= max_weight, paper order.
+std::vector<std::string> benchmark_names(int max_weight = 2);
+
+/// Deterministic synthetic FSM generator (exposed for tests and examples).
+/// Produces a completely specified (on its `states` states), deterministic,
+/// strongly connected machine with `pi` binary inputs and `outputs` binary
+/// outputs; input space per state is partitioned into a few cubes.
+Kiss2Fsm make_synthetic_fsm(const std::string& name, int pi, int states,
+                            int outputs);
+
+}  // namespace fstg

@@ -1,0 +1,140 @@
+#include "kiss/kiss2_parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace fstg {
+
+namespace {
+
+struct Decls {
+  int p = -1;  // declared product terms
+  int s = -1;  // declared states
+};
+
+void parse_directive(const std::vector<std::string>& tok, int line_no,
+                     Kiss2Fsm& fsm, Decls& decls) {
+  const std::string& d = tok[0];
+  auto int_arg = [&](const char* what) {
+    if (tok.size() < 2) throw ParseError(std::string(what) + " needs an argument", line_no);
+    try {
+      return std::stoi(tok[1]);
+    } catch (const std::exception&) {
+      throw ParseError(std::string("bad integer for ") + what, line_no);
+    }
+  };
+  if (d == ".i") {
+    fsm.num_inputs = int_arg(".i");
+  } else if (d == ".o") {
+    fsm.num_outputs = int_arg(".o");
+  } else if (d == ".p") {
+    decls.p = int_arg(".p");
+  } else if (d == ".s") {
+    decls.s = int_arg(".s");
+  } else if (d == ".r") {
+    if (tok.size() < 2) throw ParseError(".r needs a state name", line_no);
+    fsm.reset_state = tok[1];
+  } else if (d == ".e" || d == ".end") {
+    // End marker; ignored (we stop implicitly at end of text).
+  } else if (d == ".ilb" || d == ".ob" || d == ".latch" || d == ".code") {
+    // Signal-name / encoding annotations: accepted and ignored.
+  } else {
+    throw ParseError("unknown directive " + d, line_no);
+  }
+}
+
+}  // namespace
+
+Kiss2Fsm parse_kiss2(std::string_view text, std::string name) {
+  Kiss2Fsm fsm;
+  fsm.name = std::move(name);
+  Decls decls;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view raw = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+
+    // Strip comments.
+    std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    std::string_view line = trim(raw);
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+
+    std::vector<std::string> tok = split_ws(line);
+    if (tok[0][0] == '.') {
+      parse_directive(tok, line_no, fsm, decls);
+      if (pos > text.size()) break;
+      continue;
+    }
+
+    if (tok.size() != 4)
+      throw ParseError("expected `input present next output`", line_no);
+    if (fsm.num_inputs == 0 || fsm.num_outputs == 0)
+      throw ParseError("row before .i/.o declarations", line_no);
+
+    Kiss2Row row{tok[0], tok[1], tok[2], tok[3]};
+    if (static_cast<int>(row.input.size()) != fsm.num_inputs)
+      throw ParseError("input field width " + std::to_string(row.input.size()) +
+                           " != .i " + std::to_string(fsm.num_inputs),
+                       line_no);
+    if (static_cast<int>(row.output.size()) != fsm.num_outputs)
+      throw ParseError("output field width " +
+                           std::to_string(row.output.size()) + " != .o " +
+                           std::to_string(fsm.num_outputs),
+                       line_no);
+    if (!all_chars_in(row.input, "01-"))
+      throw ParseError("input field must be over {0,1,-}", line_no);
+    if (!all_chars_in(row.output, "01-"))
+      throw ParseError("output field must be over {0,1,-}", line_no);
+    if (row.present == "*" || row.next == "*")
+      throw ParseError("`*` (any state) rows are not supported", line_no);
+
+    fsm.rows.push_back(std::move(row));
+    if (pos > text.size()) break;
+  }
+
+  if (fsm.rows.empty()) throw ParseError("no product-term rows", line_no);
+  // State indices: order of first appearance as a *present* state, then any
+  // states that only ever appear as next states. This keeps benchmark state
+  // numbering aligned with the table layout (lion's st0..st3 = 0..3).
+  for (const auto& row : fsm.rows) fsm.intern_state(row.present);
+  for (const auto& row : fsm.rows) fsm.intern_state(row.next);
+  if (decls.p >= 0 && decls.p != static_cast<int>(fsm.rows.size()))
+    throw ParseError(".p declares " + std::to_string(decls.p) + " rows, found " +
+                         std::to_string(fsm.rows.size()),
+                     line_no);
+  if (decls.s >= 0 && decls.s != fsm.num_states())
+    throw ParseError(".s declares " + std::to_string(decls.s) +
+                         " states, found " + std::to_string(fsm.num_states()),
+                     line_no);
+  if (!fsm.reset_state.empty() && fsm.state_index(fsm.reset_state) < 0)
+    throw ParseError("reset state " + fsm.reset_state + " never appears",
+                     line_no);
+  return fsm;
+}
+
+Kiss2Fsm parse_kiss2_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open KISS2 file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string base = path;
+  std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+  return parse_kiss2(ss.str(), base);
+}
+
+}  // namespace fstg

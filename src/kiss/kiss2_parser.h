@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string_view>
+
+#include "kiss/kiss2.h"
+
+namespace fstg {
+
+/// Parse KISS2 text. Supports: .i .o .p .s .r .e, comments (# to end of
+/// line), and product-term rows `input present next output`. The .p/.s
+/// declarations are checked against the actual row/state counts when
+/// present. Throws ParseError on malformed input.
+Kiss2Fsm parse_kiss2(std::string_view text, std::string name = "");
+
+/// Parse a KISS2 file from disk.
+Kiss2Fsm parse_kiss2_file(const std::string& path);
+
+}  // namespace fstg

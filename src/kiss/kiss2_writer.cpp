@@ -1,0 +1,23 @@
+#include "kiss/kiss2_writer.h"
+
+#include <sstream>
+
+namespace fstg {
+
+std::string write_kiss2(const Kiss2Fsm& fsm) {
+  std::ostringstream os;
+  os << "# " << (fsm.name.empty() ? "fsm" : fsm.name) << "\n";
+  os << ".i " << fsm.num_inputs << "\n";
+  os << ".o " << fsm.num_outputs << "\n";
+  os << ".p " << fsm.rows.size() << "\n";
+  os << ".s " << fsm.num_states() << "\n";
+  if (!fsm.reset_state.empty()) os << ".r " << fsm.reset_state << "\n";
+  for (const auto& row : fsm.rows) {
+    os << row.input << ' ' << row.present << ' ' << row.next << ' '
+       << row.output << "\n";
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+}  // namespace fstg

@@ -1,0 +1,12 @@
+#pragma once
+
+#include <string>
+
+#include "kiss/kiss2.h"
+
+namespace fstg {
+
+/// Serialize an FSM back to KISS2 text (round-trips through parse_kiss2).
+std::string write_kiss2(const Kiss2Fsm& fsm);
+
+}  // namespace fstg

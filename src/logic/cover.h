@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/cube.h"
+
+namespace fstg {
+
+/// A sum of products: list of cubes over a fixed variable count.
+class Cover {
+ public:
+  Cover() = default;
+  explicit Cover(int num_vars) : num_vars_(num_vars) {}
+
+  int num_vars() const { return num_vars_; }
+  std::size_t size() const { return cubes_.size(); }
+  bool empty() const { return cubes_.empty(); }
+
+  void add(const Cube& c);
+  const Cube& operator[](std::size_t i) const { return cubes_[i]; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  std::vector<Cube>& cubes() { return cubes_; }
+
+  /// Does any cube contain this minterm?
+  bool eval(std::uint32_t minterm) const;
+
+  /// Remove cubes covered by a single other cube.
+  void remove_single_cube_contained();
+
+  /// Total literals across cubes (cost metric reported by the synthesizer).
+  std::size_t literal_count() const;
+
+  /// Cofactor of the whole cover with respect to cube `c` (Shannon-style):
+  /// cubes disjoint from c are dropped; surviving cubes have the variables
+  /// fixed by c raised to don't-care.
+  Cover cofactor(const Cube& c) const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace fstg

@@ -1,0 +1,115 @@
+#include "logic/factor.h"
+
+#include <map>
+#include <utility>
+
+#include "base/error.h"
+
+namespace fstg {
+
+namespace {
+
+/// A literal as a small integer: 2*var + (lit == kOne).
+int literal_id(int var, Lit lit) {
+  return 2 * var + (lit == Lit::kOne ? 1 : 0);
+}
+
+}  // namespace
+
+bool FactoredNetwork::eval_function(std::size_t f,
+                                    std::uint32_t base_minterm) const {
+  // Compute divisor values in definition order.
+  std::vector<bool> value(static_cast<std::size_t>(total_vars()));
+  for (int v = 0; v < base_vars; ++v)
+    value[static_cast<std::size_t>(v)] = (base_minterm >> v) & 1u;
+  for (std::size_t d = 0; d < divisors.size(); ++d) {
+    const Divisor& div = divisors[d];
+    const bool a = value[static_cast<std::size_t>(div.a_var)] ==
+                   (div.a_lit == Lit::kOne);
+    const bool b = value[static_cast<std::size_t>(div.b_var)] ==
+                   (div.b_lit == Lit::kOne);
+    value[static_cast<std::size_t>(base_vars) + d] = a && b;
+  }
+  // Evaluate the cover against the extended assignment.
+  for (const Cube& cube : functions[f].cubes()) {
+    bool hit = true;
+    for (int v = 0; v < cube.num_vars() && hit; ++v) {
+      const Lit lit = cube.get(v);
+      if (lit == Lit::kDC) continue;
+      if (value[static_cast<std::size_t>(v)] != (lit == Lit::kOne)) hit = false;
+    }
+    if (hit) return true;
+  }
+  return false;
+}
+
+FactoredNetwork factor_covers(const std::vector<Cover>& functions,
+                              const FactorOptions& options) {
+  require(!functions.empty(), "factor_covers: no functions");
+  const int base_vars = functions.front().num_vars();
+  for (const Cover& f : functions)
+    require(f.num_vars() == base_vars, "factor_covers: variable mismatch");
+  require(options.max_total_vars <= 32,
+          "factor_covers: cube representation holds 32 variables");
+
+  FactoredNetwork net;
+  net.base_vars = base_vars;
+  net.functions = functions;
+
+  while (net.total_vars() < options.max_total_vars) {
+    const int vars = net.total_vars();
+    // Count co-occurrences of literal pairs across all cubes.
+    std::map<std::pair<int, int>, int> pair_count;
+    for (const Cover& f : net.functions) {
+      for (const Cube& cube : f.cubes()) {
+        std::vector<int> lits;
+        for (int v = 0; v < vars; ++v) {
+          const Lit lit = cube.get(v);
+          if (lit != Lit::kDC) lits.push_back(literal_id(v, lit));
+        }
+        for (std::size_t i = 0; i < lits.size(); ++i)
+          for (std::size_t j = i + 1; j < lits.size(); ++j)
+            ++pair_count[{lits[i], lits[j]}];
+      }
+    }
+
+    std::pair<int, int> best{-1, -1};
+    int best_count = options.min_uses - 1;
+    for (const auto& [pair, count] : pair_count)
+      if (count > best_count) {
+        best_count = count;
+        best = pair;
+      }
+    if (best.first < 0) break;
+
+    // Introduce the divisor variable and rewrite every cube using both
+    // literals.
+    FactoredNetwork::Divisor div;
+    div.a_var = best.first / 2;
+    div.a_lit = best.first % 2 ? Lit::kOne : Lit::kZero;
+    div.b_var = best.second / 2;
+    div.b_lit = best.second % 2 ? Lit::kOne : Lit::kZero;
+    const int t = vars;  // the divisor's variable index
+    net.divisors.push_back(div);
+
+    for (Cover& f : net.functions) {
+      Cover rewritten(vars + 1);
+      for (const Cube& cube : f.cubes()) {
+        // Widen the cube to vars+1 variables.
+        Cube wide = Cube::full(vars + 1);
+        for (int v = 0; v < vars; ++v) wide.set(v, cube.get(v));
+        if (cube.get(div.a_var) == div.a_lit &&
+            cube.get(div.b_var) == div.b_lit) {
+          wide.set(div.a_var, Lit::kDC);
+          wide.set(div.b_var, Lit::kDC);
+          wide.set(t, Lit::kOne);
+        }
+        rewritten.add(wide);
+      }
+      f = std::move(rewritten);
+    }
+  }
+  return net;
+}
+
+}  // namespace fstg

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/cover.h"
+
+namespace fstg {
+
+/// Result of greedy common-cube extraction over a set of single-output
+/// covers (a light-weight cousin of espresso/SIS "fast_extract" restricted
+/// to two-literal cube divisors, applied iteratively so larger divisors
+/// emerge as chains). Divisor i introduces variable `base_vars + i`,
+/// defined as the AND of two literals over earlier variables (base
+/// variables or earlier divisors). The rewritten functions are logically
+/// identical to the inputs but share structure, which a netlist backend
+/// turns into a multi-level implementation.
+struct FactoredNetwork {
+  struct Divisor {
+    int a_var = -1;
+    Lit a_lit = Lit::kDC;
+    int b_var = -1;
+    Lit b_lit = Lit::kDC;
+  };
+
+  int base_vars = 0;
+  std::vector<Divisor> divisors;
+  /// Rewritten covers over base_vars + divisors.size() variables. Divisor
+  /// variables only ever appear with positive polarity.
+  std::vector<Cover> functions;
+
+  int total_vars() const {
+    return base_vars + static_cast<int>(divisors.size());
+  }
+
+  /// Evaluate function `f` on a minterm over the *base* variables
+  /// (divisor values are computed on the fly). Testing oracle.
+  bool eval_function(std::size_t f, std::uint32_t base_minterm) const;
+};
+
+/// Options for extraction.
+struct FactorOptions {
+  /// Hard cap on total variables (cube representation holds 32).
+  int max_total_vars = 32;
+  /// A two-literal divisor used by c cubes saves c - 2 literals; require
+  /// at least this many uses before extracting.
+  int min_uses = 3;
+};
+
+/// Extract common cubes greedily until no divisor meets min_uses or the
+/// variable budget is exhausted. Input covers must share a variable count.
+FactoredNetwork factor_covers(const std::vector<Cover>& functions,
+                              const FactorOptions& options = {});
+
+}  // namespace fstg

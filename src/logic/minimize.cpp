@@ -1,0 +1,78 @@
+#include "logic/minimize.h"
+
+#include "base/error.h"
+#include "logic/tautology.h"
+
+namespace fstg {
+
+namespace {
+
+Cover union_covers(const Cover& a, const Cover& b) {
+  Cover u(a.num_vars());
+  for (const Cube& c : a.cubes()) u.add(c);
+  for (const Cube& c : b.cubes()) u.add(c);
+  return u;
+}
+
+}  // namespace
+
+Cover expand_cover(const Cover& cover, const Cover& free_set, int rotation) {
+  Cover out(cover.num_vars());
+  for (const Cube& cube : cover.cubes()) {
+    Cube c = cube;
+    for (int k = 0; k < cover.num_vars(); ++k) {
+      int v = (k + rotation) % cover.num_vars();
+      if (c.get(v) == Lit::kDC) continue;
+      Cube raised = c;
+      raised.set(v, Lit::kDC);
+      if (cube_covered(raised, free_set)) c = raised;
+    }
+    out.add(c);
+  }
+  out.remove_single_cube_contained();
+  return out;
+}
+
+Cover irredundant_cover(const Cover& cover, const Cover& dc_set) {
+  // Greedy: try dropping cubes one at a time, largest-last so big cubes
+  // (cheap in literals) are kept preferentially.
+  std::vector<Cube> cubes = cover.cubes();
+  std::vector<bool> keep(cubes.size(), true);
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    Cover rest(cover.num_vars());
+    for (std::size_t j = 0; j < cubes.size(); ++j)
+      if (j != i && keep[j]) rest.add(cubes[j]);
+    for (const Cube& d : dc_set.cubes()) rest.add(d);
+    if (cube_covered(cubes[i], rest)) keep[i] = false;
+  }
+  Cover out(cover.num_vars());
+  for (std::size_t i = 0; i < cubes.size(); ++i)
+    if (keep[i]) out.add(cubes[i]);
+  return out;
+}
+
+Cover minimize_cover(const Cover& on_set, const Cover& dc_set,
+                     const MinimizeOptions& options) {
+  require(on_set.num_vars() == dc_set.num_vars() || dc_set.empty(),
+          "minimize_cover: variable count mismatch");
+  if (on_set.empty()) return on_set;
+
+  Cover free_set = union_covers(on_set, dc_set);
+  Cover current = on_set;
+  current.remove_single_cube_contained();
+  std::size_t best_cost = static_cast<std::size_t>(-1);
+  Cover best = current;
+  for (int pass = 0; pass < options.passes; ++pass) {
+    current = expand_cover(current, free_set,
+                           pass * 7);  // rotate the raising order per pass
+    current = irredundant_cover(current, dc_set);
+    std::size_t cost = current.size() * 100 + current.literal_count();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = current;
+    }
+  }
+  return best;
+}
+
+}  // namespace fstg

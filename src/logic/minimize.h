@@ -1,0 +1,29 @@
+#pragma once
+
+#include "logic/cover.h"
+
+namespace fstg {
+
+/// Options for the two-level minimizer.
+struct MinimizeOptions {
+  /// Number of EXPAND + IRREDUNDANT passes (each pass rotates the literal
+  /// raising order, which lets stuck covers improve).
+  int passes = 2;
+};
+
+/// Heuristic two-level minimization of a single-output function given its
+/// on-set and dc-set covers (espresso's EXPAND and IRREDUNDANT cores, with
+/// tautology-based validity checks — the off-set is never computed).
+/// The result covers every on-set minterm, never covers an off-set minterm,
+/// and contains no single-cube-redundant or fully-redundant cubes.
+Cover minimize_cover(const Cover& on_set, const Cover& dc_set,
+                     const MinimizeOptions& options = {});
+
+/// EXPAND each cube of `cover` against on ∪ dc (raise literals to DC while
+/// the cube stays inside on ∪ dc). `rotation` offsets the variable order.
+Cover expand_cover(const Cover& cover, const Cover& free_set, int rotation);
+
+/// Remove cubes whose minterms are already covered by the rest ∪ dc.
+Cover irredundant_cover(const Cover& cover, const Cover& dc_set);
+
+}  // namespace fstg

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "logic/cover.h"
+
+namespace fstg {
+
+/// Is the cover a tautology (covers every minterm)? Espresso-style
+/// recursion: unate leaf rule + splitting on the most binate variable.
+bool is_tautology(const Cover& cover);
+
+/// Is cube `c` completely covered by `cover`? (Tautology of the cofactor.)
+bool cube_covered(const Cube& c, const Cover& cover);
+
+/// Complement of a cover (recursive Shannon expansion with binate variable
+/// selection). Used to extract the unspecified portion of a state's input
+/// space as don't-cares during synthesis.
+Cover complement_cover(const Cover& cover);
+
+}  // namespace fstg

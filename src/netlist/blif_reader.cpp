@@ -1,0 +1,248 @@
+#include "netlist/blif_reader.h"
+
+#include <deque>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace fstg {
+
+namespace {
+
+struct NamesBlock {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::string> rows;  ///< input part only
+  bool on_set = true;             ///< false: rows describe the off-set
+  bool has_rows = false;
+  int line = 0;
+};
+
+struct BlifModel {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  /// latch: data input net -> output (present-state) net.
+  std::vector<std::pair<std::string, std::string>> latches;
+  std::vector<NamesBlock> blocks;
+};
+
+/// Split the text into logical lines: strip comments, join continuations.
+std::vector<std::pair<int, std::string>> logical_lines(std::string_view text) {
+  std::vector<std::pair<int, std::string>> out;
+  int line_no = 0;
+  std::string pending;
+  int pending_line = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string line{text.substr(pos, eol - pos)};
+    pos = eol + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    // Continuation: trailing backslash.
+    std::string_view trimmed = trim(line);
+    const bool cont = !trimmed.empty() && trimmed.back() == '\\';
+    if (cont) trimmed = trim(trimmed.substr(0, trimmed.size() - 1));
+    if (pending.empty()) pending_line = line_no;
+    if (!trimmed.empty()) {
+      if (!pending.empty()) pending += ' ';
+      pending += std::string(trimmed);
+    }
+    if (!cont) {
+      if (!pending.empty()) out.emplace_back(pending_line, pending);
+      pending.clear();
+    }
+    if (pos > text.size()) break;
+  }
+  if (!pending.empty()) out.emplace_back(pending_line, pending);
+  return out;
+}
+
+BlifModel parse_model(std::string_view text) {
+  BlifModel model;
+  NamesBlock* current = nullptr;
+  for (const auto& [line_no, line] : logical_lines(text)) {
+    const std::vector<std::string> tok = split_ws(line);
+    if (tok.empty()) continue;
+    if (tok[0][0] == '.') {
+      current = nullptr;
+      if (tok[0] == ".model") {
+        if (tok.size() >= 2) model.name = tok[1];
+      } else if (tok[0] == ".inputs") {
+        model.inputs.insert(model.inputs.end(), tok.begin() + 1, tok.end());
+      } else if (tok[0] == ".outputs") {
+        model.outputs.insert(model.outputs.end(), tok.begin() + 1, tok.end());
+      } else if (tok[0] == ".latch") {
+        if (tok.size() < 3) throw ParseError(".latch needs input and output", line_no);
+        model.latches.emplace_back(tok[1], tok[2]);
+      } else if (tok[0] == ".names") {
+        if (tok.size() < 2) throw ParseError(".names needs at least an output", line_no);
+        NamesBlock block;
+        block.inputs.assign(tok.begin() + 1, tok.end() - 1);
+        block.output = tok.back();
+        block.line = line_no;
+        model.blocks.push_back(std::move(block));
+        current = &model.blocks.back();
+      } else if (tok[0] == ".end" || tok[0] == ".exdc" || tok[0] == ".wire_load_slope") {
+        // .end terminates; the rest are ignored annotations.
+      } else {
+        throw ParseError("unsupported BLIF directive " + tok[0], line_no);
+      }
+      continue;
+    }
+    // Cover row inside a .names block.
+    if (current == nullptr)
+      throw ParseError("cover row outside a .names block", line_no);
+    std::string in_part, out_part;
+    if (current->inputs.empty()) {
+      if (tok.size() != 1) throw ParseError("bad constant row", line_no);
+      out_part = tok[0];
+    } else {
+      if (tok.size() != 2) throw ParseError("bad cover row", line_no);
+      in_part = tok[0];
+      out_part = tok[1];
+      if (in_part.size() != current->inputs.size())
+        throw ParseError("cover row width mismatch", line_no);
+      if (!all_chars_in(in_part, "01-"))
+        throw ParseError("cover row must be over {0,1,-}", line_no);
+    }
+    if (out_part != "0" && out_part != "1")
+      throw ParseError("cover output must be 0 or 1", line_no);
+    const bool on = out_part == "1";
+    if (current->has_rows && on != current->on_set)
+      throw ParseError("mixed-polarity cover outputs are not supported",
+                       line_no);
+    current->on_set = on;
+    current->has_rows = true;
+    if (!current->inputs.empty()) current->rows.push_back(in_part);
+  }
+  return model;
+}
+
+/// Builds gates for the blocks in dependency order.
+class BlifBuilder {
+ public:
+  explicit BlifBuilder(Netlist& nl) : nl_(nl) {}
+
+  void define(const std::string& net, int gate) { net_gate_[net] = gate; }
+  bool defined(const std::string& net) const { return net_gate_.count(net) > 0; }
+  int gate_of(const std::string& net) const {
+    auto it = net_gate_.find(net);
+    require(it != net_gate_.end(), "BLIF: undefined net " + net);
+    return it->second;
+  }
+
+  int inverter(const std::string& net) {
+    auto it = inverter_of_.find(net);
+    if (it != inverter_of_.end()) return it->second;
+    const int inv = nl_.add_gate(GateType::kNot, {gate_of(net)});
+    inverter_of_.emplace(net, inv);
+    return inv;
+  }
+
+  /// Emit the gates of one block; returns the gate driving its output net.
+  int emit(const NamesBlock& block) {
+    // Constant blocks.
+    if (block.inputs.empty()) {
+      const bool value = block.has_rows && block.on_set;
+      return nl_.add_gate(value ? GateType::kConst1 : GateType::kConst0, {});
+    }
+    if (!block.has_rows)  // no rows at all: constant 0
+      return nl_.add_gate(GateType::kConst0, {});
+
+    std::vector<int> products;
+    for (const std::string& row : block.rows) {
+      std::vector<int> literals;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i] == '-') continue;
+        literals.push_back(row[i] == '1' ? gate_of(block.inputs[i])
+                                         : inverter(block.inputs[i]));
+      }
+      if (literals.empty()) {
+        // Universal row: function is constant (1 for on-set, 0 otherwise).
+        return nl_.add_gate(block.on_set ? GateType::kConst1 : GateType::kConst0,
+                            {});
+      }
+      products.push_back(literals.size() == 1
+                             ? literals[0]
+                             : nl_.add_gate(GateType::kAnd, std::move(literals)));
+    }
+    int sum = products.size() == 1
+                  ? products[0]
+                  : nl_.add_gate(GateType::kOr, std::move(products));
+    if (!block.on_set) sum = nl_.add_gate(GateType::kNot, {sum});
+    return sum;
+  }
+
+ private:
+  Netlist& nl_;
+  std::map<std::string, int> net_gate_;
+  std::map<std::string, int> inverter_of_;
+};
+
+}  // namespace
+
+ScanCircuit parse_blif(std::string_view text) {
+  BlifModel model = parse_model(text);
+  require(!model.inputs.empty() || !model.latches.empty(),
+          "BLIF: model has no inputs");
+  require(!model.outputs.empty(), "BLIF: model has no outputs");
+
+  ScanCircuit circuit;
+  circuit.name = model.name;
+  circuit.num_pi = static_cast<int>(model.inputs.size());
+  circuit.num_po = static_cast<int>(model.outputs.size());
+  circuit.num_sv = static_cast<int>(model.latches.size());
+
+  BlifBuilder builder(circuit.comb);
+  for (const std::string& in : model.inputs)
+    builder.define(in, circuit.comb.add_input(in));
+  for (const auto& [data_in, state_out] : model.latches)
+    builder.define(state_out, circuit.comb.add_input(state_out));
+
+  // Topological emission of the names blocks (Kahn over net dependencies).
+  std::vector<bool> emitted(model.blocks.size(), false);
+  std::size_t done = 0;
+  while (done < model.blocks.size()) {
+    bool progress = false;
+    for (std::size_t b = 0; b < model.blocks.size(); ++b) {
+      if (emitted[b]) continue;
+      const NamesBlock& block = model.blocks[b];
+      bool ready = true;
+      for (const std::string& in : block.inputs)
+        if (!builder.defined(in)) ready = false;
+      if (!ready) continue;
+      require(!builder.defined(block.output),
+              "BLIF: net " + block.output + " defined twice");
+      builder.define(block.output, builder.emit(block));
+      emitted[b] = true;
+      ++done;
+      progress = true;
+    }
+    if (!progress)
+      throw Error(
+          "BLIF: combinational cycle or undefined nets among .names blocks");
+  }
+
+  for (const std::string& out : model.outputs)
+    circuit.comb.add_output(builder.gate_of(out));
+  for (const auto& [data_in, state_out] : model.latches)
+    circuit.comb.add_output(builder.gate_of(data_in));
+  return circuit;
+}
+
+ScanCircuit parse_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open BLIF file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_blif(ss.str());
+}
+
+}  // namespace fstg

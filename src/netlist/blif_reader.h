@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace fstg {
+
+/// Parse a BLIF model into a full-scan circuit. Supported subset (what
+/// to_blif emits, plus the common hand-written forms): `.model`,
+/// `.inputs`/`.outputs` (with `\` line continuations), `.latch in out
+/// [type clock] [init]`, single-output `.names` blocks whose output column
+/// is all-1 (on-set) or all-0 (off-set rows define the complement), and
+/// `.end`. Blocks may appear in any order; combinational cycles are
+/// rejected. The resulting circuit's inputs are [.inputs][latch outputs]
+/// and its outputs [.outputs][latch inputs], matching the library's
+/// full-scan convention.
+ScanCircuit parse_blif(std::string_view text);
+
+ScanCircuit parse_blif_file(const std::string& path);
+
+}  // namespace fstg

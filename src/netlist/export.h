@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fstg {
+
+/// Emit the full-scan circuit as BLIF (Berkeley Logic Interchange Format):
+/// `.model` with `.inputs`/`.outputs`, one `.names` block per gate, and one
+/// `.latch` per state variable (the scan chain is a DFT artefact, not part
+/// of the functional BLIF view). Suitable for SIS/ABC-style tools.
+std::string to_blif(const ScanCircuit& circuit,
+                    const std::string& model_name = "");
+
+/// Emit the combinational core in the ISCAS-89 `.bench` dialect
+/// (INPUT/OUTPUT declarations plus `name = GATE(a, b, ...)` lines; state
+/// variables appear as pseudo inputs/outputs, the full-scan convention
+/// used by ATPG tools).
+std::string to_bench(const ScanCircuit& circuit);
+
+}  // namespace fstg

@@ -1,0 +1,21 @@
+#include "netlist/reach.h"
+
+namespace fstg {
+
+std::vector<BitVec> forward_reachability(const Netlist& nl) {
+  const std::size_t n = static_cast<std::size_t>(nl.num_gates());
+  std::vector<BitVec> reach(n, BitVec(n));
+  std::vector<std::vector<int>> fanouts = nl.fanouts();
+  // Gates are stored topologically (fanin id < gate id), so every fanout of
+  // g has a larger id than g; a single descending pass suffices.
+  for (int g = nl.num_gates() - 1; g >= 0; --g) {
+    BitVec& r = reach[static_cast<std::size_t>(g)];
+    for (int f : fanouts[static_cast<std::size_t>(g)]) {
+      r.set(static_cast<std::size_t>(f));
+      r |= reach[static_cast<std::size_t>(f)];
+    }
+  }
+  return reach;
+}
+
+}  // namespace fstg

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <vector>
+
+#include "base/bitvec.h"
+#include "netlist/netlist.h"
+
+namespace fstg {
+
+/// forward_reachability(nl)[g] = set of gates strictly downstream of g
+/// (g itself excluded). Used for the paper's bridging-fault condition (3):
+/// a pair (g1, g2) is non-feedback iff neither reaches the other.
+std::vector<BitVec> forward_reachability(const Netlist& nl);
+
+}  // namespace fstg

@@ -1,0 +1,247 @@
+#include "netlist/synth.h"
+
+#include <map>
+
+#include "base/error.h"
+#include "logic/factor.h"
+#include "logic/tautology.h"
+
+namespace fstg {
+
+namespace {
+
+/// Cube over [pi input vars][sv state vars] from a row's input cube and a
+/// present-state code.
+Cube row_space_cube(const Kiss2Row& row, std::uint32_t ps_code, int pi,
+                    int sv) {
+  Cube c = Cube::full(pi + sv);
+  // Field characters are MSB-first: leftmost character = input bit pi-1.
+  for (int b = 0; b < pi; ++b) {
+    char ch = row.input[static_cast<std::size_t>(pi - 1 - b)];
+    if (ch == '0') c.set(b, Lit::kZero);
+    if (ch == '1') c.set(b, Lit::kOne);
+  }
+  for (int k = 0; k < sv; ++k)
+    c.set(pi + k, ((ps_code >> k) & 1u) ? Lit::kOne : Lit::kZero);
+  return c;
+}
+
+/// Incrementally builds the SOP netlist with structural sharing: one
+/// inverter per variable, one AND gate per distinct cube. Variables may be
+/// primary (netlist inputs) or extracted divisors (gates registered via
+/// define_divisor). Optionally decomposes wide gates into bounded-fanin
+/// trees.
+class SopBuilder {
+ public:
+  SopBuilder(Netlist& nl, int num_vars, int max_fanin)
+      : nl_(nl), max_fanin_(max_fanin) {
+    var_gate_.assign(static_cast<std::size_t>(num_vars), -1);
+    inverter_of_.assign(static_cast<std::size_t>(num_vars), -1);
+    for (int v = 0; v < nl.num_inputs() && v < num_vars; ++v)
+      var_gate_[static_cast<std::size_t>(v)] = nl.inputs()[static_cast<std::size_t>(v)];
+  }
+
+  /// Register variable v as computed by an existing gate (divisors).
+  void define_variable(int v, int gate_id) {
+    var_gate_[static_cast<std::size_t>(v)] = gate_id;
+  }
+
+  /// Gate computing `lit` of variable v.
+  int literal_gate(int v, Lit lit) {
+    const int gate = var_gate_[static_cast<std::size_t>(v)];
+    require(gate >= 0, "SopBuilder: variable has no gate");
+    if (lit == Lit::kOne) return gate;
+    int& inv = inverter_of_[static_cast<std::size_t>(v)];
+    if (inv < 0) {
+      const std::string base = nl_.gate(gate).name;
+      inv = nl_.add_gate(GateType::kNot, {gate},
+                         base.empty() ? "" : "n_" + base);
+    }
+    return inv;
+  }
+
+  /// AND/OR of `fanins` as a tree honoring the fanin bound (0 = no bound;
+  /// bounds below 2 are invalid).
+  int tree_gate(GateType type, std::vector<int> fanins,
+                const std::string& name = "") {
+    require(!fanins.empty(), "tree_gate: no fanins");
+    require(max_fanin_ == 0 || max_fanin_ >= 2, "tree_gate: bad fanin bound");
+    if (fanins.size() == 1) return fanins[0];
+    std::vector<int> level = std::move(fanins);
+    // Reduce in groups until the root fits the bound; the root carries the
+    // name.
+    while (max_fanin_ >= 2 &&
+           level.size() > static_cast<std::size_t>(max_fanin_)) {
+      std::vector<int> next;
+      for (std::size_t i = 0; i < level.size();
+           i += static_cast<std::size_t>(max_fanin_)) {
+        const std::size_t end =
+            std::min(level.size(), i + static_cast<std::size_t>(max_fanin_));
+        if (end - i == 1) {
+          next.push_back(level[i]);
+        } else {
+          next.push_back(nl_.add_gate(
+              type, std::vector<int>(level.begin() + static_cast<long>(i),
+                                     level.begin() + static_cast<long>(end))));
+        }
+      }
+      level = std::move(next);
+    }
+    return nl_.add_gate(type, std::move(level), name);
+  }
+
+  /// Gate computing a cube (AND of its literals); shared across functions.
+  int cube_gate(const Cube& c) {
+    auto it = cube_cache_.find(c.raw_bits());
+    if (it != cube_cache_.end()) return it->second;
+    std::vector<int> fanins;
+    for (int v = 0; v < c.num_vars(); ++v) {
+      Lit lit = c.get(v);
+      if (lit != Lit::kDC) fanins.push_back(literal_gate(v, lit));
+    }
+    int id;
+    if (fanins.empty())
+      id = const1();
+    else
+      id = tree_gate(GateType::kAnd, std::move(fanins));
+    cube_cache_.emplace(c.raw_bits(), id);
+    return id;
+  }
+
+  /// Gate computing a whole cover (OR of cube gates).
+  int cover_gate(const Cover& cover, const std::string& name) {
+    if (cover.empty()) return const0();
+    std::vector<int> fanins;
+    for (const Cube& c : cover.cubes()) {
+      if (c.literal_count() == 0) return const1();
+      fanins.push_back(cube_gate(c));
+    }
+    return tree_gate(GateType::kOr, std::move(fanins), name);
+  }
+
+  int const0() {
+    if (const0_ < 0) const0_ = nl_.add_gate(GateType::kConst0, {}, "const0");
+    return const0_;
+  }
+  int const1() {
+    if (const1_ < 0) const1_ = nl_.add_gate(GateType::kConst1, {}, "const1");
+    return const1_;
+  }
+
+ private:
+  Netlist& nl_;
+  int max_fanin_;
+  std::vector<int> var_gate_;
+  std::vector<int> inverter_of_;
+  std::map<std::uint64_t, int> cube_cache_;
+  int const0_ = -1;
+  int const1_ = -1;
+};
+
+}  // namespace
+
+SynthesisResult synthesize_scan_circuit(const Kiss2Fsm& fsm,
+                                        const MinimizeOptions& minimize) {
+  SynthesisOptions options;
+  options.minimize = minimize;
+  return synthesize_scan_circuit(fsm, options);
+}
+
+SynthesisResult synthesize_scan_circuit(const Kiss2Fsm& fsm,
+                                        const SynthesisOptions& options) {
+  fsm.check_deterministic();
+  require(fsm.num_inputs >= 1, "synthesize: machine has no inputs");
+  require(fsm.num_outputs >= 1, "synthesize: machine has no outputs");
+
+  SynthesisResult result;
+  result.encoding = encode_states(fsm, options.encoding);
+  const Encoding& enc = result.encoding;
+  const int pi = fsm.num_inputs;
+  const int sv = enc.state_bits;
+  const int nv = pi + sv;
+  require(nv <= 32, "synthesize: too many variables (pi + sv > 32)");
+
+  // The specified subspace; its complement is free for the minimizer.
+  Cover specified(nv);
+  for (const auto& row : fsm.rows) {
+    std::uint32_t code =
+        enc.code_of_state[static_cast<std::size_t>(fsm.state_index(row.present))];
+    specified.add(row_space_cube(row, code, pi, sv));
+  }
+  const Cover dc_space = complement_cover(specified);
+
+  // Per-function on/dc sets.
+  const int num_funcs = fsm.num_outputs + sv;
+  std::vector<Cover> on(static_cast<std::size_t>(num_funcs), Cover(nv));
+  std::vector<Cover> dc(static_cast<std::size_t>(num_funcs), Cover(nv));
+  for (const auto& row : fsm.rows) {
+    std::uint32_t ps_code =
+        enc.code_of_state[static_cast<std::size_t>(fsm.state_index(row.present))];
+    std::uint32_t ns_code =
+        enc.code_of_state[static_cast<std::size_t>(fsm.state_index(row.next))];
+    Cube c = row_space_cube(row, ps_code, pi, sv);
+    for (int b = 0; b < fsm.num_outputs; ++b) {
+      // Output fields are MSB-first like input fields.
+      char ch = row.output[static_cast<std::size_t>(fsm.num_outputs - 1 - b)];
+      if (ch == '1') on[static_cast<std::size_t>(b)].add(c);
+      if (ch == '-') dc[static_cast<std::size_t>(b)].add(c);
+    }
+    for (int k = 0; k < sv; ++k)
+      if ((ns_code >> k) & 1u)
+        on[static_cast<std::size_t>(fsm.num_outputs + k)].add(c);
+  }
+  for (int f = 0; f < num_funcs; ++f)
+    for (const Cube& c : dc_space.cubes())
+      dc[static_cast<std::size_t>(f)].add(c);
+
+  // Minimize each function.
+  result.covers.reserve(static_cast<std::size_t>(num_funcs));
+  for (int f = 0; f < num_funcs; ++f)
+    result.covers.push_back(minimize_cover(on[static_cast<std::size_t>(f)],
+                                           dc[static_cast<std::size_t>(f)],
+                                           options.minimize));
+
+  // Emit the netlist.
+  ScanCircuit& circuit = result.circuit;
+  circuit.name = fsm.name;
+  circuit.num_pi = pi;
+  circuit.num_po = fsm.num_outputs;
+  circuit.num_sv = sv;
+  for (int b = 0; b < pi; ++b) circuit.comb.add_input("x" + std::to_string(b));
+  for (int k = 0; k < sv; ++k) circuit.comb.add_input("y" + std::to_string(k));
+
+  auto function_name = [&](int f) {
+    return f < fsm.num_outputs ? "z" + std::to_string(f)
+                               : "Y" + std::to_string(f - fsm.num_outputs);
+  };
+
+  if (!options.multilevel) {
+    SopBuilder builder(circuit.comb, nv, /*max_fanin=*/0);
+    for (int f = 0; f < num_funcs; ++f)
+      circuit.comb.add_output(builder.cover_gate(
+          result.covers[static_cast<std::size_t>(f)], function_name(f)));
+    return result;
+  }
+
+  // Multi-level: extract shared cube divisors, then emit with bounded
+  // fanin. The factored network is logically identical to the two-level
+  // covers, so the read-back table (and hence the functional tests) do
+  // not depend on this choice.
+  const FactoredNetwork net = factor_covers(result.covers);
+  SopBuilder builder(circuit.comb, net.total_vars(), options.max_fanin);
+  for (std::size_t d = 0; d < net.divisors.size(); ++d) {
+    const FactoredNetwork::Divisor& div = net.divisors[d];
+    const int gate = builder.tree_gate(
+        GateType::kAnd,
+        {builder.literal_gate(div.a_var, div.a_lit),
+         builder.literal_gate(div.b_var, div.b_lit)},
+        "d" + std::to_string(d));
+    builder.define_variable(net.base_vars + static_cast<int>(d), gate);
+  }
+  for (int f = 0; f < num_funcs; ++f)
+    circuit.comb.add_output(builder.cover_gate(
+        net.functions[static_cast<std::size_t>(f)], function_name(f)));
+  return result;
+}
+
+}  // namespace fstg

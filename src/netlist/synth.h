@@ -1,0 +1,47 @@
+#pragma once
+
+#include "fsm/encoding.h"
+#include "kiss/kiss2.h"
+#include "logic/minimize.h"
+#include "netlist/netlist.h"
+
+namespace fstg {
+
+/// How to implement the machine. The functional tests do not depend on
+/// this; the gate-level fault experiments do.
+struct SynthesisOptions {
+  MinimizeOptions minimize;
+  EncodingStyle encoding = EncodingStyle::kNatural;
+  /// Apply multi-level restructuring (common-cube extraction + bounded-
+  /// fanin decomposition) after two-level minimization. The paper's
+  /// implementations are multi-level; ours defaults to two-level, with
+  /// this knob powering the implementation-independence ablation.
+  bool multilevel = false;
+  /// Maximum gate fanin after decomposition (0 = unbounded). Only applies
+  /// when multilevel is set.
+  int max_fanin = 4;
+};
+
+/// Output of two-level synthesis of a KISS2 machine into a full-scan
+/// circuit. The combinational core computes all primary outputs and
+/// next-state bits from [primary inputs][present-state bits]; unspecified
+/// (state, input) entries and unused state codes are don't-cares that the
+/// minimizer resolves, exactly as a synthesis flow would.
+struct SynthesisResult {
+  ScanCircuit circuit;
+  Encoding encoding;
+  /// Minimized single-output covers, indexed like the core's outputs
+  /// ([primary outputs][next-state bits]), over variables
+  /// [input bits 0..pi-1][state bits pi..pi+sv-1].
+  std::vector<Cover> covers;
+};
+
+/// Synthesize a deterministic KISS2 machine. Throws on nondeterminism.
+SynthesisResult synthesize_scan_circuit(const Kiss2Fsm& fsm,
+                                        const SynthesisOptions& options = {});
+
+/// Convenience overload: two-level, natural encoding, custom minimizer.
+SynthesisResult synthesize_scan_circuit(const Kiss2Fsm& fsm,
+                                        const MinimizeOptions& minimize);
+
+}  // namespace fstg

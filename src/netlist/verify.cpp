@@ -1,0 +1,83 @@
+#include "netlist/verify.h"
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace fstg {
+
+StateTable read_back_table(const ScanCircuit& circuit, const Kiss2Fsm* fsm,
+                           const Encoding* enc) {
+  const int num_states = 1 << circuit.num_sv;
+  StateTable table(circuit.num_pi, circuit.num_po, num_states);
+  table.name = circuit.name;
+  table.state_names.resize(static_cast<std::size_t>(num_states));
+  for (int code = 0; code < num_states; ++code) {
+    int sym = (enc != nullptr) ? enc->state_of_code[static_cast<std::size_t>(code)] : -1;
+    table.state_names[static_cast<std::size_t>(code)] =
+        (sym >= 0 && fsm != nullptr)
+            ? fsm->state_names[static_cast<std::size_t>(sym)]
+            : "c" + std::to_string(code);
+  }
+
+  const std::uint32_t nic = table.num_input_combos();
+  for (int code = 0; code < num_states; ++code) {
+    for (std::uint32_t ic = 0; ic < nic; ++ic) {
+      std::uint32_t po = 0, ns = 0;
+      circuit.step(static_cast<std::uint32_t>(code), ic, po, ns);
+      table.set(code, ic, static_cast<int>(ns), po);
+    }
+  }
+  return table;
+}
+
+bool circuit_matches_fsm(const ScanCircuit& circuit, const Kiss2Fsm& fsm,
+                         const Encoding& enc, std::string* message) {
+  const int pi = fsm.num_inputs;
+  for (const auto& row : fsm.rows) {
+    const std::uint32_t ps_code =
+        enc.code_of_state[static_cast<std::size_t>(fsm.state_index(row.present))];
+    const std::uint32_t ns_code =
+        enc.code_of_state[static_cast<std::size_t>(fsm.state_index(row.next))];
+
+    // Enumerate the row's input minterms (field characters are MSB-first).
+    std::uint32_t value = 0;
+    std::vector<int> free_bits;
+    for (int b = 0; b < pi; ++b) {
+      char c = row.input[static_cast<std::size_t>(pi - 1 - b)];
+      if (c == '-')
+        free_bits.push_back(b);
+      else if (c == '1')
+        value |= 1u << b;
+    }
+    const std::uint32_t n_free = 1u << free_bits.size();
+    for (std::uint32_t m = 0; m < n_free; ++m) {
+      std::uint32_t ic = value;
+      for (std::size_t k = 0; k < free_bits.size(); ++k)
+        if ((m >> k) & 1u) ic |= 1u << free_bits[k];
+
+      std::uint32_t po = 0, ns = 0;
+      circuit.step(ps_code, ic, po, ns);
+      if (ns != ns_code) {
+        if (message)
+          *message = strf("state %s input %u: next code %u, expected %u",
+                          row.present.c_str(), ic, ns, ns_code);
+        return false;
+      }
+      for (int b = 0; b < fsm.num_outputs; ++b) {
+        char expect =
+            row.output[static_cast<std::size_t>(fsm.num_outputs - 1 - b)];
+        if (expect == '-') continue;
+        bool bit = (po >> b) & 1u;
+        if (bit != (expect == '1')) {
+          if (message)
+            *message = strf("state %s input %u: output bit %d is %d, expected %c",
+                            row.present.c_str(), ic, b, bit ? 1 : 0, expect);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fstg

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "atpg/test.h"
+#include "netlist/netlist.h"
+
+namespace fstg {
+
+/// Emit a synthesizable structural Verilog module for a full-scan circuit:
+/// continuous assigns for the combinational core, a state register with a
+/// mux-based scan chain (scan_en / scan_in / scan_out), ports
+/// x0..x{pi-1} and z0..z{po-1}. Pure text generation — no external tools
+/// are invoked; the output round-trips through any Verilog simulator.
+std::string to_verilog(const ScanCircuit& circuit,
+                       const std::string& module_name = "");
+
+/// Emit a self-checking Verilog testbench applying a functional scan test
+/// set to the module produced by to_verilog: for every test it shifts in
+/// the initial state, clocks the input sequence while comparing the
+/// primary outputs against the expected trace, shifts out and compares the
+/// final state, and prints PASS/FAIL counts. `expected_po[t][c]` must hold
+/// the fault-free output word of test t at cycle c (e.g. from a
+/// StateTable::trace call).
+std::string to_verilog_testbench(
+    const ScanCircuit& circuit, const TestSet& tests,
+    const std::vector<std::vector<std::uint32_t>>& expected_po,
+    const std::string& module_name = "");
+
+}  // namespace fstg

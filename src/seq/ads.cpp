@@ -1,0 +1,174 @@
+#include "seq/ads.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "base/error.h"
+
+namespace fstg {
+
+namespace {
+
+/// A configuration: the still-undistinguished initial states and where
+/// their traces currently sit.
+struct Pair {
+  int init;
+  int cur;
+};
+
+std::string canonical(std::vector<Pair> group) {
+  std::sort(group.begin(), group.end(), [](const Pair& a, const Pair& b) {
+    return a.init != b.init ? a.init < b.init : a.cur < b.cur;
+  });
+  std::string key;
+  key.reserve(group.size() * 2);
+  for (const Pair& p : group) {
+    key.push_back(static_cast<char>(p.init));
+    key.push_back(static_cast<char>(p.cur));
+  }
+  return key;
+}
+
+enum class Status : std::uint8_t { kInProgress, kFailed, kSolved };
+
+class AdsSearch {
+ public:
+  AdsSearch(const StateTable& table, std::uint64_t budget)
+      : table_(table), budget_(budget) {}
+
+  /// Returns the node index of a solved configuration, or -1.
+  int solve(const std::vector<Pair>& group, AdsTree& tree) {
+    if (group.size() == 1) {
+      tree.nodes.push_back({true, group[0].init, 0, {}});
+      return static_cast<int>(tree.nodes.size()) - 1;
+    }
+    const std::string key = canonical(group);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      switch (it->second.first) {
+        case Status::kSolved: return it->second.second;
+        case Status::kFailed: return -1;
+        case Status::kInProgress: return -1;  // cycle: fail this path
+      }
+    }
+    if (budget_ == 0) return -1;
+    --budget_;
+    memo_[key] = {Status::kInProgress, -1};
+
+    // Try splitting inputs first (they terminate branches), then chains.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::uint32_t x = 0; x < table_.num_input_combos(); ++x) {
+        if (!admissible(group, x)) continue;
+        std::map<std::uint32_t, std::vector<Pair>> classes;
+        for (const Pair& p : group)
+          classes[table_.output(p.cur, x)].push_back(
+              {p.init, table_.next(p.cur, x)});
+        const bool splits = classes.size() >= 2;
+        if ((pass == 0) != splits) continue;
+
+        std::vector<std::pair<std::uint32_t, int>> children;
+        bool ok = true;
+        for (const auto& [out, sub] : classes) {
+          const int child = solve(sub, tree);
+          if (child < 0) {
+            ok = false;
+            break;
+          }
+          children.emplace_back(out, child);
+        }
+        if (!ok) continue;
+        tree.nodes.push_back({false, -1, x, std::move(children)});
+        const int id = static_cast<int>(tree.nodes.size()) - 1;
+        memo_[key] = {Status::kSolved, id};
+        return id;
+      }
+    }
+    memo_[key] = {Status::kFailed, -1};
+    return -1;
+  }
+
+ private:
+  /// Admissible: the input never merges two still-undistinguished states
+  /// that also agree on the output (those could never be told apart later).
+  bool admissible(const std::vector<Pair>& group, std::uint32_t x) const {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        if (group[i].cur == group[j].cur) return false;  // already merged
+        if (table_.output(group[i].cur, x) == table_.output(group[j].cur, x) &&
+            table_.next(group[i].cur, x) == table_.next(group[j].cur, x))
+          return false;
+      }
+    }
+    return true;
+  }
+
+  const StateTable& table_;
+  std::uint64_t budget_;
+  std::map<std::string, std::pair<Status, int>> memo_;
+};
+
+}  // namespace
+
+int AdsTree::depth() const {
+  if (!exists || nodes.empty()) return 0;
+  // Nodes form a DAG (subtrees are shared via memoization); depth by
+  // memoized recursion over indices.
+  std::vector<int> depth_of(nodes.size(), -1);
+  // Children indices are always smaller than their parent's (children are
+  // pushed first), so a single ascending pass suffices.
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].leaf) {
+      depth_of[n] = 0;
+      continue;
+    }
+    int d = 0;
+    for (const auto& [out, child] : nodes[n].children)
+      d = std::max(d, depth_of[static_cast<std::size_t>(child)]);
+    depth_of[n] = d + 1;
+  }
+  return depth_of.back();
+}
+
+AdsTree derive_ads(const StateTable& table, const AdsOptions& options) {
+  require(table.num_states() <= 120, "derive_ads: supports up to 120 states");
+  AdsTree tree;
+  std::vector<Pair> root;
+  for (int s = 0; s < table.num_states(); ++s) root.push_back({s, s});
+  if (table.num_states() == 1) {
+    tree.exists = true;
+    tree.nodes.push_back({true, 0, 0, {}});
+    return tree;
+  }
+  AdsSearch search(table, options.budget);
+  const int root_node = search.solve(root, tree);
+  tree.exists = root_node >= 0;
+  if (tree.exists) {
+    // The root must be the last node pushed (its children precede it).
+    require(root_node == static_cast<int>(tree.nodes.size()) - 1,
+            "derive_ads: internal arena ordering violated");
+  } else {
+    tree.nodes.clear();
+  }
+  return tree;
+}
+
+int identify_state(const StateTable& table, const AdsTree& tree,
+                   int actual_state) {
+  require(tree.exists, "identify_state: no ADS");
+  int node = static_cast<int>(tree.nodes.size()) - 1;  // root
+  int cur = actual_state;
+  while (!tree.nodes[static_cast<std::size_t>(node)].leaf) {
+    const AdsTree::Node& n = tree.nodes[static_cast<std::size_t>(node)];
+    const std::uint32_t out = table.output(cur, n.input);
+    cur = table.next(cur, n.input);
+    int next_node = -1;
+    for (const auto& [branch_out, child] : n.children)
+      if (branch_out == out) next_node = child;
+    require(next_node >= 0, "identify_state: observed output has no branch");
+    node = next_node;
+  }
+  return tree.nodes[static_cast<std::size_t>(node)].state;
+}
+
+}  // namespace fstg

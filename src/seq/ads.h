@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fsm/state_table.h"
+
+namespace fstg {
+
+/// Adaptive distinguishing sequences (Lee & Yannakakis): a decision tree
+/// that identifies the machine's initial state by choosing each next input
+/// based on the outputs observed so far. ADSs complete the classical FSM
+/// state-verification trichotomy next to the paper's preset UIO sequences
+/// and the W-method: stronger than a single preset sequence (an ADS
+/// identifies *every* state when it exists) but not always available.
+///
+/// The derivation here is an exact memoized search over configurations
+/// (sets of (initial, current) state pairs): an input is admissible if it
+/// never merges two still-indistinguishable states, splitting inputs
+/// branch the tree, and non-splitting admissible inputs chain with cycle
+/// detection. Success and failure are memoized per configuration, which
+/// keeps the search exact (a solvable configuration always has a
+/// revisit-free derivation) while bounding work; a node budget turns
+/// pathological machines into "not found", which is sound.
+struct AdsTree {
+  struct Node {
+    bool leaf = false;
+    int state = -1;           ///< identified initial state (leaves)
+    std::uint32_t input = 0;  ///< applied input (internal nodes)
+    /// (observed output word, child node index).
+    std::vector<std::pair<std::uint32_t, int>> children;
+  };
+
+  bool exists = false;
+  std::vector<Node> nodes;  ///< node 0 is the root when exists
+  /// Length of the longest root-to-leaf input sequence.
+  int depth() const;
+};
+
+struct AdsOptions {
+  std::uint64_t budget = 1'000'000;  ///< configuration expansions
+};
+
+AdsTree derive_ads(const StateTable& table, const AdsOptions& options = {});
+
+/// Run the machine from `actual_state`, adaptively following the tree;
+/// returns the state the tree identifies (== actual_state iff the tree is
+/// correct). Throws if an observed output has no branch (tree invalid).
+int identify_state(const StateTable& table, const AdsTree& tree,
+                   int actual_state);
+
+}  // namespace fstg

@@ -1,0 +1,60 @@
+#include "seq/distinguishing.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/error.h"
+
+namespace fstg {
+
+std::optional<std::vector<std::uint32_t>> distinguishing_sequence(
+    const StateTable& table, int a, int b) {
+  require(a >= 0 && a < table.num_states() && b >= 0 && b < table.num_states(),
+          "distinguishing_sequence: bad state");
+  if (a == b) return std::nullopt;
+
+  const int n = table.num_states();
+  struct Node {
+    int a, b, parent;
+    std::uint32_t via;
+  };
+  std::vector<Node> arena;
+  std::deque<int> queue;
+  std::vector<bool> seen(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                         false);
+  auto pair_index = [n](int x, int y) {
+    if (x > y) std::swap(x, y);
+    return static_cast<std::size_t>(x) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(y);
+  };
+
+  arena.push_back({a, b, -1, 0});
+  queue.push_back(0);
+  seen[pair_index(a, b)] = true;
+
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    const Node node = arena[static_cast<std::size_t>(id)];
+    for (std::uint32_t ic = 0; ic < table.num_input_combos(); ++ic) {
+      if (table.output(node.a, ic) != table.output(node.b, ic)) {
+        std::vector<std::uint32_t> seq{ic};
+        for (int cur = id; cur > 0;
+             cur = arena[static_cast<std::size_t>(cur)].parent)
+          seq.push_back(arena[static_cast<std::size_t>(cur)].via);
+        std::reverse(seq.begin(), seq.end());
+        return seq;
+      }
+      const int na = table.next(node.a, ic);
+      const int nb = table.next(node.b, ic);
+      if (na == nb) continue;  // merged: this branch can never distinguish
+      if (seen[pair_index(na, nb)]) continue;
+      seen[pair_index(na, nb)] = true;
+      arena.push_back({na, nb, id, ic});
+      queue.push_back(static_cast<int>(arena.size()) - 1);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fstg

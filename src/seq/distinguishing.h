@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fsm/state_table.h"
+
+namespace fstg {
+
+/// Shortest input sequence whose output traces from states `a` and `b`
+/// differ (pairwise distinguishing sequence), or nullopt if the states are
+/// equivalent. BFS over the pair graph; used by tests as an independent
+/// oracle for UIO verification and by the design-validation example.
+std::optional<std::vector<std::uint32_t>> distinguishing_sequence(
+    const StateTable& table, int a, int b);
+
+}  // namespace fstg

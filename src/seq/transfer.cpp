@@ -1,0 +1,54 @@
+#include "seq/transfer.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/error.h"
+
+namespace fstg {
+
+std::optional<std::vector<std::uint32_t>> find_transfer(
+    const StateTable& table, int from, int max_length,
+    const std::function<bool(int)>& target) {
+  require(from >= 0 && from < table.num_states(), "find_transfer: bad state");
+  if (max_length <= 0) return std::nullopt;
+
+  struct Node {
+    int state;
+    int parent;
+    std::uint32_t via;
+    int depth;
+  };
+  std::vector<Node> arena;
+  std::deque<int> queue;
+  std::vector<bool> seen(static_cast<std::size_t>(table.num_states()), false);
+
+  arena.push_back({from, -1, 0, 0});
+  queue.push_back(0);
+  seen[static_cast<std::size_t>(from)] = true;
+
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    const Node node = arena[static_cast<std::size_t>(id)];
+    if (node.depth >= max_length) continue;
+    for (std::uint32_t a = 0; a < table.num_input_combos(); ++a) {
+      const int t = table.next(node.state, a);
+      if (target(t)) {
+        std::vector<std::uint32_t> seq{a};
+        for (int cur = id; cur > 0;
+             cur = arena[static_cast<std::size_t>(cur)].parent)
+          seq.push_back(arena[static_cast<std::size_t>(cur)].via);
+        std::reverse(seq.begin(), seq.end());
+        return seq;
+      }
+      if (seen[static_cast<std::size_t>(t)]) continue;
+      seen[static_cast<std::size_t>(t)] = true;
+      arena.push_back({t, id, a, node.depth + 1});
+      queue.push_back(static_cast<int>(arena.size()) - 1);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fstg

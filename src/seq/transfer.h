@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fsm/state_table.h"
+
+namespace fstg {
+
+/// Shortest input sequence of length 1..max_length from `from` to any state
+/// satisfying `target`, exploring inputs in ascending order (so ties match
+/// the paper's deterministic walkthrough). Returns nullopt if none exists.
+/// `from` itself is not tested against `target` (the caller has already
+/// decided it needs to move).
+std::optional<std::vector<std::uint32_t>> find_transfer(
+    const StateTable& table, int from, int max_length,
+    const std::function<bool(int)>& target);
+
+}  // namespace fstg

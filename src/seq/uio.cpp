@@ -1,0 +1,153 @@
+#include "seq/uio.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "base/error.h"
+
+namespace fstg {
+
+int UioSet::count() const {
+  int n = 0;
+  for (const auto& u : per_state) n += u.exists ? 1 : 0;
+  return n;
+}
+
+int UioSet::max_length() const {
+  int m = 0;
+  for (const auto& u : per_state)
+    if (u.exists) m = std::max(m, u.length());
+  return m;
+}
+
+namespace {
+
+/// BFS node: current state of the owner's trace plus the deduplicated,
+/// sorted current states of all not-yet-distinguished other states.
+struct Node {
+  int cur = 0;
+  std::vector<int> alive;
+  int parent = -1;          ///< index into the node arena
+  std::uint32_t via = 0;    ///< input that produced this node
+  int depth = 0;
+};
+
+std::string node_key(int cur, const std::vector<int>& alive) {
+  std::string key;
+  key.reserve(alive.size() + 1);
+  key.push_back(static_cast<char>(cur));
+  for (int s : alive) key.push_back(static_cast<char>(s));
+  return key;
+}
+
+UioSequence search_state(const StateTable& table, int s, int max_len,
+                         std::uint64_t eval_budget) {
+  UioSequence result;
+  const std::uint32_t nic = table.num_input_combos();
+
+  std::vector<Node> arena;
+  std::deque<int> queue;
+  std::unordered_set<std::string> visited;
+
+  Node root;
+  root.cur = s;
+  for (int t = 0; t < table.num_states(); ++t)
+    if (t != s) root.alive.push_back(t);
+  if (root.alive.empty()) {
+    // Single-state machine: the empty sequence is (vacuously) unique, but
+    // the paper's tests need at least one input; report non-existent.
+    return result;
+  }
+  visited.insert(node_key(root.cur, root.alive));
+  arena.push_back(std::move(root));
+  queue.push_back(0);
+
+  std::uint64_t evals = 0;
+  std::vector<int> next_alive;
+  while (!queue.empty()) {
+    const int node_id = queue.front();
+    queue.pop_front();
+    // Copy the POD bits we need: arena may reallocate on push_back.
+    const int depth = arena[static_cast<std::size_t>(node_id)].depth;
+    if (depth >= max_len) continue;
+    const int cur = arena[static_cast<std::size_t>(node_id)].cur;
+
+    for (std::uint32_t a = 0; a < nic; ++a) {
+      evals += arena[static_cast<std::size_t>(node_id)].alive.size();
+      if (evals > eval_budget) return result;  // budget hit: treat as none
+
+      const std::uint32_t out = table.output(cur, a);
+      const int next_cur = table.next(cur, a);
+      next_alive.clear();
+      for (int t : arena[static_cast<std::size_t>(node_id)].alive) {
+        if (table.output(t, a) != out) continue;  // distinguished now
+        next_alive.push_back(table.next(t, a));
+      }
+      std::sort(next_alive.begin(), next_alive.end());
+      next_alive.erase(std::unique(next_alive.begin(), next_alive.end()),
+                       next_alive.end());
+
+      if (next_alive.empty()) {
+        // Found: reconstruct the input sequence.
+        result.exists = true;
+        result.inputs.push_back(a);
+        for (int id = node_id; id > 0;
+             id = arena[static_cast<std::size_t>(id)].parent)
+          result.inputs.push_back(arena[static_cast<std::size_t>(id)].via);
+        std::reverse(result.inputs.begin(), result.inputs.end());
+        result.final_state = table.run(s, result.inputs);
+        return result;
+      }
+      // If some undistinguished state collapsed onto the trace state, this
+      // branch can never separate it; prune.
+      if (std::binary_search(next_alive.begin(), next_alive.end(), next_cur))
+        continue;
+      if (depth + 1 >= max_len) continue;  // child could not extend anyway
+
+      std::string key = node_key(next_cur, next_alive);
+      if (!visited.insert(std::move(key)).second) continue;
+      Node child;
+      child.cur = next_cur;
+      child.alive = next_alive;
+      child.parent = node_id;
+      child.via = a;
+      child.depth = depth + 1;
+      arena.push_back(std::move(child));
+      queue.push_back(static_cast<int>(arena.size()) - 1);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+UioSet derive_uio_sequences(const StateTable& table,
+                            const UioOptions& options) {
+  require(table.num_states() <= 127,
+          "UIO derivation supports up to 127 states");
+  const int max_len = options.effective_max_length(table);
+  UioSet set;
+  set.per_state.resize(static_cast<std::size_t>(table.num_states()));
+  for (int s = 0; s < table.num_states(); ++s) {
+    UioSequence u = search_state(table, s, max_len, options.eval_budget);
+    if (u.exists) require(verify_uio(table, s, u.inputs),
+                          "internal error: derived UIO failed verification");
+    set.per_state[static_cast<std::size_t>(s)] = std::move(u);
+  }
+  return set;
+}
+
+bool verify_uio(const StateTable& table, int state,
+                const std::vector<std::uint32_t>& seq) {
+  if (seq.empty()) return false;
+  const std::vector<std::uint32_t> ref = table.trace(state, seq);
+  for (int t = 0; t < table.num_states(); ++t) {
+    if (t == state) continue;
+    if (table.trace(t, seq) == ref) return false;
+  }
+  return true;
+}
+
+}  // namespace fstg

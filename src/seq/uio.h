@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fsm/state_table.h"
+
+namespace fstg {
+
+/// Limits for UIO derivation. The paper bounds sequence length by L
+/// (default L = number of state variables, so applying a UIO never costs
+/// more clocks than a scan operation); the evaluation budget bounds the
+/// BFS work per state so pathological machines degrade to "no UIO found",
+/// which is sound — it only removes optional test chaining.
+struct UioOptions {
+  int max_length = 0;  ///< 0 means "use the machine's state_bits()"
+  std::uint64_t eval_budget = 50'000'000;  ///< child evaluations per state
+
+  int effective_max_length(const StateTable& table) const {
+    return max_length > 0 ? max_length : table.state_bits();
+  }
+};
+
+/// A unique input-output sequence for one state: input sequence whose
+/// output trace from the owner state differs from the trace out of every
+/// other state. `final_state` is where the sequence leaves the machine
+/// when applied from the owner state.
+struct UioSequence {
+  bool exists = false;
+  std::vector<std::uint32_t> inputs;
+  int final_state = -1;
+
+  int length() const { return static_cast<int>(inputs.size()); }
+};
+
+/// UIO sequences for every state (the paper keeps at most one per state).
+struct UioSet {
+  std::vector<UioSequence> per_state;
+
+  const UioSequence& of(int state) const {
+    return per_state[static_cast<std::size_t>(state)];
+  }
+  /// Number of states that have a UIO (Table 4 column `unique`).
+  int count() const;
+  /// Longest UIO found (Table 4 column `m.len`); 0 if none exist.
+  int max_length() const;
+};
+
+/// Derive a shortest UIO (length <= L, ties broken by ascending input
+/// order) for every state. BFS over nodes (trace state of s, set of current
+/// states of still-undistinguished states); two undistinguished states that
+/// reach the same current state are merged, and a node whose alive set
+/// contains the trace state is pruned (those states can never be told
+/// apart). Every returned sequence is re-verified by direct simulation.
+UioSet derive_uio_sequences(const StateTable& table,
+                            const UioOptions& options = {});
+
+/// Independent check that `seq` distinguishes `state` from every other
+/// state by its output trace.
+bool verify_uio(const StateTable& table, int state,
+                const std::vector<std::uint32_t>& seq);
+
+}  // namespace fstg

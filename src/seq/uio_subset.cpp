@@ -1,0 +1,115 @@
+#include "seq/uio_subset.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+#include "seq/distinguishing.h"
+#include "seq/uio.h"
+
+namespace fstg {
+
+std::size_t UioSubset::total_length() const {
+  std::size_t n = 0;
+  for (const auto& s : sequences) n += s.size();
+  return n;
+}
+
+UioSubset derive_uio_subset(const StateTable& table, int state,
+                            const UioSubsetOptions& options) {
+  require(state >= 0 && state < table.num_states(),
+          "derive_uio_subset: bad state");
+  const int max_length =
+      options.max_length > 0 ? options.max_length : table.state_bits();
+
+  UioSubset result;
+
+  // Candidate pool: a shortest pairwise distinguishing sequence per other
+  // state, capped at max_length. A state with no (bounded) pairwise
+  // sequence cannot be covered at all.
+  std::vector<std::vector<std::uint32_t>> candidates;
+  std::vector<int> uncovered;
+  for (int other = 0; other < table.num_states(); ++other) {
+    if (other == state) continue;
+    auto seq = distinguishing_sequence(table, state, other);
+    if (!seq.has_value() ||
+        seq->size() > static_cast<std::size_t>(max_length)) {
+      uncovered.push_back(other);
+      continue;
+    }
+    candidates.push_back(std::move(*seq));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Which states each candidate separates from `state`.
+  std::vector<int> remaining;
+  for (int other = 0; other < table.num_states(); ++other)
+    if (other != state &&
+        std::find(uncovered.begin(), uncovered.end(), other) ==
+            uncovered.end())
+      remaining.push_back(other);
+
+  auto separates = [&](const std::vector<std::uint32_t>& seq, int other) {
+    return table.trace(state, seq) != table.trace(other, seq);
+  };
+
+  while (!remaining.empty() &&
+         result.sequences.size() < options.max_sequences) {
+    std::size_t best = candidates.size();
+    std::vector<int> best_covered;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      std::vector<int> covered;
+      for (int other : remaining)
+        if (separates(candidates[c], other)) covered.push_back(other);
+      if (covered.size() > best_covered.size()) {
+        best_covered = std::move(covered);
+        best = c;
+      }
+    }
+    if (best == candidates.size()) break;  // no candidate helps (impossible
+                                           // unless remaining is empty)
+    result.sequences.push_back(candidates[best]);
+    result.distinguished.push_back(best_covered);
+    std::vector<int> next;
+    for (int other : remaining)
+      if (std::find(best_covered.begin(), best_covered.end(), other) ==
+          best_covered.end())
+        next.push_back(other);
+    remaining = std::move(next);
+  }
+
+  result.complete = remaining.empty() && uncovered.empty();
+  return result;
+}
+
+UioSubsetStats uio_subset_stats(const StateTable& table,
+                                const UioSubsetOptions& options) {
+  UioSubsetStats stats;
+  UioOptions uio_options;
+  uio_options.max_length = options.max_length;
+  const UioSet uios = derive_uio_sequences(table, uio_options);
+
+  std::size_t subset_size_sum = 0;
+  for (int s = 0; s < table.num_states(); ++s) {
+    if (uios.of(s).exists) {
+      ++stats.states_with_single_uio;
+      continue;
+    }
+    UioSubset subset = derive_uio_subset(table, s, options);
+    if (subset.complete) {
+      ++stats.states_with_subset_only;
+      subset_size_sum += subset.size();
+    } else {
+      ++stats.states_uncoverable;
+    }
+  }
+  stats.average_subset_size =
+      stats.states_with_subset_only == 0
+          ? 0.0
+          : static_cast<double>(subset_size_sum) /
+                static_cast<double>(stats.states_with_subset_only);
+  return stats;
+}
+
+}  // namespace fstg

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fsm/state_table.h"
+
+namespace fstg {
+
+/// The option the paper mentions but does not explore (Section 1): "For a
+/// state that does not have a unique input-output sequence, it is possible
+/// to use a subset of sequences, with each sequence distinguishing the
+/// state from a different subset of states."
+///
+/// A subset-UIO for state s is a small set of input sequences such that
+/// every other state is distinguished from s by at least one of them.
+struct UioSubset {
+  bool complete = false;  ///< every other state distinguished
+  std::vector<std::vector<std::uint32_t>> sequences;
+  /// distinguished[k] = states separated from the owner by sequences[k].
+  std::vector<std::vector<int>> distinguished;
+
+  std::size_t size() const { return sequences.size(); }
+  std::size_t total_length() const;
+};
+
+struct UioSubsetOptions {
+  int max_length = 0;          ///< per-sequence bound; 0 = state_bits()
+  std::size_t max_sequences = 8;
+};
+
+/// Greedy set cover over pairwise distinguishing sequences: repeatedly add
+/// the candidate sequence separating the most still-undistinguished
+/// states. `complete` is false if some state is outright equivalent to s
+/// (then no set of sequences can ever work) or the sequence budget ran out.
+UioSubset derive_uio_subset(const StateTable& table, int state,
+                            const UioSubsetOptions& options = {});
+
+/// Statistics across all states (the ablation bench's payload).
+struct UioSubsetStats {
+  int states_with_single_uio = 0;
+  int states_with_subset_only = 0;  ///< no single UIO, but a complete subset
+  int states_uncoverable = 0;       ///< equivalent twin exists / budget out
+  double average_subset_size = 0.0;  ///< over subset-only states
+};
+
+UioSubsetStats uio_subset_stats(const StateTable& table,
+                                const UioSubsetOptions& options = {});
+
+}  // namespace fstg

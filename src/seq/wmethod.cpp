@@ -1,0 +1,76 @@
+#include "seq/wmethod.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/error.h"
+#include "seq/distinguishing.h"
+
+namespace fstg {
+
+WMethodResult w_method_tests(const StateTable& table) {
+  WMethodResult result;
+  const int n = table.num_states();
+
+  // Candidate pool: one shortest pairwise distinguishing sequence per
+  // state pair. Any unresolvable pair means the machine is not minimal.
+  std::vector<std::pair<int, int>> pairs;
+  std::vector<std::vector<std::uint32_t>> candidates;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      auto seq = distinguishing_sequence(table, a, b);
+      if (!seq.has_value()) return result;  // equivalent states: no W
+      pairs.emplace_back(a, b);
+      candidates.push_back(std::move(*seq));
+    }
+  }
+  result.machine_is_minimal = true;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Greedy cover: pick the candidate separating the most uncovered pairs.
+  std::vector<bool> covered(pairs.size(), false);
+  std::size_t remaining = pairs.size();
+  auto separates = [&](const std::vector<std::uint32_t>& seq,
+                       const std::pair<int, int>& p) {
+    return table.trace(p.first, seq) != table.trace(p.second, seq);
+  };
+  while (remaining > 0) {
+    std::size_t best = candidates.size();
+    std::size_t best_gain = 0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      std::size_t gain = 0;
+      for (std::size_t p = 0; p < pairs.size(); ++p)
+        if (!covered[p] && separates(candidates[c], pairs[p])) ++gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    require(best < candidates.size(), "w_method: cover stalled");
+    result.w_set.push_back(candidates[best]);
+    for (std::size_t p = 0; p < pairs.size(); ++p)
+      if (!covered[p] && separates(candidates[best], pairs[p])) {
+        covered[p] = true;
+        --remaining;
+      }
+  }
+
+  // Transition cover x W: one scan test per (transition, w).
+  for (int s = 0; s < n; ++s) {
+    for (std::uint32_t ic = 0; ic < table.num_input_combos(); ++ic) {
+      for (const auto& w : result.w_set) {
+        FunctionalTest t;
+        t.init_state = s;
+        t.inputs.push_back(ic);
+        t.inputs.insert(t.inputs.end(), w.begin(), w.end());
+        t.final_state = table.run(s, t.inputs);
+        result.tests.tests.push_back(std::move(t));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fstg

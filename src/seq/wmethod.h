@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/test.h"
+#include "fsm/state_table.h"
+
+namespace fstg {
+
+/// Chow's W-method (1978), adapted to full scan — the classical
+/// characterization-set alternative to the paper's UIO-based procedure. A
+/// characterization set W is a set of input sequences that jointly
+/// distinguish every pair of states. Under full scan, each transition
+/// s --a--> t is tested by |W| scan tests (scan in s, apply a then w, for
+/// every w in W): the outputs of w identify t without relying on t having
+/// a UIO. Complete by construction for minimal machines, but the test
+/// count multiplies by |W| — the trade the paper's procedure avoids.
+struct WMethodResult {
+  /// The characterization set (empty if the machine has equivalent states,
+  /// in which case no W exists).
+  std::vector<std::vector<std::uint32_t>> w_set;
+  bool machine_is_minimal = false;
+  TestSet tests;
+};
+
+/// Derive a small W via greedy set cover over pairwise distinguishing
+/// sequences, then emit the transition-cover x W scan tests.
+WMethodResult w_method_tests(const StateTable& table);
+
+}  // namespace fstg

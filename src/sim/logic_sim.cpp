@@ -1,0 +1,195 @@
+#include "sim/logic_sim.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace fstg {
+
+LogicSim::LogicSim(const Netlist& nl) : nl_(&nl) {
+  input_words_.assign(static_cast<std::size_t>(nl.num_inputs()), 0);
+  values_.assign(static_cast<std::size_t>(nl.num_gates()), 0);
+
+  // Flatten the netlist into CSR form for the hot evaluation loop.
+  const int n = nl.num_gates();
+  type_.resize(static_cast<std::size_t>(n));
+  fanin_begin_.resize(static_cast<std::size_t>(n) + 1);
+  input_index_.assign(static_cast<std::size_t>(n), -1);
+  int inputs_seen = 0;
+  std::size_t total_fanins = 0;
+  for (int id = 0; id < n; ++id) total_fanins += nl.gate(id).fanins.size();
+  fanins_.reserve(total_fanins);
+  for (int id = 0; id < n; ++id) {
+    const Gate& g = nl.gate(id);
+    type_[static_cast<std::size_t>(id)] = g.type;
+    fanin_begin_[static_cast<std::size_t>(id)] =
+        static_cast<int>(fanins_.size());
+    for (int f : g.fanins) fanins_.push_back(f);
+    if (g.type == GateType::kInput)
+      input_index_[static_cast<std::size_t>(id)] = inputs_seen++;
+  }
+  fanin_begin_[static_cast<std::size_t>(n)] = static_cast<int>(fanins_.size());
+}
+
+Word LogicSim::eval_gate(int id) const {
+  const int begin = fanin_begin_[static_cast<std::size_t>(id)];
+  const int end = fanin_begin_[static_cast<std::size_t>(id) + 1];
+  switch (type_[static_cast<std::size_t>(id)]) {
+    case GateType::kInput:
+      return input_words_[static_cast<std::size_t>(
+          input_index_[static_cast<std::size_t>(id)])];
+    case GateType::kConst0:
+      return 0;
+    case GateType::kConst1:
+      return ~Word{0};
+    case GateType::kBuf:
+      return values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(begin)])];
+    case GateType::kNot:
+      return ~values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(begin)])];
+    case GateType::kAnd: {
+      Word v = ~Word{0};
+      for (int p = begin; p < end; ++p)
+        v &= values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(p)])];
+      return v;
+    }
+    case GateType::kNand: {
+      Word v = ~Word{0};
+      for (int p = begin; p < end; ++p)
+        v &= values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(p)])];
+      return ~v;
+    }
+    case GateType::kOr: {
+      Word v = 0;
+      for (int p = begin; p < end; ++p)
+        v |= values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(p)])];
+      return v;
+    }
+    case GateType::kNor: {
+      Word v = 0;
+      for (int p = begin; p < end; ++p)
+        v |= values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(p)])];
+      return ~v;
+    }
+    case GateType::kXor:
+      return values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(begin)])] ^
+             values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(begin + 1)])];
+  }
+  return 0;
+}
+
+void LogicSim::eval_span(int first_gate, int skip_a, int skip_b) {
+  const int n = nl_->num_gates();
+  for (int id = first_gate; id < n; ++id) {
+    if (id == skip_a || id == skip_b) continue;
+    values_[static_cast<std::size_t>(id)] = eval_gate(id);
+  }
+}
+
+void LogicSim::run_cone(const FaultSpec& fault, const std::vector<int>& cone) {
+  switch (fault.kind) {
+    case FaultSpec::Kind::kNone:
+      for (int id : cone) values_[static_cast<std::size_t>(id)] = eval_gate(id);
+      return;
+
+    case FaultSpec::Kind::kStuckGate:
+      for (int id : cone) {
+        values_[static_cast<std::size_t>(id)] =
+            id == fault.gate ? (fault.value ? ~Word{0} : Word{0})
+                             : eval_gate(id);
+      }
+      return;
+
+    case FaultSpec::Kind::kStuckPin: {
+      const int begin = fanin_begin_[static_cast<std::size_t>(fault.gate)];
+      const int driver =
+          fanins_[static_cast<std::size_t>(begin + fault.gate2_or_pin)];
+      for (int id : cone) {
+        if (id == fault.gate) {
+          const Word saved = values_[static_cast<std::size_t>(driver)];
+          values_[static_cast<std::size_t>(driver)] =
+              fault.value ? ~Word{0} : Word{0};
+          const Word v = eval_gate(id);
+          values_[static_cast<std::size_t>(driver)] = saved;
+          values_[static_cast<std::size_t>(id)] = v;
+        } else {
+          values_[static_cast<std::size_t>(id)] = eval_gate(id);
+        }
+      }
+      return;
+    }
+
+    case FaultSpec::Kind::kBridge: {
+      // Seeded values are the fault-free (raw) line values; the cone must
+      // contain the downstream of both bridged gates but not the gates
+      // themselves (they are forced, never re-evaluated).
+      const int g1 = fault.gate;
+      const int g2 = fault.gate2_or_pin;
+      const Word v1 = values_[static_cast<std::size_t>(g1)];
+      const Word v2 = values_[static_cast<std::size_t>(g2)];
+      const Word wired = fault.value ? (v1 | v2) : (v1 & v2);
+      values_[static_cast<std::size_t>(g1)] = wired;
+      values_[static_cast<std::size_t>(g2)] = wired;
+      for (int id : cone) values_[static_cast<std::size_t>(id)] = eval_gate(id);
+      return;
+    }
+  }
+}
+
+void LogicSim::override_and_propagate(int gate, Word value) {
+  values_[static_cast<std::size_t>(gate)] = value;
+  eval_span(gate + 1, gate, -1);
+}
+
+void LogicSim::run(const FaultSpec& fault) {
+  switch (fault.kind) {
+    case FaultSpec::Kind::kNone:
+      eval_span(0, -1, -1);
+      return;
+
+    case FaultSpec::Kind::kStuckGate:
+      eval_span(0, fault.gate, -1);
+      values_[static_cast<std::size_t>(fault.gate)] =
+          fault.value ? ~Word{0} : Word{0};
+      eval_span(fault.gate + 1, -1, -1);
+      return;
+
+    case FaultSpec::Kind::kStuckPin: {
+      // Evaluate up to the faulted gate, patch the pin by temporarily
+      // overriding the driver's value (restored immediately), continue.
+      eval_span(0, fault.gate, -1);
+      const int begin = fanin_begin_[static_cast<std::size_t>(fault.gate)];
+      const int driver =
+          fanins_[static_cast<std::size_t>(begin + fault.gate2_or_pin)];
+      const Word saved = values_[static_cast<std::size_t>(driver)];
+      values_[static_cast<std::size_t>(driver)] =
+          fault.value ? ~Word{0} : Word{0};
+      const Word faulted = eval_gate(fault.gate);
+      values_[static_cast<std::size_t>(driver)] = saved;
+      values_[static_cast<std::size_t>(fault.gate)] = faulted;
+      eval_span(fault.gate + 1, -1, -1);
+      return;
+    }
+
+    case FaultSpec::Kind::kBridge: {
+      // Non-feedback bridge: neither gate is in the other's fanin cone, so
+      // the raw (pre-bridge) values from a fault-free sweep are exact.
+      // Force both lines to the wired value and re-evaluate downstream;
+      // one partial sweep suffices because all transitive fanouts have
+      // larger ids (topological storage).
+      const int g1 = fault.gate;
+      const int g2 = fault.gate2_or_pin;
+      require(g1 >= 0 && g2 >= 0 && g1 != g2,
+              "bridge needs two distinct gates");
+      eval_span(0, -1, -1);
+      const Word v1 = values_[static_cast<std::size_t>(g1)];
+      const Word v2 = values_[static_cast<std::size_t>(g2)];
+      const Word wired = fault.value ? (v1 | v2) : (v1 & v2);
+      values_[static_cast<std::size_t>(g1)] = wired;
+      values_[static_cast<std::size_t>(g2)] = wired;
+      eval_span(std::min(g1, g2) + 1, g1, g2);
+      return;
+    }
+  }
+}
+
+}  // namespace fstg

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fstg {
+
+using Word = std::uint64_t;
+inline constexpr int kWordBits = 64;
+
+/// A fault injectable into the word-parallel simulator.
+struct FaultSpec {
+  enum class Kind : std::uint8_t {
+    kNone,       ///< fault-free
+    kStuckGate,  ///< gate output (stem) stuck at `value`
+    kStuckPin,   ///< input pin `pin` of gate `gate` (branch) stuck at `value`
+    kBridge,     ///< non-feedback bridge between outputs of gates `gate` and
+                 ///< `gate2`; AND-type if `value` is false, OR-type if true
+  };
+  Kind kind = Kind::kNone;
+  int gate = -1;
+  int gate2_or_pin = -1;
+  bool value = false;
+
+  static FaultSpec none() { return {}; }
+  static FaultSpec stuck_gate(int gate, bool value) {
+    return {Kind::kStuckGate, gate, -1, value};
+  }
+  static FaultSpec stuck_pin(int gate, int pin, bool value) {
+    return {Kind::kStuckPin, gate, pin, value};
+  }
+  static FaultSpec bridge_and(int g1, int g2) {
+    return {Kind::kBridge, g1, g2, false};
+  }
+  static FaultSpec bridge_or(int g1, int g2) {
+    return {Kind::kBridge, g1, g2, true};
+  }
+
+  bool operator==(const FaultSpec& o) const = default;
+};
+
+/// Word-parallel (64 patterns per pass) levelized evaluation of a
+/// combinational netlist, with single-fault injection. The netlist's
+/// topological storage order makes evaluation a single linear sweep;
+/// bridging faults take a second partial sweep (see the .cpp for why this
+/// is exact for non-feedback bridges).
+class LogicSim {
+ public:
+  explicit LogicSim(const Netlist& nl);
+
+  /// Set the 64 lane values of primary input `input_index`.
+  void set_input(int input_index, Word w) {
+    input_words_[static_cast<std::size_t>(input_index)] = w;
+  }
+  Word input(int input_index) const {
+    return input_words_[static_cast<std::size_t>(input_index)];
+  }
+
+  /// Evaluate all gates under `fault` (kNone = fault-free).
+  void run(const FaultSpec& fault = FaultSpec::none());
+
+  Word value(int gate_id) const {
+    return values_[static_cast<std::size_t>(gate_id)];
+  }
+  Word output(int output_index) const {
+    return values_[static_cast<std::size_t>(
+        nl_->outputs()[static_cast<std::size_t>(output_index)])];
+  }
+  const std::vector<Word>& values() const { return values_; }
+
+  /// Overwrite all gate values (used to seed a known-good evaluation
+  /// before a cone-restricted faulty re-evaluation).
+  void seed_values(const std::vector<Word>& values) { values_ = values; }
+
+  /// Re-evaluate only the gates in `cone` (sorted ascending; the fault
+  /// site's transitive fanout) on top of seeded values. All other gates —
+  /// including the primary inputs — keep their seeded values, which is
+  /// exact as long as the seeded values are the fault-free values of the
+  /// same cycle. This is the single-fault-propagation fast path.
+  void run_cone(const FaultSpec& fault, const std::vector<int>& cone);
+
+  /// Force gate `g` to `value` and re-evaluate everything downstream of it
+  /// (all ids > g, g itself held). Valid after any full evaluation; used
+  /// by the transition-delay fault simulator, which needs the raw value of
+  /// the fault site before deciding the delayed value.
+  void override_and_propagate(int gate, Word value);
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  Word eval_gate(int id) const;
+  void eval_span(int first_gate, int skip_a, int skip_b);
+
+  const Netlist* nl_;
+  std::vector<Word> input_words_;
+  std::vector<Word> values_;
+  // CSR-flattened netlist for the hot loop.
+  std::vector<GateType> type_;
+  std::vector<int> fanin_begin_;
+  std::vector<int> fanins_;
+  std::vector<int> input_index_;
+};
+
+}  // namespace fstg

@@ -1,0 +1,139 @@
+#include "sim/scan_sim.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace fstg {
+
+ScanBatchSim::ScanBatchSim(const ScanCircuit& circuit)
+    : circuit_(&circuit), sim_(circuit.comb) {}
+
+void ScanBatchSim::load_cycle(const std::vector<ScanPattern>& batch,
+                              const std::vector<std::uint32_t>& state,
+                              std::size_t c) {
+  const int num_pi = circuit_->num_pi;
+  const int num_sv = circuit_->num_sv;
+  for (int b = 0; b < num_pi; ++b) {
+    Word w = 0;
+    for (std::size_t l = 0; l < batch.size(); ++l) {
+      if (c < batch[l].inputs.size() && ((batch[l].inputs[c] >> b) & 1u))
+        w |= Word{1} << l;
+    }
+    sim_.set_input(b, w);
+  }
+  for (int k = 0; k < num_sv; ++k) {
+    Word w = 0;
+    for (std::size_t l = 0; l < batch.size(); ++l)
+      if ((state[l] >> k) & 1u) w |= Word{1} << l;
+    sim_.set_input(num_pi + k, w);
+  }
+}
+
+void ScanBatchSim::extract_next_state(std::vector<std::uint32_t>& state,
+                                      Word active) {
+  const int num_po = circuit_->num_po;
+  const int num_sv = circuit_->num_sv;
+  for (std::size_t l = 0; l < state.size(); ++l) {
+    if (!((active >> l) & 1u)) continue;
+    std::uint32_t ns = 0;
+    for (int k = 0; k < num_sv; ++k)
+      if ((sim_.output(num_po + k) >> l) & 1u) ns |= 1u << k;
+    state[l] = ns;
+  }
+}
+
+GoodTrace ScanBatchSim::run_good(const std::vector<ScanPattern>& batch) {
+  require(!batch.empty() && batch.size() <= kWordBits,
+          "batch size must be 1..64");
+  GoodTrace trace;
+  trace.num_lanes = static_cast<int>(batch.size());
+
+  std::size_t max_len = 0;
+  for (const auto& p : batch) max_len = std::max(max_len, p.inputs.size());
+
+  std::vector<std::uint32_t> state(batch.size());
+  for (std::size_t l = 0; l < batch.size(); ++l) state[l] = batch[l].init_state;
+
+  for (std::size_t c = 0; c < max_len; ++c) {
+    Word active = 0;
+    for (std::size_t l = 0; l < batch.size(); ++l)
+      if (c < batch[l].inputs.size()) active |= Word{1} << l;
+
+    trace.state_at.push_back(state);
+    load_cycle(batch, state, c);
+    sim_.run();
+    trace.gate_values.push_back(sim_.values());
+
+    std::vector<Word> po(static_cast<std::size_t>(circuit_->num_po));
+    for (int k = 0; k < circuit_->num_po; ++k)
+      po[static_cast<std::size_t>(k)] = sim_.output(k);
+    trace.po.push_back(std::move(po));
+    trace.active.push_back(active);
+    extract_next_state(state, active);
+  }
+  trace.final_state = std::move(state);
+  return trace;
+}
+
+namespace {
+// Mask of lanes strictly below the lowest set bit of `detected` (all lanes
+// if none set). Once a lane detects, only *earlier* tests can change the
+// first-detection attribution, so later lanes stop mattering.
+Word lanes_below_lowest(Word detected, Word all_lanes) {
+  if (detected == 0) return all_lanes;
+  return (detected & (~detected + 1)) - 1;  // bits below lowest set bit
+}
+}  // namespace
+
+Word ScanBatchSim::run_faulty(const std::vector<ScanPattern>& batch,
+                              const GoodTrace& good, const FaultSpec& fault,
+                              const std::vector<int>* cone) {
+  require(static_cast<int>(batch.size()) == good.num_lanes,
+          "batch/trace size mismatch");
+  const Word all_lanes = batch.size() == kWordBits
+                             ? ~Word{0}
+                             : (Word{1} << batch.size()) - 1;
+  Word detected = 0;
+
+  std::vector<std::uint32_t> state(batch.size());
+  for (std::size_t l = 0; l < batch.size(); ++l) state[l] = batch[l].init_state;
+
+  for (std::size_t c = 0; c < good.active.size(); ++c) {
+    const Word relevant = lanes_below_lowest(detected, all_lanes);
+    const Word active = good.active[c] & relevant;
+    if (active == 0) break;  // active masks only shrink; nothing left to see
+
+    // Fast path: while every tracked active lane is still in the
+    // fault-free state, seed good values and re-evaluate the cone only.
+    bool diverged = false;
+    for (std::size_t l = 0; l < batch.size() && !diverged; ++l)
+      if (((active >> l) & 1u) && state[l] != good.state_at[c][l])
+        diverged = true;
+    if (!diverged && cone != nullptr) {
+      sim_.seed_values(good.gate_values[c]);
+      sim_.run_cone(fault, *cone);
+    } else {
+      load_cycle(batch, state, c);
+      sim_.run(fault);
+    }
+    for (int k = 0; k < circuit_->num_po; ++k) {
+      detected |=
+          (sim_.output(k) ^ good.po[c][static_cast<std::size_t>(k)]) & active;
+    }
+    if (detected & 1u) return detected;  // lane 0 is already the minimum
+    extract_next_state(state, active);
+  }
+
+  // Scan-out comparison of the final state. Lanes at or above the lowest
+  // detecting lane cannot change the attribution, but including them is
+  // harmless only if their faulty state is up to date — it may not be once
+  // we stop updating masked lanes — so restrict to the relevant lanes.
+  const Word relevant = lanes_below_lowest(detected, all_lanes);
+  for (std::size_t l = 0; l < batch.size(); ++l)
+    if (((relevant >> l) & 1u) && state[l] != good.final_state[l])
+      detected |= Word{1} << l;
+  return detected;
+}
+
+}  // namespace fstg

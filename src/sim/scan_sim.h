@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+
+namespace fstg {
+
+/// One full-scan functional test as applied to hardware: scan in
+/// `init_state`, apply `inputs` one per clock (observing the primary
+/// outputs each clock), scan out the final state.
+struct ScanPattern {
+  std::uint32_t init_state = 0;
+  std::vector<std::uint32_t> inputs;
+};
+
+/// Fault-free reference of a batch of up to 64 scan patterns (one lane per
+/// pattern). `po[c][k]` holds the lane values of primary output k at cycle
+/// c; `active[c]` masks lanes whose pattern is at least c+1 vectors long;
+/// `final_state[l]` is lane l's scanned-out state.
+struct GoodTrace {
+  std::vector<std::vector<Word>> po;
+  std::vector<Word> active;
+  std::vector<std::uint32_t> final_state;
+  int num_lanes = 0;
+  /// Fault-free value of every gate at every cycle ([cycle][gate]), and the
+  /// fault-free per-lane state entering each cycle ([cycle][lane]). These
+  /// power the single-fault-propagation fast path: while the faulty
+  /// machine's state still equals the fault-free state, only the fault's
+  /// output cone needs re-evaluation.
+  std::vector<std::vector<Word>> gate_values;
+  std::vector<std::vector<std::uint32_t>> state_at;
+};
+
+/// Applies batches of scan patterns to a full-scan circuit, fault-free or
+/// with one injected fault. Each lane tracks its own (possibly faulty)
+/// state feedback, exactly as the physical scan test would.
+class ScanBatchSim {
+ public:
+  explicit ScanBatchSim(const ScanCircuit& circuit);
+
+  /// Batch size must be 1..64.
+  GoodTrace run_good(const std::vector<ScanPattern>& batch);
+
+  /// Simulate the batch with `fault` injected; bit l of the result is set
+  /// iff lane l's pattern detects the fault (PO mismatch at any active
+  /// cycle, or scanned-out state mismatch). Attribution-exact early exits:
+  /// once a lane detects, only lower lanes (earlier tests) are tracked.
+  /// If `cone` is given (the fault site's transitive fanout, ascending),
+  /// cycles where the faulty state still matches the fault-free state are
+  /// re-evaluated over the cone only.
+  Word run_faulty(const std::vector<ScanPattern>& batch, const GoodTrace& good,
+                  const FaultSpec& fault,
+                  const std::vector<int>* cone = nullptr);
+
+  const ScanCircuit& circuit() const { return *circuit_; }
+
+ private:
+  /// Load per-lane inputs/state into the simulator for cycle `c`.
+  void load_cycle(const std::vector<ScanPattern>& batch,
+                  const std::vector<std::uint32_t>& state, std::size_t c);
+  /// Extract per-lane next states from the simulator outputs.
+  void extract_next_state(std::vector<std::uint32_t>& state, Word active);
+
+  const ScanCircuit* circuit_;
+  LogicSim sim_;
+};
+
+}  // namespace fstg

@@ -1,0 +1,109 @@
+#include "seq/ads.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "fsm/minimize.h"
+#include "fsm/state_table.h"
+#include "kiss/benchmarks.h"
+
+namespace fstg {
+namespace {
+
+TEST(Ads, ShiftregHasAnAds) {
+  // A 3-bit shift register leaks one state bit per clock: applying any
+  // three inputs identifies the initial state, so an ADS must exist.
+  StateTable t = expand_fsm(load_benchmark("shiftreg"), FillPolicy::kError);
+  AdsTree tree = derive_ads(t);
+  ASSERT_TRUE(tree.exists);
+  EXPECT_LE(tree.depth(), 3 * t.num_states());
+  for (int s = 0; s < t.num_states(); ++s)
+    EXPECT_EQ(identify_state(t, tree, s), s);
+}
+
+TEST(Ads, IdentifiesEveryStateWhenItExists) {
+  for (const std::string name : {"lion", "dk17", "beecount", "ex5", "dk27"}) {
+    SCOPED_TRACE(name);
+    StateTable t = expand_fsm(load_benchmark(name), FillPolicy::kSelfLoop);
+    AdsTree tree = derive_ads(t);
+    if (!tree.exists) continue;  // existence is machine-specific
+    for (int s = 0; s < t.num_states(); ++s)
+      EXPECT_EQ(identify_state(t, tree, s), s) << "state " << s;
+  }
+}
+
+TEST(Ads, NonMinimalMachinesHaveNoAds) {
+  StateTable t(1, 1, 2);  // two equivalent states
+  t.set(0, 0, 0, 1);
+  t.set(0, 1, 1, 0);
+  t.set(1, 0, 1, 1);
+  t.set(1, 1, 0, 0);
+  EXPECT_FALSE(derive_ads(t).exists);
+}
+
+TEST(Ads, MergingMachineHasNoAds) {
+  // Every separating attempt merges states a and b with equal outputs, so
+  // they are in fact equivalent and no ADS (indeed no experiment at all)
+  // can tell them apart.
+  StateTable t(1, 1, 3);
+  t.set(0, 0, 2, 0);  // a --0/0--> c
+  t.set(1, 0, 2, 0);  // b --0/0--> c
+  t.set(2, 0, 0, 1);
+  t.set(0, 1, 0, 0);
+  t.set(1, 1, 1, 0);
+  t.set(2, 1, 1, 1);
+  ASSERT_TRUE(states_equivalent(t, 0, 1));
+  EXPECT_FALSE(derive_ads(t).exists);
+}
+
+TEST(Ads, MinimalMachineWithoutAdsIsRejected) {
+  // The classical counterexample shape: pairwise distinguishable states
+  // where every input merges *some* same-output pair, so no adaptive
+  // experiment can start. States p, q, r over two inputs:
+  //   input 0: p->r/0, q->r/0 (merges p,q), r->p/1
+  //   input 1: p->p/0, r->p/0 (merges p,r... with same output), q->r/1
+  StateTable t(1, 1, 3);
+  t.set(0, 0, 2, 0);
+  t.set(1, 0, 2, 0);
+  t.set(2, 0, 0, 1);
+  t.set(0, 1, 0, 0);
+  t.set(2, 1, 0, 0);
+  t.set(1, 1, 2, 1);
+  // Minimality: q differs from p and r on input 1's output; p vs r differ
+  // on input 0's output.
+  MinimizationResult m = minimize(t);
+  ASSERT_EQ(m.num_blocks, 3);
+  // Input 0 merges (p,q) with equal output; input 1 merges (p,r) with
+  // equal output: no admissible first input exists.
+  EXPECT_FALSE(derive_ads(t).exists);
+}
+
+TEST(Ads, SingleStateMachine) {
+  StateTable t(1, 1, 1);
+  t.set(0, 0, 0, 0);
+  t.set(0, 1, 0, 1);
+  AdsTree tree = derive_ads(t);
+  ASSERT_TRUE(tree.exists);
+  EXPECT_EQ(identify_state(t, tree, 0), 0);
+  EXPECT_EQ(tree.depth(), 0);
+}
+
+TEST(Ads, BudgetExhaustionIsSound) {
+  StateTable t = expand_fsm(load_benchmark("dk16"), FillPolicy::kSelfLoop);
+  AdsOptions options;
+  options.budget = 0;
+  EXPECT_FALSE(derive_ads(t, options).exists);
+}
+
+TEST(Ads, IdentifyRequiresExistingTree) {
+  StateTable t(1, 1, 2);
+  t.set(0, 0, 0, 1);
+  t.set(0, 1, 1, 0);
+  t.set(1, 0, 1, 1);
+  t.set(1, 1, 0, 0);
+  AdsTree none = derive_ads(t);
+  EXPECT_THROW(identify_state(t, none, 0), Error);
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,111 @@
+// Exact reproduction of the paper's Section 2 walkthrough on `lion`
+// (Table 1): the UIO sequences of Table 2 and the nine tests tau_0..tau_8,
+// token for token. Input combinations are numbered with the leftmost KISS2
+// character as the most significant bit, so 00=0, 01=1, 10=2, 11=3.
+
+#include <gtest/gtest.h>
+
+#include "atpg/cycles.h"
+#include "harness/experiment.h"
+
+namespace fstg {
+namespace {
+
+class LionWalkthrough : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { exp_ = new CircuitExperiment(run_circuit("lion")); }
+  static void TearDownTestSuite() {
+    delete exp_;
+    exp_ = nullptr;
+  }
+  static CircuitExperiment* exp_;
+};
+
+CircuitExperiment* LionWalkthrough::exp_ = nullptr;
+
+TEST_F(LionWalkthrough, TableOneIsEmbeddedFaithfully) {
+  const StateTable& t = exp_->table;
+  ASSERT_EQ(t.num_states(), 4);
+  ASSERT_EQ(t.input_bits(), 2);
+  ASSERT_EQ(t.output_bits(), 1);
+  // Row st0: 00->0/0, 01->1/1, 10->0/0, 11->0/0.
+  EXPECT_EQ(t.next(0, 0), 0); EXPECT_EQ(t.output(0, 0), 0u);
+  EXPECT_EQ(t.next(0, 1), 1); EXPECT_EQ(t.output(0, 1), 1u);
+  EXPECT_EQ(t.next(0, 2), 0); EXPECT_EQ(t.output(0, 2), 0u);
+  EXPECT_EQ(t.next(0, 3), 0); EXPECT_EQ(t.output(0, 3), 0u);
+  // Row st1: 00->1/1, 01->1/1, 10->3/1, 11->0/0.
+  EXPECT_EQ(t.next(1, 0), 1); EXPECT_EQ(t.output(1, 0), 1u);
+  EXPECT_EQ(t.next(1, 1), 1); EXPECT_EQ(t.output(1, 1), 1u);
+  EXPECT_EQ(t.next(1, 2), 3); EXPECT_EQ(t.output(1, 2), 1u);
+  EXPECT_EQ(t.next(1, 3), 0); EXPECT_EQ(t.output(1, 3), 0u);
+  // Row st2: 00->2/1, 01->2/1, 10->3/1, 11->3/1.
+  EXPECT_EQ(t.next(2, 0), 2); EXPECT_EQ(t.output(2, 0), 1u);
+  EXPECT_EQ(t.next(2, 1), 2); EXPECT_EQ(t.output(2, 1), 1u);
+  EXPECT_EQ(t.next(2, 2), 3); EXPECT_EQ(t.output(2, 2), 1u);
+  EXPECT_EQ(t.next(2, 3), 3); EXPECT_EQ(t.output(2, 3), 1u);
+  // Row st3: 00->1/1, 01->2/1, 10->3/1, 11->3/1.
+  EXPECT_EQ(t.next(3, 0), 1); EXPECT_EQ(t.output(3, 0), 1u);
+  EXPECT_EQ(t.next(3, 1), 2); EXPECT_EQ(t.output(3, 1), 1u);
+  EXPECT_EQ(t.next(3, 2), 3); EXPECT_EQ(t.output(3, 2), 1u);
+  EXPECT_EQ(t.next(3, 3), 3); EXPECT_EQ(t.output(3, 3), 1u);
+}
+
+TEST_F(LionWalkthrough, TableTwoUioSequences) {
+  const UioSet& uios = exp_->gen.uios;
+  // State 0: (00), final state 0.
+  ASSERT_TRUE(uios.of(0).exists);
+  EXPECT_EQ(uios.of(0).inputs, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(uios.of(0).final_state, 0);
+  // State 1: none.
+  EXPECT_FALSE(uios.of(1).exists);
+  // State 2: (00, 11), final state 3.
+  ASSERT_TRUE(uios.of(2).exists);
+  EXPECT_EQ(uios.of(2).inputs, (std::vector<std::uint32_t>{0, 3}));
+  EXPECT_EQ(uios.of(2).final_state, 3);
+  // State 3: none.
+  EXPECT_FALSE(uios.of(3).exists);
+}
+
+TEST_F(LionWalkthrough, GeneratesExactlyThePaperTests) {
+  const auto& tests = exp_->gen.tests.tests;
+  ASSERT_EQ(tests.size(), 9u);
+
+  auto expect_test = [&](std::size_t i, int init,
+                         std::vector<std::uint32_t> seq, int final_state) {
+    SCOPED_TRACE("tau_" + std::to_string(i));
+    EXPECT_EQ(tests[i].init_state, init);
+    EXPECT_EQ(tests[i].inputs, seq);
+    EXPECT_EQ(tests[i].final_state, final_state);
+  };
+  expect_test(0, 0, {0, 0, 1}, 1);                 // (0,(00,00,01),1)
+  expect_test(1, 0, {2, 0, 3, 0, 1, 0}, 1);        // (0,(10,00,11,00,01,00),1)
+  expect_test(2, 1, {3, 0, 1, 1}, 1);              // (1,(11,00,01,01),1)
+  expect_test(3, 2, {0, 0, 3, 0}, 1);              // (2,(00,00,11,00),1)
+  expect_test(4, 2, {1, 0, 3, 1, 0, 3, 2}, 3);     // (2,(01,00,11,01,00,11,10),3)
+  expect_test(5, 1, {2}, 3);                       // (1,(10),3)
+  expect_test(6, 2, {2}, 3);                       // (2,(10),3)
+  expect_test(7, 2, {3}, 3);                       // (2,(11),3)
+  expect_test(8, 3, {3}, 3);                       // (3,(11),3)
+}
+
+TEST_F(LionWalkthrough, PaperTableFiveRowForLion) {
+  EXPECT_EQ(exp_->table.num_transitions(), 16u);
+  EXPECT_EQ(exp_->gen.tests.size(), 9u);
+  EXPECT_EQ(exp_->gen.tests.total_length(), 28u);
+  // 4 of 16 transitions are tested by length-one tests: 25.00%.
+  EXPECT_EQ(exp_->gen.transitions_in_length_one, 4u);
+}
+
+TEST_F(LionWalkthrough, PaperTableSevenCyclesForLion) {
+  // trans: 2*(16+1)+16 = 50; funct: 2*(9+1)+28 = 48 (96.00%).
+  EXPECT_EQ(per_transition_cycles(2, 16), 50u);
+  EXPECT_EQ(test_application_cycles(2, exp_->gen.tests), 48u);
+}
+
+TEST_F(LionWalkthrough, TestToStringMatchesPaperNotation) {
+  EXPECT_EQ(exp_->gen.tests.tests[1].to_string(2),
+            "(0, (10,00,11,00,01,00), 1)");
+}
+
+}  // namespace
+}  // namespace fstg

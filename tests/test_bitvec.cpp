@@ -1,0 +1,127 @@
+#include "base/bitvec.h"
+
+#include <gtest/gtest.h>
+
+namespace fstg {
+namespace {
+
+TEST(BitVec, StartsCleared) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.none());
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVec, SetResetTest) {
+  BitVec v(100);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(99));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVec, AssignBit) {
+  BitVec v(10);
+  v.assign_bit(3, true);
+  EXPECT_TRUE(v.test(3));
+  v.assign_bit(3, false);
+  EXPECT_FALSE(v.test(3));
+}
+
+TEST(BitVec, SetAllRespectsSize) {
+  BitVec v(70);
+  v.set_all();
+  EXPECT_EQ(v.count(), 70u);  // tail bits beyond size must stay clear
+}
+
+TEST(BitVec, ResizeWithValueTrue) {
+  BitVec v(10);
+  v.set(2);
+  v.resize(130, true);
+  EXPECT_TRUE(v.test(2));
+  EXPECT_FALSE(v.test(3));  // old bits keep their values
+  for (std::size_t i = 10; i < 130; ++i) EXPECT_TRUE(v.test(i)) << i;
+}
+
+TEST(BitVec, FindFirst) {
+  BitVec v(200);
+  EXPECT_EQ(v.find_first(), BitVec::npos);
+  v.set(5);
+  v.set(77);
+  v.set(199);
+  EXPECT_EQ(v.find_first(), 5u);
+  EXPECT_EQ(v.find_first(6), 77u);
+  EXPECT_EQ(v.find_first(78), 199u);
+  EXPECT_EQ(v.find_first(200), BitVec::npos);
+}
+
+TEST(BitVec, FindFirstIteratesAllSetBits) {
+  BitVec v(150);
+  const std::size_t bits[] = {0, 1, 63, 64, 65, 127, 128, 149};
+  for (std::size_t b : bits) v.set(b);
+  std::vector<std::size_t> seen;
+  for (std::size_t i = v.find_first(); i != BitVec::npos;
+       i = v.find_first(i + 1))
+    seen.push_back(i);
+  EXPECT_EQ(seen, std::vector<std::size_t>(std::begin(bits), std::end(bits)));
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a(80), b(80);
+  a.set(1);
+  a.set(70);
+  b.set(1);
+  b.set(40);
+  BitVec u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  BitVec i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(1));
+  BitVec x = a;
+  x ^= b;
+  EXPECT_EQ(x.count(), 2u);
+  EXPECT_TRUE(x.test(40));
+  EXPECT_TRUE(x.test(70));
+  BitVec d = a;
+  d.and_not(b);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(70));
+}
+
+TEST(BitVec, SubsetAndIntersect) {
+  BitVec a(64), b(64);
+  a.set(3);
+  b.set(3);
+  b.set(9);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  BitVec c(64);
+  c.set(10);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(BitVec(64).is_subset_of(a));  // empty set is subset of all
+}
+
+TEST(BitVec, Equality) {
+  BitVec a(33), b(33);
+  EXPECT_EQ(a, b);
+  a.set(32);
+  EXPECT_FALSE(a == b);
+  b.set(32);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,99 @@
+#include "fault/bridging.h"
+
+#include <gtest/gtest.h>
+
+namespace fstg {
+namespace {
+
+TEST(Bridging, RequiresMultiInputGates) {
+  // Only NOT/BUF gates: no candidates at all.
+  Netlist nl;
+  int a = nl.add_input("a");
+  int n1 = nl.add_gate(GateType::kNot, {a});
+  int n2 = nl.add_gate(GateType::kNot, {n1});
+  nl.add_output(n2);
+  EXPECT_TRUE(enumerate_bridging(nl).empty());
+}
+
+TEST(Bridging, ValidPairProducesBothPolarities) {
+  // Two independent ANDs feeding two different ORs.
+  Netlist nl;
+  int a = nl.add_input("a");
+  int b = nl.add_input("b");
+  int c = nl.add_input("c");
+  int d = nl.add_input("d");
+  int g1 = nl.add_gate(GateType::kAnd, {a, b});
+  int g2 = nl.add_gate(GateType::kAnd, {c, d});
+  int o1 = nl.add_gate(GateType::kOr, {g1, a});
+  int o2 = nl.add_gate(GateType::kOr, {g2, c});
+  nl.add_output(o1);
+  nl.add_output(o2);
+
+  std::vector<FaultSpec> faults = enumerate_bridging(nl);
+  ASSERT_EQ(faults.size(), 2u);
+  EXPECT_EQ(faults[0].kind, FaultSpec::Kind::kBridge);
+  EXPECT_EQ(faults[0].gate, g1);
+  EXPECT_EQ(faults[0].gate2_or_pin, g2);
+  EXPECT_FALSE(faults[0].value);  // AND-type first
+  EXPECT_TRUE(faults[1].value);   // then OR-type
+}
+
+TEST(Bridging, ExcludesConnectedPairs) {
+  // g2 is downstream of g1: condition (3) rejects the pair.
+  Netlist nl;
+  int a = nl.add_input("a");
+  int b = nl.add_input("b");
+  int c = nl.add_input("c");
+  int g1 = nl.add_gate(GateType::kAnd, {a, b});
+  int g2 = nl.add_gate(GateType::kOr, {g1, c});
+  int sink = nl.add_gate(GateType::kNot, {g2});
+  nl.add_output(sink);
+  EXPECT_TRUE(enumerate_bridging(nl).empty());
+}
+
+TEST(Bridging, ExcludesSharedConsumer) {
+  // Both ANDs feed the same OR: condition (2) rejects the pair.
+  Netlist nl;
+  int a = nl.add_input("a");
+  int b = nl.add_input("b");
+  int c = nl.add_input("c");
+  int d = nl.add_input("d");
+  int g1 = nl.add_gate(GateType::kAnd, {a, b});
+  int g2 = nl.add_gate(GateType::kAnd, {c, d});
+  int o = nl.add_gate(GateType::kOr, {g1, g2});
+  nl.add_output(o);
+  EXPECT_TRUE(enumerate_bridging(nl).empty());
+}
+
+TEST(Bridging, ExcludesDanglingLines) {
+  // g2 drives only a primary output (no gate consumer): condition (2)
+  // ("inputs of different gates") cannot hold.
+  Netlist nl;
+  int a = nl.add_input("a");
+  int b = nl.add_input("b");
+  int c = nl.add_input("c");
+  int d = nl.add_input("d");
+  int g1 = nl.add_gate(GateType::kAnd, {a, b});
+  int g2 = nl.add_gate(GateType::kAnd, {c, d});
+  int o1 = nl.add_gate(GateType::kNot, {g1});
+  nl.add_output(o1);
+  nl.add_output(g2);
+  EXPECT_TRUE(enumerate_bridging(nl).empty());
+}
+
+TEST(Bridging, CountGrowsQuadratically) {
+  // k independent AND-into-NOT chains: all pairs qualify -> k*(k-1) faults.
+  Netlist nl;
+  std::vector<int> ands;
+  for (int k = 0; k < 5; ++k) {
+    int x = nl.add_input("x" + std::to_string(k));
+    int y = nl.add_input("y" + std::to_string(k));
+    int g = nl.add_gate(GateType::kAnd, {x, y});
+    nl.add_output(nl.add_gate(GateType::kNot, {g}));
+    ands.push_back(g);
+  }
+  EXPECT_EQ(enumerate_bridging(nl).size(), 5u * 4u);  // C(5,2)*2
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,62 @@
+#include "logic/cover.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace fstg {
+namespace {
+
+TEST(Cover, AddChecksVariableCount) {
+  Cover c(3);
+  EXPECT_NO_THROW(c.add(Cube::full(3)));
+  EXPECT_THROW(c.add(Cube::full(2)), Error);
+}
+
+TEST(Cover, EvalExact) {
+  Cover c(3);
+  c.add(Cube::from_string("1--"));  // var0 = 1
+  c.add(Cube::from_string("-01"));  // var1 = 0, var2 = 1
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    const bool var0 = m & 1, var1 = m & 2, var2 = m & 4;
+    const bool expect = var0 || (!var1 && var2);
+    EXPECT_EQ(c.eval(m), expect) << m;
+  }
+}
+
+TEST(Cover, RemoveSingleCubeContained) {
+  Cover c(3);
+  c.add(Cube::from_string("1--"));
+  c.add(Cube::from_string("10-"));  // contained in the first
+  c.add(Cube::from_string("0-1"));
+  c.remove_single_cube_contained();
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Cover, DuplicateCubesKeepExactlyOne) {
+  Cover c(2);
+  c.add(Cube::from_string("1-"));
+  c.add(Cube::from_string("1-"));
+  c.remove_single_cube_contained();
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Cover, LiteralCount) {
+  Cover c(4);
+  c.add(Cube::from_string("10--"));
+  c.add(Cube::from_string("---1"));
+  EXPECT_EQ(c.literal_count(), 3u);
+}
+
+TEST(Cover, CofactorDropsDisjointAndRaisesFixed) {
+  Cover c(3);
+  c.add(Cube::from_string("10-"));
+  c.add(Cube::from_string("0--"));
+  Cube space = Cube::from_string("1--");
+  Cover cof = c.cofactor(space);
+  ASSERT_EQ(cof.size(), 1u);  // "0--" is disjoint from the space
+  EXPECT_EQ(cof[0].to_string(), "-0-");  // var0 raised to DC
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,98 @@
+#include "logic/cube.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace fstg {
+namespace {
+
+TEST(Cube, FullHasNoLiterals) {
+  Cube c = Cube::full(5);
+  EXPECT_EQ(c.num_vars(), 5);
+  EXPECT_EQ(c.literal_count(), 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(c.get(v), Lit::kDC);
+  EXPECT_EQ(c.minterm_count(), 32u);
+}
+
+TEST(Cube, SetGetLiterals) {
+  Cube c = Cube::full(4);
+  c.set(0, Lit::kOne);
+  c.set(3, Lit::kZero);
+  EXPECT_EQ(c.get(0), Lit::kOne);
+  EXPECT_EQ(c.get(1), Lit::kDC);
+  EXPECT_EQ(c.get(3), Lit::kZero);
+  EXPECT_EQ(c.literal_count(), 2);
+  EXPECT_EQ(c.minterm_count(), 4u);
+}
+
+TEST(Cube, MintermFactory) {
+  Cube c = Cube::minterm(3, 0b101);
+  EXPECT_EQ(c.get(0), Lit::kOne);
+  EXPECT_EQ(c.get(1), Lit::kZero);
+  EXPECT_EQ(c.get(2), Lit::kOne);
+  EXPECT_EQ(c.minterm_count(), 1u);
+  EXPECT_TRUE(c.contains_minterm(0b101));
+  EXPECT_FALSE(c.contains_minterm(0b100));
+}
+
+TEST(Cube, StringRoundTrip) {
+  const std::string s = "01--1";
+  Cube c = Cube::from_string(s);
+  EXPECT_EQ(c.to_string(), s);
+  EXPECT_EQ(c.get(0), Lit::kZero);
+  EXPECT_EQ(c.get(4), Lit::kOne);
+  EXPECT_THROW(Cube::from_string("01x"), Error);
+}
+
+TEST(Cube, Covers) {
+  Cube big = Cube::from_string("1--");
+  Cube small = Cube::from_string("1-0");
+  EXPECT_TRUE(big.covers(small));
+  EXPECT_FALSE(small.covers(big));
+  EXPECT_TRUE(big.covers(big));
+  EXPECT_FALSE(Cube::from_string("0--").covers(small));
+}
+
+TEST(Cube, Intersects) {
+  EXPECT_TRUE(Cube::from_string("1-").intersects(Cube::from_string("-0")));
+  EXPECT_FALSE(Cube::from_string("1-").intersects(Cube::from_string("0-")));
+  EXPECT_TRUE(Cube::from_string("--").intersects(Cube::from_string("--")));
+}
+
+TEST(Cube, IntersectAndSupercube) {
+  Cube a = Cube::from_string("1--");
+  Cube b = Cube::from_string("-01");
+  Cube i = a.intersect(b);
+  EXPECT_EQ(i.to_string(), "101");
+  Cube s = Cube::from_string("100").supercube(Cube::from_string("101"));
+  EXPECT_EQ(s.to_string(), "10-");
+}
+
+TEST(Cube, ContainsMintermMatchesEnumeration) {
+  Cube c = Cube::from_string("1-0-");
+  int count = 0;
+  for (std::uint32_t m = 0; m < 16; ++m) count += c.contains_minterm(m);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(static_cast<std::uint64_t>(count), c.minterm_count());
+}
+
+TEST(Cube, ThirtyTwoVariables) {
+  Cube c = Cube::full(32);
+  c.set(31, Lit::kOne);
+  EXPECT_EQ(c.get(31), Lit::kOne);
+  EXPECT_EQ(c.literal_count(), 1);
+  EXPECT_TRUE(c.contains_minterm(0x80000000u));
+  EXPECT_FALSE(c.contains_minterm(0));
+  EXPECT_THROW(Cube::full(33), Error);
+}
+
+TEST(Cube, Ordering) {
+  Cube a = Cube::from_string("0-");
+  Cube b = Cube::from_string("1-");
+  EXPECT_TRUE(a == a);
+  EXPECT_TRUE(a < b || b < a);
+}
+
+}  // namespace
+}  // namespace fstg

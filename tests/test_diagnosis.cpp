@@ -1,0 +1,97 @@
+#include "fault/diagnosis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/error.h"
+#include "fault/fault.h"
+#include "harness/experiment.h"
+
+namespace fstg {
+namespace {
+
+class DiagnosisLion : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    exp_ = new CircuitExperiment(run_circuit("lion"));
+    faults_ = new std::vector<FaultSpec>(
+        enumerate_stuck_at(exp_->synth.circuit.comb));
+    dict_ = new FaultDictionary(exp_->synth.circuit, exp_->gen.tests, *faults_);
+  }
+  static void TearDownTestSuite() {
+    delete dict_;
+    delete faults_;
+    delete exp_;
+    dict_ = nullptr;
+    faults_ = nullptr;
+    exp_ = nullptr;
+  }
+  static CircuitExperiment* exp_;
+  static std::vector<FaultSpec>* faults_;
+  static FaultDictionary* dict_;
+};
+CircuitExperiment* DiagnosisLion::exp_ = nullptr;
+std::vector<FaultSpec>* DiagnosisLion::faults_ = nullptr;
+FaultDictionary* DiagnosisLion::dict_ = nullptr;
+
+TEST_F(DiagnosisLion, SignaturesAgreeWithFaultSimulation) {
+  // A fault's first detecting test in the dropping simulator must be the
+  // first set bit of its full signature.
+  FaultSimResult sim =
+      simulate_faults(exp_->synth.circuit, exp_->gen.tests, *faults_);
+  for (std::size_t f = 0; f < faults_->size(); ++f) {
+    const BitVec& sig = dict_->signature(f);
+    if (sim.detected_by[f] < 0) {
+      EXPECT_TRUE(sig.none()) << f;
+    } else {
+      EXPECT_EQ(sig.find_first(),
+                static_cast<std::size_t>(sim.detected_by[f]))
+          << f;
+    }
+  }
+}
+
+TEST_F(DiagnosisLion, ExactMatchFindsTheInjectedFault) {
+  for (std::size_t f = 0; f < faults_->size(); f += 7) {
+    BitVec observed = dict_->simulate_device((*faults_)[f]);
+    std::vector<std::size_t> matches = dict_->exact_matches(observed);
+    // The injected fault must be among the matches (equivalent faults may
+    // share its signature).
+    EXPECT_NE(std::find(matches.begin(), matches.end(), f), matches.end())
+        << "fault " << f;
+  }
+}
+
+TEST_F(DiagnosisLion, NearestRanksInjectedFaultFirst) {
+  BitVec observed = dict_->simulate_device((*faults_)[3]);
+  auto candidates = dict_->nearest(observed, 5);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].distance, 0u);
+  // Some candidate at distance 0 must be fault 3's class.
+  bool found = false;
+  for (const auto& c : candidates)
+    if (c.distance == 0 && dict_->signature(c.fault_index) ==
+                               dict_->signature(3))
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DiagnosisLion, ResolutionAccounting) {
+  FaultDictionary::Resolution r = dict_->resolution();
+  EXPECT_GE(r.classes, 2u);
+  EXPECT_LE(r.classes, faults_->size());
+  EXPECT_GE(r.largest_class, 1u);
+  EXPECT_EQ(r.undetected, 0u);  // lion: all stuck-at faults detected
+}
+
+TEST(Diagnosis, EmptyTestSetRejected) {
+  CircuitExperiment exp = run_circuit("lion");
+  EXPECT_THROW(
+      FaultDictionary(exp.synth.circuit, TestSet{},
+                      enumerate_stuck_at(exp.synth.circuit.comb)),
+      Error);
+}
+
+}  // namespace
+}  // namespace fstg

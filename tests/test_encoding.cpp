@@ -1,0 +1,45 @@
+#include "fsm/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "kiss/benchmarks.h"
+
+namespace fstg {
+namespace {
+
+TEST(Encoding, NaturalEncodingBits) {
+  EXPECT_EQ(natural_encoding(2).state_bits, 1);
+  EXPECT_EQ(natural_encoding(3).state_bits, 2);
+  EXPECT_EQ(natural_encoding(4).state_bits, 2);
+  EXPECT_EQ(natural_encoding(5).state_bits, 3);
+  EXPECT_EQ(natural_encoding(1).state_bits, 1);
+}
+
+TEST(Encoding, CodesAreIdentity) {
+  Encoding enc = natural_encoding(5);
+  EXPECT_EQ(enc.num_codes(), 8u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(enc.code_of_state[static_cast<std::size_t>(i)],
+              static_cast<std::uint32_t>(i));
+    EXPECT_EQ(enc.state_of_code[static_cast<std::size_t>(i)], i);
+    EXPECT_TRUE(enc.code_used(static_cast<std::uint32_t>(i)));
+  }
+  for (std::uint32_t c = 5; c < 8; ++c) {
+    EXPECT_EQ(enc.state_of_code[c], -1);
+    EXPECT_FALSE(enc.code_used(c));
+  }
+}
+
+TEST(Encoding, FromFsm) {
+  Encoding enc = encode_states(load_benchmark("lion"));
+  EXPECT_EQ(enc.state_bits, 2);
+  EXPECT_EQ(enc.code_of_state.size(), 4u);
+}
+
+TEST(Encoding, Validation) {
+  EXPECT_THROW(natural_encoding(0), Error);
+}
+
+}  // namespace
+}  // namespace fstg

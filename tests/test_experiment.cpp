@@ -1,0 +1,80 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace fstg {
+namespace {
+
+TEST(Experiment, RunCircuitEndToEnd) {
+  CircuitExperiment exp = run_circuit("dk27");
+  EXPECT_EQ(exp.spec.name, "dk27");
+  EXPECT_EQ(exp.table.num_states(), 8);  // completed to 2^sv
+  EXPECT_EQ(exp.table.input_bits(), 1);
+  EXPECT_EQ(exp.synth.circuit.num_sv, 3);
+  // The generator covered every transition of the completed table.
+  EXPECT_EQ(exp.gen.tested_by.size(), exp.table.num_transitions());
+  exp.gen.tests.validate(exp.table);
+}
+
+TEST(Experiment, UnknownCircuitThrows) {
+  EXPECT_THROW(run_circuit("not-a-circuit"), Error);
+}
+
+TEST(Experiment, RunFsmOnCustomMachine) {
+  Kiss2Fsm fsm = make_synthetic_fsm("custom-exp", 2, 5, 3);
+  CircuitExperiment exp = run_fsm(fsm);
+  EXPECT_EQ(exp.table.num_states(), 8);  // 5 states -> 3 bits -> 8 codes
+  EXPECT_EQ(exp.gen.tested_by.size(), 8u * 4u);
+}
+
+TEST(Experiment, TableAgreesWithCircuitEverywhere) {
+  CircuitExperiment exp = run_circuit("beecount");
+  for (int s = 0; s < exp.table.num_states(); ++s) {
+    for (std::uint32_t ic = 0; ic < exp.table.num_input_combos(); ++ic) {
+      std::uint32_t po = 0, ns = 0;
+      exp.synth.circuit.step(static_cast<std::uint32_t>(s), ic, po, ns);
+      EXPECT_EQ(exp.table.next(s, ic), static_cast<int>(ns));
+      EXPECT_EQ(exp.table.output(s, ic), po);
+    }
+  }
+}
+
+TEST(Experiment, GateLevelBridgingSampling) {
+  CircuitExperiment exp = run_circuit("mark1");
+  GateLevelOptions options;
+  options.classify_redundancy = false;
+  options.max_bridging_faults = 100;
+  GateLevelResult gate = run_gate_level(exp, options);
+  EXPECT_GT(gate.br_enumerated, 100u);
+  EXPECT_LE(gate.br_faults.size(), 102u);  // pair-rounded cap
+  EXPECT_EQ(gate.br_faults.size() % 2, 0u);
+  // Sampled faults alternate AND/OR over the same pair.
+  for (std::size_t i = 0; i < gate.br_faults.size(); i += 2) {
+    EXPECT_EQ(gate.br_faults[i].gate, gate.br_faults[i + 1].gate);
+    EXPECT_EQ(gate.br_faults[i].gate2_or_pin,
+              gate.br_faults[i + 1].gate2_or_pin);
+    EXPECT_NE(gate.br_faults[i].value, gate.br_faults[i + 1].value);
+  }
+}
+
+TEST(Experiment, GateLevelUncappedKeepsFullList) {
+  CircuitExperiment exp = run_circuit("lion");
+  GateLevelOptions options;
+  options.classify_redundancy = false;
+  options.max_bridging_faults = 0;
+  GateLevelResult gate = run_gate_level(exp, options);
+  EXPECT_EQ(gate.br_faults.size(), gate.br_enumerated);
+}
+
+TEST(Experiment, LegacyBoolOverload) {
+  CircuitExperiment exp = run_circuit("lion");
+  GateLevelResult gate = run_gate_level(exp, true);
+  EXPECT_TRUE(gate.redundancy_classified);
+  GateLevelResult no_red = run_gate_level(exp, false);
+  EXPECT_FALSE(no_red.redundancy_classified);
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,83 @@
+#include "netlist/export.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace fstg {
+namespace {
+
+TEST(Blif, ModelStructure) {
+  CircuitExperiment exp = run_circuit("lion");
+  const std::string blif = to_blif(exp.synth.circuit);
+  EXPECT_NE(blif.find(".model lion"), std::string::npos);
+  EXPECT_NE(blif.find(".inputs x0 x1"), std::string::npos);
+  EXPECT_NE(blif.find(".outputs z0"), std::string::npos);
+  EXPECT_NE(blif.find(".end"), std::string::npos);
+  // One latch per state variable with init value 0.
+  std::size_t latches = 0;
+  for (std::size_t pos = blif.find(".latch"); pos != std::string::npos;
+       pos = blif.find(".latch", pos + 1))
+    ++latches;
+  EXPECT_EQ(latches, 2u);
+}
+
+TEST(Blif, NamesBlockPerGate) {
+  CircuitExperiment exp = run_circuit("dk27");
+  const Netlist& nl = exp.synth.circuit.comb;
+  const std::string blif = to_blif(exp.synth.circuit);
+  std::size_t names = 0;
+  for (std::size_t pos = blif.find(".names"); pos != std::string::npos;
+       pos = blif.find(".names", pos + 1))
+    ++names;
+  std::size_t logic_gates = 0;
+  for (int g = 0; g < nl.num_gates(); ++g)
+    if (nl.gate(g).type != GateType::kInput) ++logic_gates;
+  // One block per gate plus one alias per primary output.
+  EXPECT_EQ(names, logic_gates +
+                       static_cast<std::size_t>(exp.synth.circuit.num_po));
+}
+
+TEST(Blif, GateSemantics) {
+  // Hand netlist covering every gate type; check .names rows.
+  ScanCircuit c;
+  int a = c.comb.add_input("x0");
+  int y = c.comb.add_input("y0");
+  int and_g = c.comb.add_gate(GateType::kAnd, {a, y});
+  int nor_g = c.comb.add_gate(GateType::kNor, {a, y});
+  int xor_g = c.comb.add_gate(GateType::kXor, {and_g, nor_g});
+  c.comb.add_output(xor_g);
+  c.comb.add_output(and_g);
+  c.num_pi = 1;
+  c.num_po = 1;
+  c.num_sv = 1;
+  const std::string blif = to_blif(c, "m");
+  EXPECT_NE(blif.find("11 1"), std::string::npos);   // AND
+  EXPECT_NE(blif.find("00 1"), std::string::npos);   // NOR
+  EXPECT_NE(blif.find("10 1\n01 1"), std::string::npos);  // XOR
+}
+
+TEST(Bench, Structure) {
+  CircuitExperiment exp = run_circuit("lion");
+  const std::string bench = to_bench(exp.synth.circuit);
+  EXPECT_NE(bench.find("INPUT(x0)"), std::string::npos);
+  EXPECT_NE(bench.find("INPUT(y1)"), std::string::npos);
+  EXPECT_NE(bench.find("OUTPUT(z0)"), std::string::npos);
+  EXPECT_NE(bench.find("OUTPUT(Y1)"), std::string::npos);
+  EXPECT_NE(bench.find(" = AND("), std::string::npos);
+  EXPECT_NE(bench.find("z0 = BUFF("), std::string::npos);
+}
+
+TEST(Bench, EveryGateEmitted) {
+  CircuitExperiment exp = run_circuit("beecount");
+  const Netlist& nl = exp.synth.circuit.comb;
+  const std::string bench = to_bench(exp.synth.circuit);
+  for (int g = 0; g < nl.num_gates(); ++g) {
+    if (nl.gate(g).type == GateType::kInput) continue;
+    EXPECT_NE(bench.find("n" + std::to_string(g) + " = "), std::string::npos)
+        << g;
+  }
+}
+
+}  // namespace
+}  // namespace fstg

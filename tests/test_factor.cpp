@@ -1,0 +1,115 @@
+#include "logic/factor.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "base/rng.h"
+
+namespace fstg {
+namespace {
+
+TEST(Factor, NoSharingLeavesFunctionsAlone) {
+  // Two disjoint single-literal cubes: nothing to extract.
+  Cover f(4);
+  f.add(Cube::from_string("1---"));
+  f.add(Cube::from_string("-0--"));
+  FactoredNetwork net = factor_covers({f});
+  EXPECT_TRUE(net.divisors.empty());
+  EXPECT_EQ(net.functions[0].num_vars(), 4);
+}
+
+TEST(Factor, ExtractsSharedPair) {
+  // Three cubes share the pair (v0=1, v1=1).
+  Cover f(4);
+  f.add(Cube::from_string("11-0"));
+  f.add(Cube::from_string("110-"));
+  f.add(Cube::from_string("11-1"));
+  FactoredNetwork net = factor_covers({f});
+  ASSERT_GE(net.divisors.size(), 1u);
+  const FactoredNetwork::Divisor& d = net.divisors[0];
+  EXPECT_EQ(d.a_var, 0);
+  EXPECT_EQ(d.a_lit, Lit::kOne);
+  EXPECT_EQ(d.b_var, 1);
+  EXPECT_EQ(d.b_lit, Lit::kOne);
+  // Every rewritten cube uses the divisor variable instead.
+  for (const Cube& c : net.functions[0].cubes()) {
+    EXPECT_EQ(c.get(0), Lit::kDC);
+    EXPECT_EQ(c.get(1), Lit::kDC);
+    EXPECT_EQ(c.get(4), Lit::kOne);
+  }
+}
+
+TEST(Factor, SharingAcrossFunctions) {
+  Cover f(3), g(3);
+  f.add(Cube::from_string("01-"));
+  f.add(Cube::from_string("011"));
+  g.add(Cube::from_string("010"));
+  FactoredNetwork net = factor_covers({f, g});
+  ASSERT_EQ(net.divisors.size(), 1u);  // (v0=0, v1=1) used thrice
+  EXPECT_EQ(net.functions.size(), 2u);
+}
+
+TEST(Factor, MinUsesThresholdRespected) {
+  Cover f(3);
+  f.add(Cube::from_string("11-"));
+  f.add(Cube::from_string("110"));
+  FactorOptions options;
+  options.min_uses = 3;
+  EXPECT_TRUE(factor_covers({f}, options).divisors.empty());
+  options.min_uses = 2;
+  EXPECT_EQ(factor_covers({f}, options).divisors.size(), 1u);
+}
+
+TEST(Factor, EvalMatchesOriginalOnRandomCovers) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int nv = 3 + static_cast<int>(rng.below(4));
+    std::vector<Cover> fns;
+    for (int f = 0; f < 3; ++f) {
+      Cover c(nv);
+      const int n = 2 + static_cast<int>(rng.below(6));
+      for (int i = 0; i < n; ++i) {
+        Cube cube = Cube::full(nv);
+        for (int v = 0; v < nv; ++v) {
+          switch (rng.below(3)) {
+            case 0: cube.set(v, Lit::kZero); break;
+            case 1: cube.set(v, Lit::kOne); break;
+            default: break;
+          }
+        }
+        c.add(cube);
+      }
+      fns.push_back(std::move(c));
+    }
+    FactoredNetwork net = factor_covers(fns);
+    for (std::size_t f = 0; f < fns.size(); ++f)
+      for (std::uint32_t m = 0; m < (1u << nv); ++m)
+        ASSERT_EQ(net.eval_function(f, m), fns[f].eval(m))
+            << "iter " << iter << " fn " << f << " minterm " << m;
+  }
+}
+
+TEST(Factor, DivisorChainsBuildLargerCubes) {
+  // Four cubes sharing three literals: after extracting (v0,v1) the pair
+  // (t0, v2) appears in all four cubes, producing a chained divisor.
+  Cover f(5);
+  f.add(Cube::from_string("111-0"));
+  f.add(Cube::from_string("1110-"));
+  f.add(Cube::from_string("111-1"));
+  f.add(Cube::from_string("1111-"));
+  FactoredNetwork net = factor_covers({f});
+  ASSERT_GE(net.divisors.size(), 2u);
+  const FactoredNetwork::Divisor& second = net.divisors[1];
+  const bool references_first =
+      second.a_var == net.base_vars || second.b_var == net.base_vars;
+  EXPECT_TRUE(references_first);
+}
+
+TEST(Factor, Validation) {
+  EXPECT_THROW(factor_covers({}), Error);
+  Cover a(2), b(3);
+  EXPECT_THROW(factor_covers({a, b}), Error);
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,78 @@
+#include "fsm/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "fsm/state_table.h"
+#include "kiss/benchmarks.h"
+#include "seq/distinguishing.h"
+
+namespace fstg {
+namespace {
+
+// Two copies of a 2-state machine glued together: states 2/3 mirror 0/1.
+StateTable duplicated() {
+  StateTable t(1, 1, 4);
+  // Base machine: 0 -(0)-> 1/out0, 0 -(1)-> 0/out1; 1 -> 0 both, out 1.
+  t.set(0, 0, 1, 0);
+  t.set(0, 1, 0, 1);
+  t.set(1, 0, 0, 1);
+  t.set(1, 1, 0, 1);
+  // Mirror with states shifted by 2 and cross-links into the mirror.
+  t.set(2, 0, 3, 0);
+  t.set(2, 1, 2, 1);
+  t.set(3, 0, 2, 1);
+  t.set(3, 1, 0, 1);  // note: next differs (0 vs 2) but 0 ~ 2
+  return t;
+}
+
+TEST(Minimize, MergesEquivalentStates) {
+  MinimizationResult r = minimize(duplicated());
+  EXPECT_EQ(r.num_blocks, 2);
+  EXPECT_EQ(r.block_of_state[0], r.block_of_state[2]);
+  EXPECT_EQ(r.block_of_state[1], r.block_of_state[3]);
+  EXPECT_NE(r.block_of_state[0], r.block_of_state[1]);
+}
+
+TEST(Minimize, ReducedMachineIsEquivalent) {
+  StateTable t = duplicated();
+  MinimizationResult r = minimize(t);
+  // Every input sequence from state s must produce the same outputs on the
+  // reduced machine started at block_of_state[s]. Check all length-4 seqs.
+  for (int s = 0; s < t.num_states(); ++s) {
+    for (std::uint32_t bits = 0; bits < 16; ++bits) {
+      std::vector<std::uint32_t> seq;
+      for (int i = 0; i < 4; ++i) seq.push_back((bits >> i) & 1u);
+      EXPECT_EQ(t.trace(s, seq),
+                r.reduced.trace(r.block_of_state[static_cast<std::size_t>(s)],
+                                seq));
+    }
+  }
+}
+
+TEST(Minimize, LionIsAlreadyMinimal) {
+  StateTable t = expand_fsm(load_benchmark("lion"), FillPolicy::kError);
+  EXPECT_EQ(minimize(t).num_blocks, 4);
+}
+
+TEST(Minimize, AgreesWithPairwiseDistinguishing) {
+  StateTable t = duplicated();
+  for (int a = 0; a < t.num_states(); ++a) {
+    for (int b = a + 1; b < t.num_states(); ++b) {
+      const bool equivalent = states_equivalent(t, a, b);
+      const bool distinguishable = distinguishing_sequence(t, a, b).has_value();
+      EXPECT_EQ(equivalent, !distinguishable) << a << "," << b;
+    }
+  }
+}
+
+TEST(Minimize, DistinctOutputsStayDistinct) {
+  StateTable t(1, 2, 2);
+  t.set(0, 0, 0, 1);
+  t.set(0, 1, 1, 2);
+  t.set(1, 0, 1, 3);
+  t.set(1, 1, 0, 2);
+  EXPECT_EQ(minimize(t).num_blocks, 2);
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,102 @@
+#include "fsm/isfsm.h"
+
+#include <gtest/gtest.h>
+
+#include "fsm/state_table.h"
+#include "kiss/benchmarks.h"
+#include "kiss/kiss2_parser.h"
+
+namespace fstg {
+namespace {
+
+TEST(Isfsm, CompatibilityMatrixSeedsOnOutputs) {
+  // a and b conflict on input 0 outputs; a and c are never co-specified.
+  Kiss2Fsm fsm = parse_kiss2(
+      ".i 1\n.o 1\n0 a a 0\n0 b b 1\n1 c c 1\n");
+  std::vector<std::vector<bool>> m = compatibility_matrix(fsm);
+  const int a = fsm.state_index("a"), b = fsm.state_index("b"),
+            c = fsm.state_index("c");
+  EXPECT_FALSE(m[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]);
+  EXPECT_TRUE(m[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)]);
+  EXPECT_TRUE(m[static_cast<std::size_t>(b)][static_cast<std::size_t>(c)]);
+}
+
+TEST(Isfsm, CompatibilityPropagatesThroughNextStates) {
+  // p and q have equal outputs but lead to conflicting states a and b.
+  Kiss2Fsm fsm = parse_kiss2(
+      ".i 1\n.o 1\n"
+      "0 p a 0\n0 q b 0\n"
+      "0 a a 0\n0 b b 1\n");
+  std::vector<std::vector<bool>> m = compatibility_matrix(fsm);
+  const int p = fsm.state_index("p"), q = fsm.state_index("q");
+  EXPECT_FALSE(m[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]);
+}
+
+TEST(Isfsm, MergesCompatibleStates) {
+  // Two states with identical specified behaviour merge.
+  Kiss2Fsm fsm = parse_kiss2(
+      ".i 1\n.o 1\n"
+      "0 a a 0\n1 a b 1\n"
+      "0 b b 0\n1 b a 1\n"
+      "0 c a 1\n1 c c 0\n");
+  // a and b: outputs agree; next states {a,b} mutually map -> compatible.
+  IsfsmReduction r = reduce_isfsm(fsm);
+  EXPECT_EQ(r.block_of_state[fsm.state_index("a")],
+            r.block_of_state[fsm.state_index("b")]);
+  EXPECT_NE(r.block_of_state[fsm.state_index("a")],
+            r.block_of_state[fsm.state_index("c")]);
+  EXPECT_EQ(r.num_blocks, 2);
+  EXPECT_NO_THROW(r.reduced.check_deterministic());
+}
+
+TEST(Isfsm, ReducedMachinePreservesSpecifiedBehaviour) {
+  Kiss2Fsm fsm = parse_kiss2(
+      ".i 1\n.o 1\n"
+      "0 a a 0\n1 a b 1\n"
+      "0 b b 0\n1 b a 1\n"
+      "0 c a 1\n1 c c 0\n");
+  IsfsmReduction r = reduce_isfsm(fsm);
+  // Walk both machines over specified entries; outputs must agree where
+  // the original specifies.
+  StateTable orig = expand_fsm(fsm, FillPolicy::kSelfLoop);
+  StateTable red = expand_fsm(r.reduced, FillPolicy::kSelfLoop);
+  for (int s = 0; s < fsm.num_states(); ++s) {
+    int os = s;
+    int rs = r.block_of_state[static_cast<std::size_t>(s)];
+    // Depth-4 exhaustive walks (all input sequences).
+    for (std::uint32_t seq = 0; seq < 16; ++seq) {
+      int o = os, m = rs;
+      for (int step = 0; step < 4; ++step) {
+        const std::uint32_t ic = (seq >> step) & 1u;
+        EXPECT_EQ(orig.output(o, ic), red.output(m, ic))
+            << "state " << s << " seq " << seq << " step " << step;
+        o = orig.next(o, ic);
+        m = red.next(m, ic);
+      }
+    }
+  }
+}
+
+TEST(Isfsm, MinimalMachineStaysIntact) {
+  Kiss2Fsm lion = load_benchmark("lion");
+  IsfsmReduction r = reduce_isfsm(lion);
+  EXPECT_EQ(r.num_blocks, 4);  // lion is minimal
+}
+
+TEST(Isfsm, IncompatibleStatesNeverMerge) {
+  for (const std::string name : {"lion", "dk27", "ex5"}) {
+    SCOPED_TRACE(name);
+    Kiss2Fsm fsm = load_benchmark(name);
+    std::vector<std::vector<bool>> m = compatibility_matrix(fsm);
+    IsfsmReduction r = reduce_isfsm(fsm);
+    for (int a = 0; a < fsm.num_states(); ++a)
+      for (int b = a + 1; b < fsm.num_states(); ++b)
+        if (r.block_of_state[static_cast<std::size_t>(a)] ==
+            r.block_of_state[static_cast<std::size_t>(b)])
+          EXPECT_TRUE(m[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)])
+              << a << "," << b;
+  }
+}
+
+}  // namespace
+}  // namespace fstg

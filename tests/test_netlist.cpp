@@ -1,0 +1,135 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace fstg {
+namespace {
+
+// Builds a tiny full adder: sum = a ^ b ^ cin, carry = ab + cin(a ^ b).
+struct FullAdder {
+  Netlist nl;
+  int a, b, cin, sum, carry;
+
+  FullAdder() {
+    a = nl.add_input("a");
+    b = nl.add_input("b");
+    cin = nl.add_input("cin");
+    int ab = nl.add_gate(GateType::kXor, {a, b});
+    sum = nl.add_gate(GateType::kXor, {ab, cin}, "sum");
+    int and1 = nl.add_gate(GateType::kAnd, {a, b});
+    int and2 = nl.add_gate(GateType::kAnd, {ab, cin});
+    carry = nl.add_gate(GateType::kOr, {and1, and2}, "carry");
+    nl.add_output(sum);
+    nl.add_output(carry);
+  }
+};
+
+TEST(Netlist, BuilderBasics) {
+  FullAdder fa;
+  EXPECT_EQ(fa.nl.num_gates(), 8);
+  EXPECT_EQ(fa.nl.num_inputs(), 3);
+  EXPECT_EQ(fa.nl.num_outputs(), 2);
+  EXPECT_EQ(fa.nl.gate(fa.sum).name, "sum");
+}
+
+TEST(Netlist, EnforcesTopologicalOrder) {
+  Netlist nl;
+  int a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, {5}), Error);    // unknown id
+  EXPECT_THROW(nl.add_gate(GateType::kNot, {a, a}), Error);  // arity
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, {}), Error);      // arity
+  EXPECT_THROW(nl.add_gate(GateType::kConst0, {a}), Error);  // arity
+  EXPECT_THROW(nl.add_output(99), Error);
+}
+
+TEST(Netlist, FullAdderTruthTable) {
+  FullAdder fa;
+  for (std::uint64_t in = 0; in < 8; ++in) {
+    const int a = in & 1, b = (in >> 1) & 1, c = (in >> 2) & 1;
+    const std::uint64_t out = fa.nl.evaluate_outputs(in);
+    EXPECT_EQ(out & 1, static_cast<std::uint64_t>((a + b + c) & 1)) << in;
+    EXPECT_EQ((out >> 1) & 1, static_cast<std::uint64_t>((a + b + c) >> 1))
+        << in;
+  }
+}
+
+TEST(Netlist, AllGateTypesEvaluate) {
+  Netlist nl;
+  int a = nl.add_input("a");
+  int b = nl.add_input("b");
+  int c0 = nl.add_gate(GateType::kConst0, {});
+  int c1 = nl.add_gate(GateType::kConst1, {});
+  int buf = nl.add_gate(GateType::kBuf, {a});
+  int inv = nl.add_gate(GateType::kNot, {a});
+  int and2 = nl.add_gate(GateType::kAnd, {a, b});
+  int or2 = nl.add_gate(GateType::kOr, {a, b});
+  int nand2 = nl.add_gate(GateType::kNand, {a, b});
+  int nor2 = nl.add_gate(GateType::kNor, {a, b});
+  int xor2 = nl.add_gate(GateType::kXor, {a, b});
+  for (std::uint64_t in = 0; in < 4; ++in) {
+    const bool va = in & 1, vb = in & 2;
+    std::vector<bool> v = nl.evaluate(in);
+    EXPECT_FALSE(v[static_cast<std::size_t>(c0)]);
+    EXPECT_TRUE(v[static_cast<std::size_t>(c1)]);
+    EXPECT_EQ(v[static_cast<std::size_t>(buf)], va);
+    EXPECT_EQ(v[static_cast<std::size_t>(inv)], !va);
+    EXPECT_EQ(v[static_cast<std::size_t>(and2)], va && vb);
+    EXPECT_EQ(v[static_cast<std::size_t>(or2)], va || vb);
+    EXPECT_EQ(v[static_cast<std::size_t>(nand2)], !(va && vb));
+    EXPECT_EQ(v[static_cast<std::size_t>(nor2)], !(va || vb));
+    EXPECT_EQ(v[static_cast<std::size_t>(xor2)], va != vb);
+  }
+}
+
+TEST(Netlist, FanoutsAndLevels) {
+  FullAdder fa;
+  std::vector<std::vector<int>> fo = fa.nl.fanouts();
+  // a feeds the first XOR and the first AND.
+  EXPECT_EQ(fo[static_cast<std::size_t>(fa.a)].size(), 2u);
+  std::vector<int> levels = fa.nl.levels();
+  EXPECT_EQ(levels[static_cast<std::size_t>(fa.a)], 0);
+  EXPECT_EQ(levels[static_cast<std::size_t>(fa.carry)], 3);
+  EXPECT_EQ(fa.nl.depth(), 3);
+}
+
+TEST(Netlist, TypeHistogram) {
+  FullAdder fa;
+  std::vector<int> h = fa.nl.type_histogram();
+  EXPECT_EQ(h[static_cast<std::size_t>(GateType::kInput)], 3);
+  EXPECT_EQ(h[static_cast<std::size_t>(GateType::kXor)], 2);
+  EXPECT_EQ(h[static_cast<std::size_t>(GateType::kAnd)], 2);
+  EXPECT_EQ(h[static_cast<std::size_t>(GateType::kOr)], 1);
+}
+
+TEST(ScanCircuit, StepSplitsInputsAndOutputs) {
+  // 1 PI, 1 SV, 1 PO: po = x & y, next state = x | y.
+  ScanCircuit c;
+  int x = c.comb.add_input("x");
+  int y = c.comb.add_input("y");
+  c.comb.add_output(c.comb.add_gate(GateType::kAnd, {x, y}));
+  c.comb.add_output(c.comb.add_gate(GateType::kOr, {x, y}));
+  c.num_pi = 1;
+  c.num_po = 1;
+  c.num_sv = 1;
+  std::uint32_t po = 9, ns = 9;
+  c.step(/*state=*/1, /*pi=*/0, po, ns);
+  EXPECT_EQ(po, 0u);
+  EXPECT_EQ(ns, 1u);
+  c.step(1, 1, po, ns);
+  EXPECT_EQ(po, 1u);
+  EXPECT_EQ(ns, 1u);
+  c.step(0, 0, po, ns);
+  EXPECT_EQ(po, 0u);
+  EXPECT_EQ(ns, 0u);
+}
+
+TEST(GateTypeName, CoversAll) {
+  EXPECT_STREQ(gate_type_name(GateType::kAnd), "AND");
+  EXPECT_STREQ(gate_type_name(GateType::kInput), "INPUT");
+  EXPECT_STREQ(gate_type_name(GateType::kXor), "XOR");
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,91 @@
+#include "harness/paper_data.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "kiss/benchmarks.h"
+
+namespace fstg {
+namespace {
+
+TEST(PaperData, AllTablesHaveThirtyOneRows) {
+  EXPECT_EQ(paper_table4().size(), 31u);
+  EXPECT_EQ(paper_table5().size(), 31u);
+  EXPECT_EQ(paper_table6().size(), 31u);
+  EXPECT_EQ(paper_table7().size(), 31u);
+  EXPECT_EQ(paper_table8().size(), 4u);
+}
+
+TEST(PaperData, RowsAlignWithBenchmarkRegistry) {
+  for (const BenchmarkSpec& spec : benchmark_specs()) {
+    SCOPED_TRACE(spec.name);
+    const PaperTable4Row* t4 = find_paper_table4(spec.name);
+    ASSERT_NE(t4, nullptr);
+    EXPECT_EQ(t4->pi, spec.pi);
+    EXPECT_EQ(t4->sv, spec.sv);
+    EXPECT_EQ(t4->states, 1 << spec.sv);
+    ASSERT_NE(find_paper_table5(spec.name), nullptr);
+    ASSERT_NE(find_paper_table6(spec.name), nullptr);
+    ASSERT_NE(find_paper_table7(spec.name), nullptr);
+  }
+}
+
+TEST(PaperData, TableFiveTransitionsAreStatesTimesInputs) {
+  for (const PaperTable5Row& row : paper_table5()) {
+    const PaperTable4Row* t4 = find_paper_table4(row.circuit);
+    ASSERT_NE(t4, nullptr) << row.circuit;
+    EXPECT_EQ(row.trans,
+              static_cast<long long>(t4->states) * (1ll << t4->pi))
+        << row.circuit;
+  }
+}
+
+TEST(PaperData, TableSevenBaselineMatchesFormula) {
+  for (const PaperTable7Row& row : paper_table7()) {
+    const PaperTable4Row* t4 = find_paper_table4(row.circuit);
+    const PaperTable5Row* t5 = find_paper_table5(row.circuit);
+    ASSERT_NE(t4, nullptr);
+    ASSERT_NE(t5, nullptr);
+    // trans cycles = sv*(trans+1) + trans.
+    EXPECT_EQ(row.trans_cycles,
+              static_cast<long long>(t4->sv) * (t5->trans + 1) + t5->trans)
+        << row.circuit;
+    // funct cycles = sv*(tests+1) + len.
+    EXPECT_EQ(row.funct_cycles,
+              static_cast<long long>(t4->sv) * (t5->tests + 1) + t5->len)
+        << row.circuit;
+  }
+}
+
+TEST(PaperData, OneLenAverageMatchesPaper) {
+  double sum = 0;
+  for (const PaperTable5Row& row : paper_table5()) sum += row.onelen_percent;
+  EXPECT_NEAR(sum / 31.0, 48.59, 0.05);  // the paper's printed average
+}
+
+TEST(PaperData, TableSevenAveragesMatchPaper) {
+  double f = 0, s = 0, b = 0;
+  for (const PaperTable7Row& row : paper_table7()) {
+    f += row.funct_percent;
+    s += row.sa_percent;
+    b += row.br_percent;
+  }
+  EXPECT_NEAR(f / 31.0, 92.09, 0.05);
+  EXPECT_NEAR(s / 31.0, 33.60, 0.05);
+  EXPECT_NEAR(b / 31.0, 24.91, 0.25);  // paper rounds per-row percentages
+}
+
+TEST(PaperData, TableNineSubjects) {
+  EXPECT_EQ(paper_table9_circuits().size(), 4u);
+  for (const std::string& name : paper_table9_circuits())
+    EXPECT_FALSE(paper_table9(name).empty()) << name;
+  EXPECT_THROW(paper_table9("lion"), Error);
+}
+
+TEST(PaperData, UnknownLookupsReturnNull) {
+  EXPECT_EQ(find_paper_table4("zzz"), nullptr);
+  EXPECT_EQ(find_paper_table6("zzz"), nullptr);
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,39 @@
+#include "atpg/per_transition.h"
+
+#include <gtest/gtest.h>
+
+#include "fsm/state_table.h"
+#include "kiss/benchmarks.h"
+
+namespace fstg {
+namespace {
+
+TEST(PerTransition, OneTestPerTransition) {
+  StateTable t = expand_fsm(load_benchmark("lion"), FillPolicy::kError);
+  TestSet set = per_transition_tests(t);
+  EXPECT_EQ(set.size(), t.num_transitions());
+  EXPECT_EQ(set.total_length(), t.num_transitions());
+  EXPECT_EQ(set.length_one_count(), t.num_transitions());
+  set.validate(t);
+}
+
+TEST(PerTransition, CoversEveryTransitionInOrder) {
+  StateTable t = expand_fsm(load_benchmark("dk27"), FillPolicy::kSelfLoop);
+  TestSet set = per_transition_tests(t);
+  std::size_t i = 0;
+  for (int s = 0; s < t.num_states(); ++s) {
+    for (std::uint32_t ic = 0; ic < t.num_input_combos(); ++ic, ++i) {
+      EXPECT_EQ(set.tests[i].init_state, s);
+      EXPECT_EQ(set.tests[i].inputs, (std::vector<std::uint32_t>{ic}));
+      EXPECT_EQ(set.tests[i].final_state, t.next(s, ic));
+    }
+  }
+}
+
+TEST(PerTransition, ExhaustiveAliasOnCompletedTables) {
+  StateTable t = expand_fsm(load_benchmark("lion"), FillPolicy::kError);
+  EXPECT_EQ(exhaustive_tests(t).size(), per_transition_tests(t).size());
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,51 @@
+#include "netlist/reach.h"
+
+#include <gtest/gtest.h>
+
+namespace fstg {
+namespace {
+
+TEST(ForwardReachability, DiamondTopology) {
+  // a -> n1 -> n3; a -> n2 -> n3; b -> n2.
+  Netlist nl;
+  int a = nl.add_input("a");
+  int b = nl.add_input("b");
+  int n1 = nl.add_gate(GateType::kNot, {a});
+  int n2 = nl.add_gate(GateType::kAnd, {a, b});
+  int n3 = nl.add_gate(GateType::kOr, {n1, n2});
+  nl.add_output(n3);
+
+  std::vector<BitVec> r = forward_reachability(nl);
+  // From a: n1, n2, n3 (not b, not a itself).
+  EXPECT_FALSE(r[static_cast<std::size_t>(a)].test(static_cast<std::size_t>(a)));
+  EXPECT_TRUE(r[static_cast<std::size_t>(a)].test(static_cast<std::size_t>(n1)));
+  EXPECT_TRUE(r[static_cast<std::size_t>(a)].test(static_cast<std::size_t>(n2)));
+  EXPECT_TRUE(r[static_cast<std::size_t>(a)].test(static_cast<std::size_t>(n3)));
+  EXPECT_FALSE(r[static_cast<std::size_t>(a)].test(static_cast<std::size_t>(b)));
+  // From n1: only n3.
+  EXPECT_EQ(r[static_cast<std::size_t>(n1)].count(), 1u);
+  EXPECT_TRUE(r[static_cast<std::size_t>(n1)].test(static_cast<std::size_t>(n3)));
+  // From n3: nothing.
+  EXPECT_EQ(r[static_cast<std::size_t>(n3)].count(), 0u);
+  // From b: n2 and n3.
+  EXPECT_EQ(r[static_cast<std::size_t>(b)].count(), 2u);
+}
+
+TEST(ForwardReachability, TransitiveChain) {
+  Netlist nl;
+  int a = nl.add_input("a");
+  int prev = a;
+  std::vector<int> chain;
+  for (int i = 0; i < 10; ++i) {
+    prev = nl.add_gate(GateType::kNot, {prev});
+    chain.push_back(prev);
+  }
+  std::vector<BitVec> r = forward_reachability(nl);
+  EXPECT_EQ(r[static_cast<std::size_t>(a)].count(), 10u);
+  for (std::size_t i = 0; i < chain.size(); ++i)
+    EXPECT_EQ(r[static_cast<std::size_t>(chain[i])].count(),
+              chain.size() - 1 - i);
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,66 @@
+#include "fsm/reachability.h"
+
+#include <gtest/gtest.h>
+
+namespace fstg {
+namespace {
+
+// A 4-state chain 0 -> 1 -> 2 -> 3 with self-loops on input 0, advance on
+// input 1; state 3 is absorbing.
+StateTable chain() {
+  StateTable t(1, 1, 4);
+  for (int s = 0; s < 4; ++s) {
+    t.set(s, 0, s, 0);
+    t.set(s, 1, std::min(s + 1, 3), 0);
+  }
+  return t;
+}
+
+// A 3-state cycle under input 0 (and input 1).
+StateTable cycle() {
+  StateTable t(1, 1, 3);
+  for (int s = 0; s < 3; ++s) {
+    t.set(s, 0, (s + 1) % 3, 0);
+    t.set(s, 1, (s + 2) % 3, 0);
+  }
+  return t;
+}
+
+TEST(Reachability, ChainForward) {
+  StateTable t = chain();
+  EXPECT_EQ(reachable_states(t, 0).count(), 4u);
+  EXPECT_EQ(reachable_states(t, 2).count(), 2u);
+  EXPECT_EQ(reachable_states(t, 3).count(), 1u);
+  EXPECT_TRUE(reachable_states(t, 3).test(3));  // from includes itself
+}
+
+TEST(Reachability, StronglyConnected) {
+  EXPECT_FALSE(strongly_connected(chain()));
+  EXPECT_TRUE(strongly_connected(cycle()));
+}
+
+TEST(ShortestPath, FindsShortest) {
+  StateTable t = chain();
+  std::vector<std::uint32_t> seq;
+  ASSERT_TRUE(shortest_path(t, 0, 3, seq));
+  EXPECT_EQ(seq, (std::vector<std::uint32_t>{1, 1, 1}));
+  ASSERT_TRUE(shortest_path(t, 2, 2, seq));
+  EXPECT_TRUE(seq.empty());
+}
+
+TEST(ShortestPath, ReportsUnreachable) {
+  StateTable t = chain();
+  std::vector<std::uint32_t> seq;
+  EXPECT_FALSE(shortest_path(t, 3, 0, seq));
+}
+
+TEST(ShortestPath, PathIsValid) {
+  StateTable t = cycle();
+  std::vector<std::uint32_t> seq;
+  ASSERT_TRUE(shortest_path(t, 0, 2, seq));
+  EXPECT_EQ(t.run(0, seq), 2);
+  EXPECT_EQ(seq.size(), 1u);  // input 1 goes 0 -> 2 directly
+}
+
+}  // namespace
+}  // namespace fstg

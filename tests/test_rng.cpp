@@ -1,0 +1,78 @@
+#include "base/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace fstg {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, FromNameIsDeterministic) {
+  Rng a = Rng::from_name("bbara");
+  Rng b = Rng::from_name("bbara");
+  Rng c = Rng::from_name("bbsse");
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.below(0), Error);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    std::uint64_t v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceRoughlyUniform) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(1, 4);
+  EXPECT_GT(hits, 2000);
+  EXPECT_LT(hits, 3000);
+}
+
+TEST(Rng, BelowRoughlyUniform) {
+  Rng rng(13);
+  int buckets[8] = {};
+  for (int i = 0; i < 80000; ++i) ++buckets[rng.below(8)];
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_GT(buckets[b], 9000) << b;
+    EXPECT_LT(buckets[b], 11000) << b;
+  }
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,106 @@
+#include "sim/scan_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "fault/fault_sim.h"
+#include "harness/experiment.h"
+
+namespace fstg {
+namespace {
+
+class ScanSimLion : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    exp_ = new CircuitExperiment(run_circuit("lion"));
+  }
+  static void TearDownTestSuite() {
+    delete exp_;
+    exp_ = nullptr;
+  }
+  static CircuitExperiment* exp_;
+};
+CircuitExperiment* ScanSimLion::exp_ = nullptr;
+
+TEST_F(ScanSimLion, GoodTraceMatchesStateTable) {
+  ScanBatchSim sim(exp_->synth.circuit);
+  const std::vector<ScanPattern> batch = to_scan_patterns(exp_->gen.tests);
+  const GoodTrace good = sim.run_good(batch);
+
+  ASSERT_EQ(static_cast<std::size_t>(good.num_lanes), batch.size());
+  for (std::size_t l = 0; l < batch.size(); ++l) {
+    int state = static_cast<int>(batch[l].init_state);
+    for (std::size_t c = 0; c < batch[l].inputs.size(); ++c) {
+      ASSERT_TRUE((good.active[c] >> l) & 1u);
+      const std::uint32_t expect_po =
+          exp_->table.output(state, batch[l].inputs[c]);
+      for (int k = 0; k < exp_->synth.circuit.num_po; ++k)
+        EXPECT_EQ((good.po[c][static_cast<std::size_t>(k)] >> l) & 1u,
+                  (expect_po >> k) & 1u);
+      EXPECT_EQ(good.state_at[c][l], static_cast<std::uint32_t>(state));
+      state = exp_->table.next(state, batch[l].inputs[c]);
+    }
+    // Lane inactive after its pattern ends.
+    for (std::size_t c = batch[l].inputs.size(); c < good.active.size(); ++c)
+      EXPECT_FALSE((good.active[c] >> l) & 1u);
+    EXPECT_EQ(good.final_state[l], static_cast<std::uint32_t>(state));
+  }
+}
+
+TEST_F(ScanSimLion, FaultFreeRunDetectsNothing) {
+  ScanBatchSim sim(exp_->synth.circuit);
+  const std::vector<ScanPattern> batch = to_scan_patterns(exp_->gen.tests);
+  const GoodTrace good = sim.run_good(batch);
+  EXPECT_EQ(sim.run_faulty(batch, good, FaultSpec::none()), Word{0});
+}
+
+TEST_F(ScanSimLion, ConeAndFullPathsAgreeOnEveryFault) {
+  const ScanCircuit& circuit = exp_->synth.circuit;
+  ScanBatchSim sim(circuit);
+  const std::vector<ScanPattern> batch = to_scan_patterns(exp_->gen.tests);
+  const GoodTrace good = sim.run_good(batch);
+
+  std::vector<FaultSpec> faults = enumerate_stuck_at(circuit.comb);
+  const std::vector<FaultSpec> bridges = enumerate_bridging(circuit.comb);
+  faults.insert(faults.end(), bridges.begin(), bridges.end());
+  const std::vector<std::vector<int>> cones =
+      compute_fault_cones(circuit.comb, faults);
+
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    const Word with_cone = sim.run_faulty(batch, good, faults[f], &cones[f]);
+    const Word without = sim.run_faulty(batch, good, faults[f]);
+    // Early exits make higher lanes unreliable; the *lowest* detecting
+    // lane (which is what simulate_faults consumes) must agree.
+    const bool det_cone = with_cone != 0;
+    const bool det_full = without != 0;
+    ASSERT_EQ(det_cone, det_full) << "fault " << f;
+    if (det_cone) {
+      ASSERT_EQ(with_cone & (~with_cone + 1), without & (~without + 1))
+          << "fault " << f;
+    }
+  }
+}
+
+TEST(ScanSim, BatchSizeValidation) {
+  CircuitExperiment exp = run_circuit("lion");
+  ScanBatchSim sim(exp.synth.circuit);
+  EXPECT_THROW(sim.run_good({}), Error);
+  std::vector<ScanPattern> too_many(65, ScanPattern{0, {0}});
+  EXPECT_THROW(sim.run_good(too_many), Error);
+}
+
+TEST(ScanSim, SingleLaneStuckFaultDetection) {
+  CircuitExperiment exp = run_circuit("lion");
+  const ScanCircuit& circuit = exp.synth.circuit;
+  ScanBatchSim sim(circuit);
+  // Scan test exercising a known transition; stuck-at-1 on the primary
+  // output gate must be caught whenever the good output is 0.
+  const int po_gate = circuit.comb.outputs()[0];
+  const std::vector<ScanPattern> batch = {{0, {0}}};  // st0 --00--> out 0
+  const GoodTrace good = sim.run_good(batch);
+  EXPECT_EQ(sim.run_faulty(batch, good, FaultSpec::stuck_gate(po_gate, true)),
+            Word{1});
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,93 @@
+#include "fsm/state_table.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "kiss/kiss2_parser.h"
+
+namespace fstg {
+namespace {
+
+TEST(StateTable, ConstructionValidation) {
+  EXPECT_NO_THROW(StateTable(1, 1, 1));
+  EXPECT_THROW(StateTable(0, 1, 1), Error);
+  EXPECT_THROW(StateTable(21, 1, 1), Error);
+  EXPECT_THROW(StateTable(1, 0, 1), Error);
+  EXPECT_THROW(StateTable(1, 33, 1), Error);
+  EXPECT_THROW(StateTable(1, 1, 0), Error);
+}
+
+TEST(StateTable, SetAndGet) {
+  StateTable t(2, 3, 4);
+  EXPECT_EQ(t.num_input_combos(), 4u);
+  EXPECT_EQ(t.num_transitions(), 16u);
+  t.set(1, 2, 3, 0b101u);
+  EXPECT_EQ(t.next(1, 2), 3);
+  EXPECT_EQ(t.output(1, 2), 0b101u);
+  EXPECT_THROW(t.set(4, 0, 0, 0), Error);
+  EXPECT_THROW(t.set(0, 4, 0, 0), Error);
+  EXPECT_THROW(t.set(0, 0, 4, 0), Error);
+}
+
+TEST(StateTable, StateBits) {
+  EXPECT_EQ(StateTable(1, 1, 1).state_bits(), 1);
+  EXPECT_EQ(StateTable(1, 1, 2).state_bits(), 1);
+  EXPECT_EQ(StateTable(1, 1, 3).state_bits(), 2);
+  EXPECT_EQ(StateTable(1, 1, 4).state_bits(), 2);
+  EXPECT_EQ(StateTable(1, 1, 5).state_bits(), 3);
+  EXPECT_EQ(StateTable(1, 1, 64).state_bits(), 6);
+}
+
+TEST(StateTable, RunAndTrace) {
+  // A 2-state toggle with output = current state.
+  StateTable t(1, 1, 2);
+  t.set(0, 0, 0, 0);
+  t.set(0, 1, 1, 0);
+  t.set(1, 0, 1, 1);
+  t.set(1, 1, 0, 1);
+  EXPECT_EQ(t.run(0, {1, 1, 1}), 1);
+  EXPECT_EQ(t.trace(0, {1, 1, 1}),
+            (std::vector<std::uint32_t>{0, 1, 0}));
+  EXPECT_EQ(t.run(0, {}), 0);
+}
+
+TEST(ExpandFsm, ExpandsCubesMsbFirst) {
+  // Input cube "1-" covers inputs 10 (=2) and 11 (=3).
+  Kiss2Fsm fsm = parse_kiss2(".i 2\n.o 2\n1- a b 10\n0- a a 01\n-- b b 00\n");
+  StateTable t = expand_fsm(fsm, FillPolicy::kError);
+  ASSERT_EQ(t.num_states(), 2);
+  EXPECT_EQ(t.next(0, 2), 1);
+  EXPECT_EQ(t.next(0, 3), 1);
+  EXPECT_EQ(t.next(0, 0), 0);
+  EXPECT_EQ(t.next(0, 1), 0);
+  // Output "10" means output line 1 (leftmost char) is 1 => word 0b10.
+  EXPECT_EQ(t.output(0, 2), 0b10u);
+  EXPECT_EQ(t.output(0, 0), 0b01u);
+}
+
+TEST(ExpandFsm, ErrorPolicyOnGaps) {
+  Kiss2Fsm gap = parse_kiss2(".i 1\n.o 1\n0 a a 0\n");
+  EXPECT_THROW(expand_fsm(gap, FillPolicy::kError), Error);
+}
+
+TEST(ExpandFsm, SelfLoopPolicyFillsGaps) {
+  Kiss2Fsm gap = parse_kiss2(".i 1\n.o 1\n0 a b 1\n- b b 1\n");
+  StateTable t = expand_fsm(gap, FillPolicy::kSelfLoop);
+  EXPECT_EQ(t.next(0, 1), 0);     // unspecified -> self-loop
+  EXPECT_EQ(t.output(0, 1), 0u);  // with zero output
+  EXPECT_EQ(t.next(0, 0), 1);
+}
+
+TEST(ExpandFsm, DcOutputBitsBecomeZero) {
+  Kiss2Fsm fsm = parse_kiss2(".i 1\n.o 2\n- a a 1-\n");
+  StateTable t = expand_fsm(fsm, FillPolicy::kError);
+  EXPECT_EQ(t.output(0, 0), 0b10u);
+}
+
+TEST(ExpandFsm, RejectsNondeterminism) {
+  Kiss2Fsm fsm = parse_kiss2(".i 1\n.o 1\n- a a 0\n0 a b 0\n- b b 0\n");
+  EXPECT_THROW(expand_fsm(fsm, FillPolicy::kError), Error);
+}
+
+}  // namespace
+}  // namespace fstg

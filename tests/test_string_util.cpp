@@ -1,0 +1,48 @@
+#include "base/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fstg {
+namespace {
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(SplitWs, SplitsOnRuns) {
+  EXPECT_EQ(split_ws("a  b\tc"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("  \t ").empty());
+  EXPECT_EQ(split_ws(" one "), (std::vector<std::string>{"one"}));
+}
+
+TEST(SplitChar, KeepsEmptyFields) {
+  EXPECT_EQ(split_char("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_char(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split_char("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(AllCharsIn, Behaviour) {
+  EXPECT_TRUE(all_chars_in("0101-", "01-"));
+  EXPECT_FALSE(all_chars_in("01x1", "01-"));
+  EXPECT_FALSE(all_chars_in("", "01-"));  // empty fields are invalid
+}
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(Strf, LongOutput) {
+  std::string long_arg(500, 'a');
+  EXPECT_EQ(strf("%s", long_arg.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,94 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace fstg {
+namespace {
+
+// y = (a & b) | c, with the AND feeding both the OR and a NOT (fanout 2).
+struct SmallCircuit {
+  Netlist nl;
+  int a, b, c, and_g, or_g, not_g;
+
+  SmallCircuit() {
+    a = nl.add_input("a");
+    b = nl.add_input("b");
+    c = nl.add_input("c");
+    and_g = nl.add_gate(GateType::kAnd, {a, b});
+    or_g = nl.add_gate(GateType::kOr, {and_g, c});
+    not_g = nl.add_gate(GateType::kNot, {and_g});
+    nl.add_output(or_g);
+    nl.add_output(not_g);
+  }
+};
+
+TEST(StuckAt, StemFaultsForEveryGate) {
+  SmallCircuit sc;
+  StuckAtOptions options;
+  options.include_branches = false;
+  std::vector<FaultSpec> faults = enumerate_stuck_at(sc.nl, options);
+  // 6 gates (3 inputs + AND + OR + NOT), 2 faults each.
+  EXPECT_EQ(faults.size(), 12u);
+  for (const FaultSpec& f : faults)
+    EXPECT_EQ(f.kind, FaultSpec::Kind::kStuckGate);
+}
+
+TEST(StuckAt, BranchesOnlyOnFanoutStems) {
+  SmallCircuit sc;
+  StuckAtOptions options;
+  options.collapse = false;
+  std::vector<FaultSpec> faults = enumerate_stuck_at(sc.nl, options);
+  // Branch faults only where the driver has fanout > 1: only and_g (feeds
+  // or_g and not_g). Pins: or_g.pin0 and not_g.pin0, 2 faults each.
+  std::size_t branches = 0;
+  for (const FaultSpec& f : faults)
+    if (f.kind == FaultSpec::Kind::kStuckPin) {
+      ++branches;
+      const Gate& g = sc.nl.gate(f.gate);
+      EXPECT_EQ(g.fanins[static_cast<std::size_t>(f.gate2_or_pin)], sc.and_g);
+    }
+  EXPECT_EQ(branches, 4u);
+}
+
+TEST(StuckAt, CollapseDropsControllingPinFaults) {
+  SmallCircuit sc;
+  std::vector<FaultSpec> collapsed = enumerate_stuck_at(sc.nl);  // default
+  // or_g.pin0 s-a-1 is OR-controlling -> collapsed onto the output;
+  // not_g.pin0 faults collapse entirely (unary). Remaining branch fault:
+  // or_g.pin0 s-a-0 only.
+  std::size_t branches = 0;
+  for (const FaultSpec& f : collapsed)
+    if (f.kind == FaultSpec::Kind::kStuckPin) {
+      ++branches;
+      EXPECT_EQ(f.gate, sc.or_g);
+      EXPECT_FALSE(f.value);
+    }
+  EXPECT_EQ(branches, 1u);
+}
+
+TEST(StuckAt, ConstantGatesCarryNoFaults) {
+  Netlist nl;
+  int a = nl.add_input("a");
+  int c1 = nl.add_gate(GateType::kConst1, {});
+  int g = nl.add_gate(GateType::kAnd, {a, c1});
+  nl.add_output(g);
+  StuckAtOptions options;
+  options.include_branches = false;
+  std::vector<FaultSpec> faults = enumerate_stuck_at(nl, options);
+  for (const FaultSpec& f : faults) EXPECT_NE(f.gate, c1);
+  EXPECT_EQ(faults.size(), 4u);  // a and the AND, 2 each
+}
+
+TEST(DescribeFault, Formats) {
+  SmallCircuit sc;
+  EXPECT_EQ(describe_fault(sc.nl, FaultSpec::stuck_gate(sc.a, true)),
+            "a s-a-1");
+  EXPECT_EQ(describe_fault(sc.nl, FaultSpec::stuck_pin(sc.or_g, 0, false)),
+            "OR#4.pin0 s-a-0");
+  EXPECT_EQ(describe_fault(sc.nl, FaultSpec::bridge_and(sc.a, sc.b)),
+            "bridge-AND(a,b)");
+  EXPECT_EQ(describe_fault(sc.nl, FaultSpec::none()), "fault-free");
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,41 @@
+#include "base/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/error.h"
+
+namespace fstg {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"a", "bbbb"});
+  t.add_row({"xxx", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, one row.
+  EXPECT_NE(out.find("a    bbbb"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("xxx  y"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), Error);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(static_cast<long long>(42)), "42");
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(100.0, 2), "100.00");
+}
+
+}  // namespace
+}  // namespace fstg

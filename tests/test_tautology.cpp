@@ -1,0 +1,104 @@
+#include "logic/tautology.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace fstg {
+namespace {
+
+bool brute_tautology(const Cover& c) {
+  for (std::uint32_t m = 0; m < (1u << c.num_vars()); ++m)
+    if (!c.eval(m)) return false;
+  return true;
+}
+
+Cover random_cover(Rng& rng, int num_vars, int max_cubes) {
+  Cover c(num_vars);
+  const int n = static_cast<int>(rng.below(static_cast<std::uint64_t>(max_cubes) + 1));
+  for (int i = 0; i < n; ++i) {
+    Cube cube = Cube::full(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      switch (rng.below(3)) {
+        case 0: cube.set(v, Lit::kZero); break;
+        case 1: cube.set(v, Lit::kOne); break;
+        default: break;
+      }
+    }
+    c.add(cube);
+  }
+  return c;
+}
+
+TEST(Tautology, EmptyCoverIsNot) {
+  EXPECT_FALSE(is_tautology(Cover(3)));
+}
+
+TEST(Tautology, UniversalCubeIs) {
+  Cover c(3);
+  c.add(Cube::full(3));
+  EXPECT_TRUE(is_tautology(c));
+}
+
+TEST(Tautology, ComplementaryPairIs) {
+  Cover c(2);
+  c.add(Cube::from_string("1-"));
+  c.add(Cube::from_string("0-"));
+  EXPECT_TRUE(is_tautology(c));
+}
+
+TEST(Tautology, MissingMintermIsNot) {
+  Cover c(2);
+  c.add(Cube::from_string("1-"));
+  c.add(Cube::from_string("00"));
+  EXPECT_FALSE(is_tautology(c));  // minterm 01... (var0=0,var1=1) missing
+}
+
+TEST(CubeCovered, Basic) {
+  Cover c(3);
+  c.add(Cube::from_string("1--"));
+  c.add(Cube::from_string("01-"));
+  EXPECT_TRUE(cube_covered(Cube::from_string("11-"), c));
+  EXPECT_TRUE(cube_covered(Cube::from_string("-1-"), c));
+  EXPECT_FALSE(cube_covered(Cube::from_string("00-"), c));
+  EXPECT_FALSE(cube_covered(Cube::from_string("---"), c));
+}
+
+TEST(Complement, EmptyCoverIsUniverse) {
+  Cover comp = complement_cover(Cover(2));
+  ASSERT_EQ(comp.size(), 1u);
+  EXPECT_EQ(comp[0].literal_count(), 0);
+}
+
+TEST(Complement, UniverseIsEmpty) {
+  Cover c(2);
+  c.add(Cube::full(2));
+  EXPECT_TRUE(complement_cover(c).empty());
+}
+
+class TautologyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TautologyProperty, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  for (int iter = 0; iter < 400; ++iter) {
+    const int nv = 2 + static_cast<int>(rng.below(6));
+    Cover c = random_cover(rng, nv, 8);
+    EXPECT_EQ(is_tautology(c), brute_tautology(c)) << "nv=" << nv;
+  }
+}
+
+TEST_P(TautologyProperty, ComplementIsExact) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 2);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int nv = 2 + static_cast<int>(rng.below(5));
+    Cover c = random_cover(rng, nv, 6);
+    Cover comp = complement_cover(c);
+    for (std::uint32_t m = 0; m < (1u << nv); ++m)
+      ASSERT_NE(c.eval(m), comp.eval(m)) << "minterm " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TautologyProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace fstg

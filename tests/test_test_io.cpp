@@ -1,0 +1,77 @@
+#include "atpg/test_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "base/error.h"
+#include "harness/experiment.h"
+
+namespace fstg {
+namespace {
+
+TestFile lion_file() {
+  CircuitExperiment exp = run_circuit("lion");
+  TestFile file;
+  file.circuit = "lion";
+  file.input_bits = 2;
+  file.state_bits = 2;
+  file.tests = exp.gen.tests;
+  return file;
+}
+
+TEST(TestIo, RoundTrips) {
+  TestFile file = lion_file();
+  TestFile again = parse_test_file(write_test_file(file));
+  EXPECT_EQ(again.circuit, "lion");
+  EXPECT_EQ(again.input_bits, 2);
+  EXPECT_EQ(again.state_bits, 2);
+  ASSERT_EQ(again.tests.size(), file.tests.size());
+  EXPECT_EQ(again.tests.tests, file.tests.tests);
+}
+
+TEST(TestIo, FieldsAreMsbFirstBinary) {
+  TestFile file;
+  file.input_bits = 3;
+  file.state_bits = 2;
+  FunctionalTest t;
+  t.init_state = 2;       // "10"
+  t.inputs = {4, 1};      // "100", "001"
+  t.final_state = 1;      // "01"
+  file.tests.tests.push_back(t);
+  const std::string text = write_test_file(file);
+  EXPECT_NE(text.find("10 100,001 01"), std::string::npos) << text;
+}
+
+TEST(TestIo, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n00 0x 01\n"), ParseError);
+  EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n00 000 01\n"), ParseError);
+  EXPECT_THROW(parse_test_file("00 00 01\n"), ParseError);  // before .inputs
+  EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n00 00\n"), ParseError);
+  EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n.tests 5\n00 00 01\n"),
+               ParseError);
+  EXPECT_THROW(parse_test_file(".bogus 1\n"), ParseError);
+}
+
+TEST(TestIo, CommentsAndBlanksIgnored) {
+  TestFile f = parse_test_file(
+      "# header\n\n.inputs 1\n.sv 1\n\n0 0,1 1  # trailing\n");
+  ASSERT_EQ(f.tests.size(), 1u);
+  EXPECT_EQ(f.tests.tests[0].inputs, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(TestIo, DiskRoundTrip) {
+  TestFile file = lion_file();
+  const std::string path = ::testing::TempDir() + "/fstg_tests_roundtrip.txt";
+  save_test_file(file, path);
+  TestFile again = load_test_file(path);
+  EXPECT_EQ(again.tests.tests, file.tests.tests);
+  std::remove(path.c_str());
+}
+
+TEST(TestIo, MissingFileThrows) {
+  EXPECT_THROW(load_test_file("/nonexistent/path/tests.txt"), Error);
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,97 @@
+#include "netlist/verilog.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "harness/experiment.h"
+
+namespace fstg {
+namespace {
+
+TEST(Verilog, ModuleStructure) {
+  CircuitExperiment exp = run_circuit("lion");
+  const std::string v = to_verilog(exp.synth.circuit);
+  EXPECT_NE(v.find("module fstg_lion ("), std::string::npos);
+  EXPECT_NE(v.find("input  wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input  wire scan_en"), std::string::npos);
+  EXPECT_NE(v.find("output wire scan_out"), std::string::npos);
+  EXPECT_NE(v.find("input  wire x0"), std::string::npos);
+  EXPECT_NE(v.find("input  wire x1"), std::string::npos);
+  EXPECT_NE(v.find("output wire z0"), std::string::npos);
+  EXPECT_NE(v.find("reg [1:0] state;"), std::string::npos);
+  EXPECT_NE(v.find("assign scan_out = state[0];"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, OneAssignPerLogicGate) {
+  CircuitExperiment exp = run_circuit("dk27");
+  const Netlist& nl = exp.synth.circuit.comb;
+  const std::string v = to_verilog(exp.synth.circuit);
+  std::size_t assigns = 0;
+  for (std::size_t pos = v.find("  wire g"); pos != std::string::npos;
+       pos = v.find("  wire g", pos + 1))
+    ++assigns;
+  std::size_t logic_gates = 0;
+  for (int g = 0; g < nl.num_gates(); ++g)
+    if (nl.gate(g).type != GateType::kInput) ++logic_gates;
+  EXPECT_EQ(assigns, logic_gates);
+}
+
+TEST(Verilog, CustomModuleName) {
+  CircuitExperiment exp = run_circuit("lion");
+  const std::string v = to_verilog(exp.synth.circuit, "my_module");
+  EXPECT_NE(v.find("module my_module ("), std::string::npos);
+}
+
+TEST(Verilog, TestbenchChecksEveryTest) {
+  CircuitExperiment exp = run_circuit("lion");
+  std::vector<std::vector<std::uint32_t>> expected;
+  for (const FunctionalTest& t : exp.gen.tests.tests)
+    expected.push_back(exp.table.trace(t.init_state, t.inputs));
+  const std::string tb =
+      to_verilog_testbench(exp.synth.circuit, exp.gen.tests, expected);
+  EXPECT_NE(tb.find("module fstg_lion_tb;"), std::string::npos);
+  // One scan_load and one scan_check per test.
+  std::size_t loads = 0, checks = 0;
+  for (std::size_t pos = tb.find("scan_load("); pos != std::string::npos;
+       pos = tb.find("scan_load(", pos + 1))
+    ++loads;
+  for (std::size_t pos = tb.find("scan_check("); pos != std::string::npos;
+       pos = tb.find("scan_check(", pos + 1))
+    ++checks;
+  // +1 each for the task definitions themselves.
+  EXPECT_EQ(loads, exp.gen.tests.size() + 1);
+  EXPECT_EQ(checks, exp.gen.tests.size() + 1);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+}
+
+TEST(Verilog, TestbenchValidatesTraceShape) {
+  CircuitExperiment exp = run_circuit("lion");
+  std::vector<std::vector<std::uint32_t>> wrong(exp.gen.tests.size());
+  EXPECT_THROW(
+      to_verilog_testbench(exp.synth.circuit, exp.gen.tests, wrong),
+      Error);
+  std::vector<std::vector<std::uint32_t>> too_few;
+  EXPECT_THROW(
+      to_verilog_testbench(exp.synth.circuit, exp.gen.tests, too_few),
+      Error);
+}
+
+TEST(Verilog, NandNorRendering) {
+  ScanCircuit c;
+  int a = c.comb.add_input("x0");
+  int y = c.comb.add_input("y0");
+  int nand_g = c.comb.add_gate(GateType::kNand, {a, y});
+  int nor_g = c.comb.add_gate(GateType::kNor, {a, y});
+  c.comb.add_output(nand_g);
+  c.comb.add_output(nor_g);
+  c.num_pi = 1;
+  c.num_po = 1;
+  c.num_sv = 1;
+  const std::string v = to_verilog(c, "m");
+  EXPECT_NE(v.find("~(x0 & y0)"), std::string::npos) << v;
+  EXPECT_NE(v.find("~(x0 | y0)"), std::string::npos) << v;
+}
+
+}  // namespace
+}  // namespace fstg

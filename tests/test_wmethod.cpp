@@ -1,0 +1,69 @@
+#include "seq/wmethod.h"
+
+#include <gtest/gtest.h>
+
+#include "atpg/coverage.h"
+#include "atpg/cycles.h"
+#include "fsm/state_table.h"
+#include "harness/experiment.h"
+
+namespace fstg {
+namespace {
+
+TEST(WMethod, LionCharacterizationSet) {
+  StateTable t = expand_fsm(load_benchmark("lion"), FillPolicy::kError);
+  WMethodResult r = w_method_tests(t);
+  ASSERT_TRUE(r.machine_is_minimal);
+  ASSERT_FALSE(r.w_set.empty());
+  // W must distinguish every pair.
+  for (int a = 0; a < t.num_states(); ++a) {
+    for (int b = a + 1; b < t.num_states(); ++b) {
+      bool separated = false;
+      for (const auto& w : r.w_set)
+        if (t.trace(a, w) != t.trace(b, w)) separated = true;
+      EXPECT_TRUE(separated) << a << "," << b;
+    }
+  }
+}
+
+TEST(WMethod, TestCountIsTransitionsTimesW) {
+  StateTable t = expand_fsm(load_benchmark("lion"), FillPolicy::kError);
+  WMethodResult r = w_method_tests(t);
+  EXPECT_EQ(r.tests.size(), t.num_transitions() * r.w_set.size());
+  r.tests.validate(t);
+}
+
+TEST(WMethod, NonMinimalMachineHasNoW) {
+  StateTable t(1, 1, 2);  // two equivalent states
+  t.set(0, 0, 0, 1);
+  t.set(0, 1, 1, 0);
+  t.set(1, 0, 1, 1);
+  t.set(1, 1, 0, 0);
+  WMethodResult r = w_method_tests(t);
+  EXPECT_FALSE(r.machine_is_minimal);
+  EXPECT_TRUE(r.w_set.empty());
+  EXPECT_TRUE(r.tests.tests.empty());
+}
+
+TEST(WMethod, DetectsAllStateTransitionFaults) {
+  // The W-method is complete for ST faults by construction: each
+  // transition's destination is checked against every W sequence.
+  StateTable t = expand_fsm(load_benchmark("lion"), FillPolicy::kError);
+  WMethodResult r = w_method_tests(t);
+  StCoverageResult cov =
+      simulate_st_faults(t, r.tests, enumerate_st_faults(t));
+  EXPECT_EQ(cov.detected, cov.total);
+}
+
+TEST(WMethod, CostsMoreCyclesThanUioChaining) {
+  // The trade the paper's procedure avoids: |W| tests per transition.
+  CircuitExperiment exp = run_circuit("lion");
+  WMethodResult r = w_method_tests(exp.table);
+  ASSERT_TRUE(r.machine_is_minimal);
+  const int sv = exp.synth.circuit.num_sv;
+  EXPECT_GT(test_application_cycles(sv, r.tests),
+            test_application_cycles(sv, exp.gen.tests));
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,236 @@
+// fstg — command-line front end to the functional scan test generation
+// library (Pomeranz & Reddy, DATE 2000 reproduction).
+//
+//   fstg list                         list the built-in benchmark circuits
+//   fstg info <circuit|file.kiss>     machine + implementation summary
+//   fstg gen  <circuit|file.kiss> [-o tests.txt] [--uio L] [--xfer L]
+//                                     generate functional tests
+//   fstg sim  <circuit|file.kiss> <tests.txt>
+//                                     gate-level fault simulation of a
+//                                     test file (stuck-at + bridging)
+//   fstg verilog <circuit|file.kiss> [-o out.v] [--tb tb.v]
+//                                     emit Verilog netlist (and testbench)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "atpg/cycles.h"
+#include "atpg/test_io.h"
+#include "base/error.h"
+#include "harness/experiment.h"
+#include "kiss/kiss2_parser.h"
+#include "netlist/export.h"
+#include "netlist/verilog.h"
+
+namespace {
+
+using namespace fstg;
+
+Kiss2Fsm load_machine(const std::string& arg) {
+  try {
+    return load_benchmark(arg);
+  } catch (const Error&) {
+    return parse_kiss2_file(arg);
+  }
+}
+
+int cmd_list() {
+  std::printf("%-10s %3s %3s %7s %8s  %s\n", "circuit", "pi", "sv", "states",
+              "outputs", "source");
+  for (const BenchmarkSpec& spec : benchmark_specs()) {
+    const char* source = spec.source == BenchmarkSource::kExactEmbedded
+                             ? "exact (paper Table 1)"
+                         : spec.source == BenchmarkSource::kDerived
+                             ? "derived from definition"
+                             : "synthetic stand-in";
+    std::printf("%-10s %3d %3d %7d %8d  %s\n", spec.name.c_str(), spec.pi,
+                spec.sv, spec.specified_states, spec.outputs, source);
+  }
+  return 0;
+}
+
+int cmd_info(const std::string& target) {
+  CircuitExperiment exp = run_fsm(load_machine(target));
+  std::printf("machine      : %s\n", exp.fsm.name.c_str());
+  std::printf("inputs       : %d (%u combinations)\n", exp.fsm.num_inputs,
+              exp.table.num_input_combos());
+  std::printf("outputs      : %d\n", exp.fsm.num_outputs);
+  std::printf("states       : %d specified, %d after completion\n",
+              exp.fsm.num_states(), exp.table.num_states());
+  std::printf("implementation: %d gates, depth %d, %d state variables\n",
+              exp.synth.circuit.comb.num_gates(),
+              exp.synth.circuit.comb.depth(), exp.synth.circuit.num_sv);
+  std::printf("UIO sequences: %d of %d states (max length %d)\n",
+              exp.gen.uios.count(), exp.table.num_states(),
+              exp.gen.uios.max_length());
+  std::printf("functional tests: %zu (total length %zu) for %zu transitions\n",
+              exp.gen.tests.size(), exp.gen.tests.total_length(),
+              exp.table.num_transitions());
+  return 0;
+}
+
+int cmd_gen(const std::string& target, const std::string& out,
+            int uio_bound, int xfer_bound) {
+  ExperimentOptions options;
+  options.gen.uio_max_length = uio_bound;
+  options.gen.transfer_max_length = xfer_bound;
+  CircuitExperiment exp = run_fsm(load_machine(target), options);
+
+  TestFile file;
+  file.circuit = exp.fsm.name;
+  file.input_bits = exp.table.input_bits();
+  file.state_bits = exp.synth.circuit.num_sv;
+  file.tests = exp.gen.tests;
+
+  const int sv = exp.synth.circuit.num_sv;
+  std::fprintf(stderr,
+               "%zu tests, total length %zu, %zu application cycles "
+               "(%.2f%% of per-transition)\n",
+               exp.gen.tests.size(), exp.gen.tests.total_length(),
+               test_application_cycles(sv, exp.gen.tests),
+               100.0 *
+                   static_cast<double>(test_application_cycles(sv, exp.gen.tests)) /
+                   static_cast<double>(per_transition_cycles(
+                       sv, exp.table.num_transitions())));
+  if (out.empty()) {
+    std::cout << write_test_file(file);
+  } else {
+    save_test_file(file, out);
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_sim(const std::string& target, const std::string& tests_path) {
+  CircuitExperiment exp = run_fsm(load_machine(target));
+  TestFile file = load_test_file(tests_path);
+  require(file.input_bits == exp.table.input_bits(),
+          "test file input width does not match the circuit");
+  require(file.state_bits == exp.synth.circuit.num_sv,
+          "test file state width does not match the circuit");
+  file.tests.validate(exp.table);
+
+  CircuitExperiment shim = exp;
+  shim.gen.tests = file.tests;
+  GateLevelResult gate = run_gate_level(shim, /*classify_redundancy=*/true);
+  std::printf("stuck-at : %zu/%zu detected (%.2f%%), detectable coverage "
+              "%.2f%%, %zu effective tests\n",
+              gate.sa.sim.detected_faults, gate.sa.sim.total_faults,
+              gate.sa.sim.coverage_percent(),
+              gate.sa_redundancy.detectable_coverage_percent(),
+              gate.sa.effective_tests.size());
+  std::printf("bridging : %zu/%zu detected (%.2f%%), detectable coverage "
+              "%.2f%%, %zu effective tests\n",
+              gate.br.sim.detected_faults, gate.br.sim.total_faults,
+              gate.br.sim.coverage_percent(),
+              gate.br_redundancy.detectable_coverage_percent(),
+              gate.br.effective_tests.size());
+  return 0;
+}
+
+int cmd_verilog(const std::string& target, const std::string& out,
+                const std::string& tb_out) {
+  CircuitExperiment exp = run_fsm(load_machine(target));
+  const std::string verilog = to_verilog(exp.synth.circuit);
+  if (out.empty()) {
+    std::cout << verilog;
+  } else {
+    std::ofstream f(out);
+    require(f.good(), "cannot write " + out);
+    f << verilog;
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+  }
+  if (!tb_out.empty()) {
+    std::vector<std::vector<std::uint32_t>> expected;
+    for (const FunctionalTest& t : exp.gen.tests.tests)
+      expected.push_back(exp.table.trace(t.init_state, t.inputs));
+    std::ofstream f(tb_out);
+    require(f.good(), "cannot write " + tb_out);
+    f << to_verilog_testbench(exp.synth.circuit, exp.gen.tests, expected);
+    std::fprintf(stderr, "wrote %s\n", tb_out.c_str());
+  }
+  return 0;
+}
+
+int cmd_export(const std::string& target, const std::string& format,
+               const std::string& out) {
+  CircuitExperiment exp = run_fsm(load_machine(target));
+  std::string text;
+  if (format == "blif")
+    text = to_blif(exp.synth.circuit);
+  else if (format == "bench")
+    text = to_bench(exp.synth.circuit);
+  else
+    throw Error("unknown export format (use blif or bench): " + format);
+  if (out.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream f(out);
+    require(f.good(), "cannot write " + out);
+    f << text;
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fstg <list|info|gen|sim|verilog|export> [args]\n"
+               "  fstg list\n"
+               "  fstg info <circuit|file.kiss>\n"
+               "  fstg gen <circuit|file.kiss> [-o tests.txt] [--uio L] "
+               "[--xfer L]\n"
+               "  fstg sim <circuit|file.kiss> <tests.txt>\n"
+               "  fstg verilog <circuit|file.kiss> [-o out.v] [--tb tb.v]\n"
+               "  fstg export <circuit|file.kiss> <blif|bench> [-o out]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
+    if (cmd == "gen" && argc >= 3) {
+      std::string out;
+      int uio = 0, xfer = 1;
+      for (int i = 3; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "-o") && i + 1 < argc) out = argv[++i];
+        else if (!std::strcmp(argv[i], "--uio") && i + 1 < argc)
+          uio = std::stoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--xfer") && i + 1 < argc)
+          xfer = std::stoi(argv[++i]);
+        else return usage();
+      }
+      return cmd_gen(argv[2], out, uio, xfer);
+    }
+    if (cmd == "sim" && argc >= 4) return cmd_sim(argv[2], argv[3]);
+    if (cmd == "export" && argc >= 4) {
+      std::string out;
+      for (int i = 4; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "-o") && i + 1 < argc) out = argv[++i];
+        else return usage();
+      }
+      return cmd_export(argv[2], argv[3], out);
+    }
+    if (cmd == "verilog" && argc >= 3) {
+      std::string out, tb;
+      for (int i = 3; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "-o") && i + 1 < argc) out = argv[++i];
+        else if (!std::strcmp(argv[i], "--tb") && i + 1 < argc) tb = argv[++i];
+        else return usage();
+      }
+      return cmd_verilog(argv[2], out, tb);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
