@@ -55,6 +55,7 @@ GeneratorResult generate_functional_tests(const StateTable& table,
   UioOptions uio_options;
   uio_options.max_length = options.uio_max_length;
   uio_options.eval_budget = options.uio_eval_budget;
+  uio_options.budget = options.budget;
   UioSet uios = derive_uio_sequences(table, uio_options);
   const double uio_seconds = timer.seconds();
   GeneratorResult result =
@@ -75,6 +76,11 @@ GeneratorResult generate_functional_tests(const StateTable& table,
   const std::uint32_t nic = table.num_input_combos();
   UntestedTracker tracker(table);
   TestSet& tests = result.tests;
+  result.degraded = !result.uios.complete();
+  // One guard for every transfer search in this run; exhaustion (or test
+  // injection) degrades each remaining search to "no transfer" => the
+  // current test ends with a scan-out, which is always sound.
+  robust::RunGuard xfer_guard(robust::Budget{}, "transfer.bfs");
 
   auto has_uio = [&](int state) {
     return result.uios.of(state).exists;
@@ -123,15 +129,17 @@ GeneratorResult generate_functional_tests(const StateTable& table,
           // The post-UIO state is exhausted: look for a transfer sequence
           // into a state that still has untested transitions.
           if (options.transfer_max_length > 0) {
-            auto xfer = find_transfer(
+            TransferSearch xfer = find_transfer_guarded(
                 table, after_uio, options.transfer_max_length,
-                [&](int t) { return tracker.state_has_untested(t); });
-            if (xfer.has_value()) {
+                [&](int t) { return tracker.state_has_untested(t); },
+                xfer_guard);
+            if (xfer.budget_exhausted) result.degraded = true;
+            if (xfer.seq.has_value()) {
               test.inputs.insert(test.inputs.end(), uio.inputs.begin(),
                                  uio.inputs.end());
-              test.inputs.insert(test.inputs.end(), xfer->begin(),
-                                 xfer->end());
-              s = table.run(after_uio, *xfer);
+              test.inputs.insert(test.inputs.end(), xfer.seq->begin(),
+                                 xfer.seq->end());
+              s = table.run(after_uio, *xfer.seq);
               a = tracker.first_untested(s);
               continue;
             }
@@ -156,6 +164,24 @@ GeneratorResult generate_functional_tests(const StateTable& table,
   tests.validate(table);
   result.generation_seconds = timer.seconds();
   return result;
+}
+
+robust::Result<GeneratorResult> try_generate_functional_tests(
+    const StateTable& table, const GeneratorOptions& options) {
+  using robust::Code;
+  using robust::Status;
+  try {
+    return generate_functional_tests(table, options);
+  } catch (const BudgetError& e) {
+    return Status::error(Code::kBudgetExhausted, e.what())
+        .with_context("generating functional tests");
+  } catch (const ParseError& e) {
+    return Status::error(Code::kParseError, e.what())
+        .with_context("generating functional tests");
+  } catch (const std::exception& e) {
+    return Status::error(Code::kInternal, e.what())
+        .with_context("generating functional tests");
+  }
 }
 
 }  // namespace fstg

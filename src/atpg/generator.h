@@ -1,6 +1,7 @@
 #pragma once
 
 #include "atpg/test.h"
+#include "base/robust/status.h"
 #include "seq/uio.h"
 
 namespace fstg {
@@ -17,6 +18,12 @@ struct GeneratorOptions {
   bool postpone_no_uio_starts = true;
   /// Work budget forwarded to UIO derivation.
   std::uint64_t uio_eval_budget = 50'000'000;
+  /// Resource envelope for the whole UIO derivation (wall clock, total
+  /// expansions, memory estimate). Exhaustion is *not* an error: states
+  /// whose search was cut short are treated as UIO-less, exactly the
+  /// paper's own degradation — the chained test ends with a scan-out, so
+  /// state-transition coverage is preserved while cycle count may rise.
+  robust::Budget budget;
 };
 
 /// Everything the experiments report about one generation run.
@@ -31,6 +38,14 @@ struct GeneratorResult {
   std::size_t transitions_in_length_one = 0;
   double uio_seconds = 0.0;
   double generation_seconds = 0.0;
+  /// True iff a budget degraded the run (aborted UIO searches and/or
+  /// transfer searches cut short). The tests are still complete — every
+  /// state-transition is tested — but chaining is reduced.
+  bool degraded = false;
+
+  /// States whose UIO search the budget cut short (subset of the states
+  /// the generator fell back to scan-out for).
+  int uio_aborted_states() const { return uios.aborted_states(); }
 };
 
 /// The paper's functional test generation procedure. Every one of the
@@ -46,5 +61,14 @@ GeneratorResult generate_functional_tests(const StateTable& table,
 GeneratorResult generate_functional_tests(const StateTable& table,
                                           const GeneratorOptions& options,
                                           UioSet uios);
+
+/// Structured-error boundary: same procedure, but failures surface as a
+/// typed Status (budget exhaustion in a context with no sound fallback =>
+/// kBudgetExhausted, violated invariants => kInternal) instead of an
+/// exception. Budget-exhausted UIO search is NOT a failure here — the
+/// scan-out fallback keeps the result valid; the returned result's
+/// `degraded` flag records it.
+robust::Result<GeneratorResult> try_generate_functional_tests(
+    const StateTable& table, const GeneratorOptions& options = {});
 
 }  // namespace fstg

@@ -1,5 +1,6 @@
 #include "atpg/test_io.h"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +10,25 @@
 namespace fstg {
 
 namespace {
+
+/// Range-checked integer directive argument (see kiss2_parser.cpp for why
+/// from_chars instead of stoi: full-token parse, typed overflow).
+int int_field(const std::string& text, const char* what, int line_no,
+              long long lo, long long hi) {
+  long long v = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [p, ec] = std::from_chars(begin, end, v);
+  if (ec == std::errc::result_out_of_range ||
+      (ec == std::errc() && (v < lo || v > hi)))
+    throw ParseError(std::string(what) + " value " + text +
+                         " out of range [" + std::to_string(lo) + ", " +
+                         std::to_string(hi) + "]",
+                     line_no);
+  if (ec != std::errc() || p != end)
+    throw ParseError(std::string("bad integer for ") + what, line_no);
+  return static_cast<int>(v);
+}
 
 std::string binary(std::uint32_t v, int bits) {
   std::string s(static_cast<std::size_t>(bits), '0');
@@ -77,11 +97,11 @@ TestFile parse_test_file(const std::string& text) {
       if (tok[0] == ".circuit") {
         file.circuit = tok[1];
       } else if (tok[0] == ".inputs") {
-        file.input_bits = std::stoi(tok[1]);
+        file.input_bits = int_field(tok[1], ".inputs", line_no, 1, 31);
       } else if (tok[0] == ".sv") {
-        file.state_bits = std::stoi(tok[1]);
+        file.state_bits = int_field(tok[1], ".sv", line_no, 1, 31);
       } else if (tok[0] == ".tests") {
-        declared_tests = std::stoi(tok[1]);
+        declared_tests = int_field(tok[1], ".tests", line_no, 0, 100'000'000);
       } else {
         throw ParseError("unknown directive " + tok[0], line_no);
       }
@@ -108,6 +128,13 @@ TestFile parse_test_file(const std::string& text) {
       declared_tests != static_cast<int>(file.tests.size()))
     throw ParseError(".tests declares " + std::to_string(declared_tests) +
                          ", found " + std::to_string(file.tests.size()),
+                     line_no);
+  // A file with no directives at all (empty or comment-only) is rejected
+  // rather than silently decoded as "zero tests over zero-bit fields":
+  // truncation to nothing must be loud. A directive-only file that
+  // declares its widths but no tests is a valid empty set.
+  if (file.input_bits <= 0 || file.state_bits <= 0)
+    throw ParseError("empty test file: missing .inputs/.sv declarations",
                      line_no);
   return file;
 }

@@ -25,6 +25,15 @@ class ParseError : public Error {
   int line_;
 };
 
+/// A resource budget (wall clock, expansions, memory estimate) ran out in
+/// a context that has no channel for a typed partial result. Kept distinct
+/// from Error so the structured-error boundary (`base/robust/status.h`)
+/// can map it to Code::kBudgetExhausted instead of kInternal.
+class BudgetError : public Error {
+ public:
+  explicit BudgetError(const std::string& what) : Error(what) {}
+};
+
 /// Throw Error with a message if `cond` is false. Used for precondition
 /// checks that must stay active in release builds (they guard user input).
 inline void require(bool cond, const std::string& msg) {

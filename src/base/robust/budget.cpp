@@ -1,0 +1,97 @@
+#include "base/robust/budget.h"
+
+#include <algorithm>
+
+namespace fstg::robust {
+
+namespace {
+
+struct Injection {
+  std::string site;
+  std::uint64_t after_ticks = 0;
+};
+
+thread_local std::vector<Injection> g_injections;
+thread_local std::vector<std::string> g_sites_seen;
+
+void log_site(const char* site) {
+  for (const std::string& s : g_sites_seen)
+    if (s == site) return;
+  // Hard cap: the site set is a handful of compile-time literals; a cap
+  // keeps a buggy dynamic caller from growing this without bound.
+  if (g_sites_seen.size() < 256) g_sites_seen.emplace_back(site);
+}
+
+}  // namespace
+
+const char* trip_name(BudgetTrip trip) {
+  switch (trip) {
+    case BudgetTrip::kNone: return "none";
+    case BudgetTrip::kDeadline: return "deadline";
+    case BudgetTrip::kExpansions: return "expansions";
+    case BudgetTrip::kMemory: return "memory";
+    case BudgetTrip::kInjected: return "injected";
+  }
+  return "unknown";
+}
+
+RunGuard::RunGuard(const Budget& budget, const char* site)
+    : budget_(budget), site_(site) {
+  log_site(site);
+  for (const Injection& inj : g_injections)
+    if (inj.site == site) inject_after_ = std::min(inject_after_, inj.after_ticks);
+}
+
+bool RunGuard::tick(std::uint64_t work) {
+  if (trip_ != BudgetTrip::kNone) return false;
+  expansions_ += work;
+  ++ticks_;
+  if (ticks_ > inject_after_) {
+    trip_ = BudgetTrip::kInjected;
+    return false;
+  }
+  if (budget_.max_expansions != 0 && expansions_ > budget_.max_expansions) {
+    trip_ = BudgetTrip::kExpansions;
+    return false;
+  }
+  if (budget_.time_budget_ms > 0.0 && ticks_ >= next_deadline_check_) {
+    next_deadline_check_ = ticks_ + kDeadlineCheckInterval;
+    if (timer_.seconds() * 1000.0 > budget_.time_budget_ms) {
+      trip_ = BudgetTrip::kDeadline;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RunGuard::charge_memory(std::size_t bytes) {
+  if (trip_ != BudgetTrip::kNone) return false;
+  memory_bytes_ += bytes;
+  if (budget_.max_memory_bytes != 0 &&
+      memory_bytes_ > budget_.max_memory_bytes) {
+    trip_ = BudgetTrip::kMemory;
+    return false;
+  }
+  return true;
+}
+
+Status RunGuard::status() const {
+  if (trip_ == BudgetTrip::kNone) return Status::ok();
+  return Status::error(Code::kBudgetExhausted,
+                       std::string("budget exhausted at ") + site_ + " (" +
+                           trip_name(trip_) + " limit, " +
+                           std::to_string(expansions_) + " expansions)");
+}
+
+void inject_budget_exhaustion(const std::string& site,
+                              std::uint64_t after_ticks) {
+  g_injections.push_back({site, after_ticks});
+}
+
+void clear_budget_injections() { g_injections.clear(); }
+
+const std::vector<std::string>& guard_sites_seen() { return g_sites_seen; }
+
+void clear_guard_site_log() { g_sites_seen.clear(); }
+
+}  // namespace fstg::robust

@@ -1,0 +1,41 @@
+#include "base/robust/status.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace fstg::robust {
+
+const char* code_name(Code code) {
+  switch (code) {
+    case Code::kOk: return "ok";
+    case Code::kInvalidArgument: return "invalid-argument";
+    case Code::kParseError: return "parse-error";
+    case Code::kIoError: return "io-error";
+    case Code::kBudgetExhausted: return "budget-exhausted";
+    case Code::kUnsupported: return "unsupported";
+    case Code::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::ostringstream os;
+  os << code_name(code_) << ": " << message_;
+  if (file_ != nullptr && *file_ != '\0') {
+    // Basename only: full build paths add noise without aiding diagnosis.
+    const char* base = std::strrchr(file_, '/');
+    os << " [" << (base ? base + 1 : file_) << ':' << line_ << ']';
+  }
+  if (!context_.empty()) {
+    os << " (";
+    for (std::size_t i = 0; i < context_.size(); ++i) {
+      if (i) os << "; ";
+      os << "while " << context_[i];
+    }
+    os << ')';
+  }
+  return os.str();
+}
+
+}  // namespace fstg::robust

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <source_location>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace fstg::robust {
+
+/// Machine-readable failure category carried by every Status. Codes are
+/// coarse on purpose: callers branch on them (retry, degrade, abort), while
+/// the message + context chain carry the human-readable detail.
+enum class Code {
+  kOk = 0,
+  kInvalidArgument,   ///< caller violated a precondition
+  kParseError,        ///< malformed input text (KISS2/BLIF/test file)
+  kIoError,           ///< file system failure (open/read/write)
+  kBudgetExhausted,   ///< a RunGuard tripped; partial work may exist
+  kUnsupported,       ///< valid input outside what this build handles
+  kInternal,          ///< invariant violation inside the library
+};
+
+const char* code_name(Code code);
+
+/// Structured error: code + message + source location + a context chain
+/// pushed by each layer the error crosses (innermost first). The default
+/// constructed Status is OK, so `return {};` means success.
+class Status {
+ public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(
+      Code code, std::string message,
+      std::source_location loc = std::source_location::current()) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    s.file_ = loc.file_name();
+    s.line_ = static_cast<int>(loc.line());
+    return s;
+  }
+
+  bool is_ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+  const std::vector<std::string>& context() const { return context_; }
+
+  /// Push one frame of context ("deriving UIO sequences", "circuit lion").
+  /// No-op on an OK status, so it composes with unconditional returns.
+  Status& with_context(std::string frame) {
+    if (!is_ok()) context_.push_back(std::move(frame));
+    return *this;
+  }
+
+  /// "budget-exhausted: <msg> [uio.cpp:57] (while <inner>; while <outer>)"
+  std::string to_string() const;
+
+ private:
+  Code code_ = Code::kOk;
+  std::string message_;
+  const char* file_ = "";
+  int line_ = 0;
+  std::vector<std::string> context_;
+};
+
+/// Value-or-Status. The library's module boundaries return Result<T> so a
+/// failed stage carries a typed, contextualized error instead of unwinding
+/// through bare exceptions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : store_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : store_(std::move(status)) {}  // NOLINT
+
+  bool is_ok() const { return std::holds_alternative<T>(store_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return is_ok() ? kOk : std::get<Status>(store_);
+  }
+
+  const T& value() const { return std::get<T>(store_); }
+  T& value() { return std::get<T>(store_); }
+  /// Move the value out (call once, after checking is_ok()).
+  T take() { return std::move(std::get<T>(store_)); }
+
+  Result& with_context(std::string frame) {
+    if (!is_ok()) std::get<Status>(store_).with_context(std::move(frame));
+    return *this;
+  }
+
+ private:
+  std::variant<T, Status> store_;
+};
+
+}  // namespace fstg::robust

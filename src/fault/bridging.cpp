@@ -1,11 +1,21 @@
 #include "fault/bridging.h"
 
+#include "base/error.h"
 #include "netlist/reach.h"
 
 namespace fstg {
 
 std::vector<FaultSpec> enumerate_bridging(const Netlist& nl) {
-  std::vector<FaultSpec> faults;
+  robust::RunGuard guard(robust::Budget{}, "bridging.pairs");
+  BridgingEnumeration e = enumerate_bridging_guarded(nl, guard);
+  if (!e.complete) throw BudgetError(guard.status().message());
+  return std::move(e.faults);
+}
+
+BridgingEnumeration enumerate_bridging_guarded(const Netlist& nl,
+                                               robust::RunGuard& guard) {
+  BridgingEnumeration result;
+  std::vector<FaultSpec>& faults = result.faults;
 
   // Candidate lines: outputs of multi-input gates.
   std::vector<int> candidates;
@@ -23,10 +33,16 @@ std::vector<FaultSpec> enumerate_bridging(const Netlist& nl) {
         break;
     }
   }
-  if (candidates.size() < 2) return faults;
+  if (candidates.size() < 2) return result;
 
   const std::vector<std::vector<int>> fanouts = nl.fanouts();
-  const std::vector<BitVec> reach = forward_reachability(nl);
+  robust::Result<std::vector<BitVec>> reach_r =
+      forward_reachability_guarded(nl, guard);
+  if (!reach_r.is_ok()) {
+    result.complete = false;
+    return result;
+  }
+  const std::vector<BitVec> reach = reach_r.take();
 
   // Consumer sets as bit vectors for the shared-consumer test.
   const std::size_t n = static_cast<std::size_t>(nl.num_gates());
@@ -41,6 +57,10 @@ std::vector<FaultSpec> enumerate_bridging(const Netlist& nl) {
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const int g1 = candidates[i];
     for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      if (!guard.tick()) {
+        result.complete = false;  // prefix of the fault list: still valid
+        return result;
+      }
       const int g2 = candidates[j];
       // (2) Both lines feed at least one gate, and no gate consumes both.
       if (fanouts[static_cast<std::size_t>(g1)].empty() ||
@@ -57,7 +77,7 @@ std::vector<FaultSpec> enumerate_bridging(const Netlist& nl) {
       faults.push_back(FaultSpec::bridge_or(g1, g2));
     }
   }
-  return faults;
+  return result;
 }
 
 }  // namespace fstg

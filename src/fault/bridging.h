@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "base/robust/budget.h"
 #include "netlist/netlist.h"
 #include "sim/logic_sim.h"
 
@@ -14,5 +15,19 @@ namespace fstg {
 ///      direction (so the bridge cannot create a feedback loop).
 /// Both an AND-type and an OR-type fault are produced for each pair.
 std::vector<FaultSpec> enumerate_bridging(const Netlist& nl);
+
+/// Typed partial result of a budgeted enumeration. The pair scan is
+/// quadratic in multi-input gates; on exhaustion the faults found so far
+/// are returned with `complete == false` (they are each individually
+/// valid bridging faults — the list is merely a prefix).
+struct BridgingEnumeration {
+  std::vector<FaultSpec> faults;
+  bool complete = true;
+};
+
+/// Budgeted variant: the guard is ticked per candidate pair and charged
+/// for the reachability matrix the conditions need.
+BridgingEnumeration enumerate_bridging_guarded(const Netlist& nl,
+                                               robust::RunGuard& guard);
 
 }  // namespace fstg

@@ -68,6 +68,16 @@ std::vector<ScanPattern> to_scan_patterns(const TestSet& tests) {
 FaultSimResult simulate_faults(const ScanCircuit& circuit,
                                const TestSet& tests,
                                const std::vector<FaultSpec>& faults) {
+  robust::RunGuard guard(robust::Budget{}, "fault_sim.batch");
+  FaultSimResult result = simulate_faults_guarded(circuit, tests, faults, guard);
+  if (!result.complete) throw BudgetError(guard.status().message());
+  return result;
+}
+
+FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
+                                       const TestSet& tests,
+                                       const std::vector<FaultSpec>& faults,
+                                       robust::RunGuard& guard) {
   FaultSimResult result;
   result.total_faults = faults.size();
   result.detected_by.assign(faults.size(), -1);
@@ -92,6 +102,11 @@ FaultSimResult simulate_faults(const ScanCircuit& circuit,
     std::vector<std::size_t> still_alive;
     still_alive.reserve(alive.size());
     for (std::size_t f : alive) {
+      if (!guard.tick(count)) {
+        // Partial result: detections so far stand; the rest is unknown.
+        result.complete = false;
+        return result;
+      }
       const Word det = sim.run_faulty(batch, good, faults[f], &cones[f]);
       if (det == 0) {
         still_alive.push_back(f);

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "atpg/test.h"
+#include "base/robust/budget.h"
 #include "netlist/netlist.h"
 #include "sim/logic_sim.h"
 #include "sim/scan_sim.h"
@@ -19,6 +20,12 @@ struct FaultSimResult {
   /// test index -> true iff the test detects at least one fault not
   /// detected by any earlier test (the paper's "effective" mark).
   std::vector<bool> test_effective;
+  /// False iff a budget guard stopped the simulation early. The partial
+  /// result is sound in one direction only: every recorded detection is
+  /// real, but an undetected fault may simply not have been simulated
+  /// against the remaining tests — coverage numbers from an incomplete
+  /// run are lower bounds, and callers must not report them as final.
+  bool complete = true;
 
   std::size_t num_effective_tests() const;
   double coverage_percent() const {
@@ -38,6 +45,14 @@ struct FaultSimResult {
 FaultSimResult simulate_faults(const ScanCircuit& circuit,
                                const TestSet& tests,
                                const std::vector<FaultSpec>& faults);
+
+/// Budgeted variant: the guard is ticked once per (test batch, live fault)
+/// pair, weighted by the batch width. Exhaustion stops the run at a fault
+/// boundary and returns the partial result with `complete == false`.
+FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
+                                       const TestSet& tests,
+                                       const std::vector<FaultSpec>& faults,
+                                       robust::RunGuard& guard);
 
 /// Convert functional tests (on the completed table, whose state index is
 /// the state code) into scan patterns.

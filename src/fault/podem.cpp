@@ -57,10 +57,17 @@ class Podem {
     values_.resize(static_cast<std::size_t>(nl_.num_gates()));
   }
 
-  PodemResult run() {
+  PodemResult run(robust::RunGuard& guard) {
     PodemResult result;
     simulate();
     while (true) {
+      // One tick per decision/backtrack iteration, each of which costs one
+      // full-netlist simulation.
+      if (!guard.tick(static_cast<std::uint64_t>(nl_.num_gates()))) {
+        result.status = PodemResult::Status::kAborted;
+        result.budget_exhausted = true;
+        return result;
+      }
       if (result.backtracks > options_.backtrack_limit) {
         result.status = PodemResult::Status::kAborted;
         return result;
@@ -298,12 +305,13 @@ class Podem {
   std::vector<Decision> decisions_;
 };
 
-}  // namespace
-
-PodemResult podem(const ScanCircuit& circuit, const FaultSpec& fault,
-                  const PodemOptions& options) {
+/// Shared-guard variant used by both entry points (gate_level_atpg runs
+/// many targets against one budget).
+PodemResult podem_guarded(const ScanCircuit& circuit, const FaultSpec& fault,
+                          const PodemOptions& options,
+                          robust::RunGuard& guard) {
   Podem engine(circuit, fault, options);
-  PodemResult result = engine.run();
+  PodemResult result = engine.run(guard);
   if (result.status == PodemResult::Status::kDetected) {
     // Safety net: the generated vector must actually detect the fault.
     ScanBatchSim sim(circuit);
@@ -315,15 +323,37 @@ PodemResult podem(const ScanCircuit& circuit, const FaultSpec& fault,
   return result;
 }
 
+}  // namespace
+
+PodemResult podem(const ScanCircuit& circuit, const FaultSpec& fault,
+                  const PodemOptions& options) {
+  robust::RunGuard guard(options.budget, "podem.run");
+  return podem_guarded(circuit, fault, options, guard);
+}
+
 GateAtpgResult gate_level_atpg(const ScanCircuit& circuit,
                                const std::vector<FaultSpec>& faults,
                                const PodemOptions& options) {
   GateAtpgResult result;
   std::vector<bool> dropped(faults.size(), false);
+  robust::RunGuard guard(options.budget, "podem.run");
 
   for (std::size_t f = 0; f < faults.size(); ++f) {
     if (dropped[f]) continue;
-    PodemResult r = podem(circuit, faults[f], options);
+    if (guard.exhausted()) {
+      // Budget spent: stop targeting, report the tail as unprocessed.
+      result.complete = false;
+      for (std::size_t g = f; g < faults.size(); ++g)
+        if (!dropped[g]) ++result.unprocessed;
+      break;
+    }
+    PodemResult r = podem_guarded(circuit, faults[f], options, guard);
+    if (r.budget_exhausted) {
+      result.complete = false;
+      for (std::size_t g = f; g < faults.size(); ++g)
+        if (!dropped[g]) ++result.unprocessed;
+      break;
+    }
     switch (r.status) {
       case PodemResult::Status::kRedundant:
         ++result.redundant;

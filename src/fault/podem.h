@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "atpg/test.h"
+#include "base/robust/budget.h"
 #include "netlist/netlist.h"
 #include "sim/logic_sim.h"
 #include "sim/scan_sim.h"
@@ -24,18 +25,25 @@ namespace fstg {
 struct PodemOptions {
   /// Abort the target after this many backtracks.
   std::size_t backtrack_limit = 50'000;
+  /// Deadline / expansion envelope for the search (default unlimited).
+  /// Exhaustion aborts the target with `budget_exhausted` set — the same
+  /// sound degradation as the backtrack limit (the fault is simply not
+  /// test-generated, never misclassified as redundant).
+  robust::Budget budget;
 };
 
 struct PodemResult {
   enum class Status : std::uint8_t {
     kDetected,   ///< `pattern` detects the fault
     kRedundant,  ///< search space exhausted: combinationally undetectable
-    kAborted,    ///< backtrack limit hit
+    kAborted,    ///< backtrack limit or budget hit
   };
   Status status = Status::kAborted;
   /// One-vector scan test (state code + input combination).
   ScanPattern pattern;
   std::size_t backtracks = 0;
+  /// True iff the abort came from the Budget rather than backtrack_limit.
+  bool budget_exhausted = false;
 };
 
 /// Generate a test for one stuck-at fault (kStuckGate or kStuckPin).
@@ -49,6 +57,11 @@ struct GateAtpgResult {
   std::size_t detected = 0;
   std::size_t redundant = 0;
   std::size_t aborted = 0;
+  /// Budget exhaustion mid-list stops the run: `complete` is false and
+  /// `unprocessed` counts the faults never targeted (a typed partial
+  /// result — the tests generated so far remain valid).
+  bool complete = true;
+  std::size_t unprocessed = 0;
 };
 
 GateAtpgResult gate_level_atpg(const ScanCircuit& circuit,

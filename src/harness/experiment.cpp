@@ -46,6 +46,35 @@ GateLevelResult run_gate_level(const CircuitExperiment& exp,
   return run_gate_level(exp, options);
 }
 
+namespace {
+
+/// Convert an exception escaping one pipeline stage into a typed Status
+/// whose context chain names the stage. ParseError keeps its category,
+/// BudgetError maps to kBudgetExhausted, everything else is an internal
+/// invariant violation.
+robust::Status stage_status(const char* stage, const std::string& circuit) {
+  using robust::Code;
+  using robust::Status;
+  const std::string ctx = std::string("stage ") + stage;
+  try {
+    throw;  // rethrow the in-flight exception to dispatch on its type
+  } catch (const ParseError& e) {
+    return Status::error(Code::kParseError, e.what())
+        .with_context(ctx)
+        .with_context("circuit " + circuit);
+  } catch (const BudgetError& e) {
+    return Status::error(Code::kBudgetExhausted, e.what())
+        .with_context(ctx)
+        .with_context("circuit " + circuit);
+  } catch (const std::exception& e) {
+    return Status::error(Code::kInternal, e.what())
+        .with_context(ctx)
+        .with_context("circuit " + circuit);
+  }
+}
+
+}  // namespace
+
 GateLevelResult run_gate_level(const CircuitExperiment& exp,
                                const GateLevelOptions& options) {
   const bool classify_redundancy = options.classify_redundancy;
@@ -84,6 +113,121 @@ GateLevelResult run_gate_level(const CircuitExperiment& exp,
     result.br_redundancy = classify_faults_from(circuit, result.br_faults,
                                                 result.br.sim.detected_by);
     result.redundancy_classified = true;
+  }
+  return result;
+}
+
+robust::Result<CircuitExperiment> try_run_circuit(
+    const std::string& name, const ExperimentOptions& options) {
+  Kiss2Fsm fsm;
+  try {
+    fsm = load_benchmark(name);
+  } catch (...) {
+    return stage_status("load", name);
+  }
+  robust::Result<CircuitExperiment> r = try_run_fsm(fsm, options);
+  if (!r.is_ok()) return r;
+  try {
+    CircuitExperiment exp = r.take();
+    exp.spec = benchmark_spec(name);
+    require(exp.synth.circuit.num_sv == exp.spec.sv,
+            "circuit " + name + ": synthesized sv disagrees with Table 4");
+    return exp;
+  } catch (...) {
+    return stage_status("verify", name);
+  }
+}
+
+robust::Result<CircuitExperiment> try_run_fsm(const Kiss2Fsm& fsm,
+                                              const ExperimentOptions& options) {
+  CircuitExperiment exp;
+  exp.fsm = fsm;
+
+  try {
+    Timer timer;
+    exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
+    exp.synth_seconds = timer.seconds();
+  } catch (...) {
+    return stage_status("synth", fsm.name);
+  }
+
+  try {
+    std::string message;
+    const bool matches = circuit_matches_fsm(exp.synth.circuit, exp.fsm,
+                                             exp.synth.encoding, &message);
+    if (!matches)
+      return robust::Status::error(robust::Code::kInternal,
+                                   "synthesis self-check failed: " + message)
+          .with_context("stage verify")
+          .with_context("circuit " + fsm.name);
+    exp.table =
+        read_back_table(exp.synth.circuit, &exp.fsm, &exp.synth.encoding);
+  } catch (...) {
+    return stage_status("verify", fsm.name);
+  }
+
+  robust::Result<GeneratorResult> gen =
+      try_generate_functional_tests(exp.table, options.gen);
+  if (!gen.is_ok()) {
+    robust::Status s = gen.status();
+    return s.with_context("stage generate").with_context("circuit " + fsm.name);
+  }
+  exp.gen = gen.take();
+  if (exp.gen.degraded)
+    log_warn("circuit " + fsm.name + ": generation degraded by budget (" +
+             std::to_string(exp.gen.uio_aborted_states()) +
+             " UIO searches aborted; scan-out fallback keeps coverage)");
+  return exp;
+}
+
+robust::Result<GateLevelResult> try_run_gate_level(
+    const CircuitExperiment& exp, const GateLevelOptions& options) {
+  try {
+    return run_gate_level(exp, options);
+  } catch (...) {
+    return stage_status("gate-level", exp.fsm.name);
+  }
+}
+
+std::size_t SuiteResult::failures() const {
+  std::size_t n = 0;
+  for (const CircuitRun& run : runs) n += run.status.is_ok() ? 0 : 1;
+  return n;
+}
+
+SuiteResult run_circuit_suite(const std::vector<std::string>& names,
+                              const SuiteOptions& options) {
+  SuiteResult result;
+  result.runs.reserve(names.size());
+  for (const std::string& name : names) {
+    CircuitRun run;
+    run.name = name;
+    robust::Result<CircuitExperiment> r =
+        try_run_circuit(name, options.experiment);
+    if (r.is_ok() && options.gate_level) {
+      robust::Result<GateLevelResult> g =
+          try_run_gate_level(r.value(), options.gate);
+      if (g.is_ok()) {
+        run.gate = g.take();
+      } else {
+        r = g.status();  // demote the circuit to failed at the gate stage
+      }
+    }
+    if (r.is_ok()) {
+      run.exp = r.take();
+    } else {
+      run.status = r.status();
+      // The innermost "stage <name>" context frame names the failed stage.
+      for (const std::string& frame : run.status.context()) {
+        if (frame.rfind("stage ", 0) == 0) {
+          run.failed_stage = frame.substr(6);
+          break;
+        }
+      }
+      log_warn("suite: circuit " + name + " failed (" +
+               run.status.to_string() + "); continuing with the rest");
+    }
+    result.runs.push_back(std::move(run));
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "atpg/generator.h"
+#include "base/robust/status.h"
 #include "fault/bridging.h"
 #include "fault/compaction.h"
 #include "fault/fault.h"
@@ -69,5 +70,49 @@ GateLevelResult run_gate_level(const CircuitExperiment& exp,
                                const GateLevelOptions& options = {});
 GateLevelResult run_gate_level(const CircuitExperiment& exp,
                                bool classify_redundancy);
+
+/// --- Structured-error boundary ------------------------------------------
+///
+/// The try_ variants never throw for input-level or resource-level
+/// failures: each pipeline stage (load, synth, verify, generate,
+/// gate-level) is run under a catch boundary that converts exceptions into
+/// a typed Status whose context chain names the stage and circuit. The
+/// suite runner uses them to record per-circuit failures and continue with
+/// the remaining circuits instead of aborting the whole table.
+robust::Result<CircuitExperiment> try_run_circuit(
+    const std::string& name, const ExperimentOptions& options = {});
+robust::Result<CircuitExperiment> try_run_fsm(
+    const Kiss2Fsm& fsm, const ExperimentOptions& options = {});
+robust::Result<GateLevelResult> try_run_gate_level(
+    const CircuitExperiment& exp, const GateLevelOptions& options = {});
+
+/// One circuit's outcome in a suite run. `exp` (and `gate`, when gate-level
+/// evaluation was requested) are only meaningful when `status.is_ok()`.
+struct CircuitRun {
+  std::string name;
+  robust::Status status;
+  std::string failed_stage;  ///< "", "load", "synth", "verify", "generate", "gate-level"
+  CircuitExperiment exp;
+  GateLevelResult gate;
+};
+
+struct SuiteOptions {
+  ExperimentOptions experiment;
+  bool gate_level = false;  ///< also run stuck-at/bridging evaluation
+  GateLevelOptions gate;
+};
+
+struct SuiteResult {
+  std::vector<CircuitRun> runs;
+
+  std::size_t failures() const;
+  std::size_t successes() const { return runs.size() - failures(); }
+};
+
+/// Run the pipeline over many circuits, recording per-stage failures and
+/// continuing with the remaining circuits (a failed circuit never takes
+/// the rest of the table down with it).
+SuiteResult run_circuit_suite(const std::vector<std::string>& names,
+                              const SuiteOptions& options = {});
 
 }  // namespace fstg

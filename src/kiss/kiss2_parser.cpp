@@ -1,5 +1,6 @@
 #include "kiss/kiss2_parser.h"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -15,25 +16,43 @@ struct Decls {
   int s = -1;  // declared states
 };
 
+/// Parse a directive's integer argument with an explicit range check.
+/// std::from_chars rather than std::stoi: no locale, no silent partial
+/// parse ("3x" is rejected), and overflow is reported as out-of-range
+/// instead of wrapping into downstream shifts like `1u << num_inputs`.
+int int_field(const std::string& text, const char* what, int line_no,
+              long long lo, long long hi) {
+  long long v = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [p, ec] = std::from_chars(begin, end, v);
+  if (ec == std::errc::result_out_of_range || (ec == std::errc() && (v < lo || v > hi)))
+    throw ParseError(std::string(what) + " value " + text +
+                         " out of range [" + std::to_string(lo) + ", " +
+                         std::to_string(hi) + "]",
+                     line_no);
+  if (ec != std::errc() || p != end)
+    throw ParseError(std::string("bad integer for ") + what, line_no);
+  return static_cast<int>(v);
+}
+
 void parse_directive(const std::vector<std::string>& tok, int line_no,
                      Kiss2Fsm& fsm, Decls& decls) {
   const std::string& d = tok[0];
-  auto int_arg = [&](const char* what) {
+  auto int_arg = [&](const char* what, long long lo, long long hi) {
     if (tok.size() < 2) throw ParseError(std::string(what) + " needs an argument", line_no);
-    try {
-      return std::stoi(tok[1]);
-    } catch (const std::exception&) {
-      throw ParseError(std::string("bad integer for ") + what, line_no);
-    }
+    return int_field(tok[1], what, line_no, lo, hi);
   };
   if (d == ".i") {
-    fsm.num_inputs = int_arg(".i");
+    // Input combinations are enumerated as 1u << num_inputs; anything past
+    // ~24 inputs is beyond what the algorithms can enumerate anyway.
+    fsm.num_inputs = int_arg(".i", 1, 31);
   } else if (d == ".o") {
-    fsm.num_outputs = int_arg(".o");
+    fsm.num_outputs = int_arg(".o", 1, 4096);
   } else if (d == ".p") {
-    decls.p = int_arg(".p");
+    decls.p = int_arg(".p", 0, 100'000'000);
   } else if (d == ".s") {
-    decls.s = int_arg(".s");
+    decls.s = int_arg(".s", 0, 100'000'000);
   } else if (d == ".r") {
     if (tok.size() < 2) throw ParseError(".r needs a state name", line_no);
     fsm.reset_state = tok[1];

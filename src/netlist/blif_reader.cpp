@@ -190,9 +190,12 @@ class BlifBuilder {
 
 ScanCircuit parse_blif(std::string_view text) {
   BlifModel model = parse_model(text);
-  require(!model.inputs.empty() || !model.latches.empty(),
-          "BLIF: model has no inputs");
-  require(!model.outputs.empty(), "BLIF: model has no outputs");
+  // Empty or directive-only input is a malformed *file*, not an internal
+  // invariant: keep it in the ParseError category so callers that map
+  // parse failures to a distinct exit code / Status see it as one.
+  if (model.inputs.empty() && model.latches.empty())
+    throw ParseError("BLIF: model has no inputs", 1);
+  if (model.outputs.empty()) throw ParseError("BLIF: model has no outputs", 1);
 
   ScanCircuit circuit;
   circuit.name = model.name;
@@ -225,9 +228,15 @@ ScanCircuit parse_blif(std::string_view text) {
       ++done;
       progress = true;
     }
-    if (!progress)
-      throw Error(
-          "BLIF: combinational cycle or undefined nets among .names blocks");
+    if (!progress) {
+      // Name one offending block so a fuzzer-found cycle is diagnosable.
+      int at = 1;
+      for (std::size_t b = 0; b < model.blocks.size(); ++b)
+        if (!emitted[b]) { at = model.blocks[b].line; break; }
+      throw ParseError(
+          "BLIF: combinational cycle or undefined nets among .names blocks",
+          at);
+    }
   }
 
   for (const std::string& out : model.outputs)

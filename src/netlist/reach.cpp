@@ -1,14 +1,31 @@
 #include "netlist/reach.h"
 
+#include "base/error.h"
+
 namespace fstg {
 
 std::vector<BitVec> forward_reachability(const Netlist& nl) {
+  robust::RunGuard guard(robust::Budget{}, "reach.forward");
+  robust::Result<std::vector<BitVec>> r =
+      forward_reachability_guarded(nl, guard);
+  // Unlimited budget cannot trip (fault injection can, but the legacy
+  // entry point has no channel for partial results).
+  if (!r.is_ok()) throw BudgetError(r.status().message());
+  return r.take();
+}
+
+robust::Result<std::vector<BitVec>> forward_reachability_guarded(
+    const Netlist& nl, robust::RunGuard& guard) {
   const std::size_t n = static_cast<std::size_t>(nl.num_gates());
+  // The matrix is the dominant allocation: n rows of n bits.
+  if (!guard.charge_memory(n * ((n + 7) / 8))) return guard.status();
   std::vector<BitVec> reach(n, BitVec(n));
   std::vector<std::vector<int>> fanouts = nl.fanouts();
   // Gates are stored topologically (fanin id < gate id), so every fanout of
   // g has a larger id than g; a single descending pass suffices.
   for (int g = nl.num_gates() - 1; g >= 0; --g) {
+    if (!guard.tick(1 + fanouts[static_cast<std::size_t>(g)].size()))
+      return guard.status();
     BitVec& r = reach[static_cast<std::size_t>(g)];
     for (int f : fanouts[static_cast<std::size_t>(g)]) {
       r.set(static_cast<std::size_t>(f));

@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "base/bitvec.h"
+#include "base/robust/budget.h"
+#include "base/robust/status.h"
 #include "netlist/netlist.h"
 
 namespace fstg {
@@ -11,5 +13,13 @@ namespace fstg {
 /// (g itself excluded). Used for the paper's bridging-fault condition (3):
 /// a pair (g1, g2) is non-feedback iff neither reaches the other.
 std::vector<BitVec> forward_reachability(const Netlist& nl);
+
+/// Budgeted variant. The result is quadratic in gates (n bit-vectors of n
+/// bits), so the guard is charged the full allocation up front and then
+/// ticked per gate row; a partial reachability matrix is never returned —
+/// downstream consumers (bridging condition 3) would silently produce a
+/// wrong fault list — so exhaustion yields a structured error instead.
+robust::Result<std::vector<BitVec>> forward_reachability_guarded(
+    const Netlist& nl, robust::RunGuard& guard);
 
 }  // namespace fstg

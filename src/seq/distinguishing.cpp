@@ -9,9 +9,17 @@ namespace fstg {
 
 std::optional<std::vector<std::uint32_t>> distinguishing_sequence(
     const StateTable& table, int a, int b) {
+  robust::RunGuard guard(robust::Budget{}, "distinguishing.bfs");
+  return distinguishing_sequence_guarded(table, a, b, guard).seq;
+}
+
+DistinguishingSearch distinguishing_sequence_guarded(const StateTable& table,
+                                                     int a, int b,
+                                                     robust::RunGuard& guard) {
   require(a >= 0 && a < table.num_states() && b >= 0 && b < table.num_states(),
           "distinguishing_sequence: bad state");
-  if (a == b) return std::nullopt;
+  DistinguishingSearch result;
+  if (a == b) return result;
 
   const int n = table.num_states();
   struct Node {
@@ -37,13 +45,18 @@ std::optional<std::vector<std::uint32_t>> distinguishing_sequence(
     queue.pop_front();
     const Node node = arena[static_cast<std::size_t>(id)];
     for (std::uint32_t ic = 0; ic < table.num_input_combos(); ++ic) {
+      if (!guard.tick()) {
+        result.budget_exhausted = true;
+        return result;
+      }
       if (table.output(node.a, ic) != table.output(node.b, ic)) {
         std::vector<std::uint32_t> seq{ic};
         for (int cur = id; cur > 0;
              cur = arena[static_cast<std::size_t>(cur)].parent)
           seq.push_back(arena[static_cast<std::size_t>(cur)].via);
         std::reverse(seq.begin(), seq.end());
-        return seq;
+        result.seq = std::move(seq);
+        return result;
       }
       const int na = table.next(node.a, ic);
       const int nb = table.next(node.b, ic);
@@ -54,7 +67,7 @@ std::optional<std::vector<std::uint32_t>> distinguishing_sequence(
       queue.push_back(static_cast<int>(arena.size()) - 1);
     }
   }
-  return std::nullopt;
+  return result;
 }
 
 }  // namespace fstg

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/robust/budget.h"
 #include "fsm/state_table.h"
 
 namespace fstg {
@@ -14,5 +15,18 @@ namespace fstg {
 /// oracle for UIO verification and by the design-validation example.
 std::optional<std::vector<std::uint32_t>> distinguishing_sequence(
     const StateTable& table, int a, int b);
+
+/// Typed outcome of a budgeted pair search (see TransferSearch): an empty
+/// `seq` with `budget_exhausted` set means the BFS was cut short, not that
+/// the states are equivalent.
+struct DistinguishingSearch {
+  std::optional<std::vector<std::uint32_t>> seq;
+  bool budget_exhausted = false;
+};
+
+/// Budgeted variant: checks `guard` at every pair expansion.
+DistinguishingSearch distinguishing_sequence_guarded(const StateTable& table,
+                                                     int a, int b,
+                                                     robust::RunGuard& guard);
 
 }  // namespace fstg

@@ -10,8 +10,17 @@ namespace fstg {
 std::optional<std::vector<std::uint32_t>> find_transfer(
     const StateTable& table, int from, int max_length,
     const std::function<bool(int)>& target) {
+  robust::RunGuard guard(robust::Budget{}, "transfer.bfs");
+  return find_transfer_guarded(table, from, max_length, target, guard).seq;
+}
+
+TransferSearch find_transfer_guarded(const StateTable& table, int from,
+                                     int max_length,
+                                     const std::function<bool(int)>& target,
+                                     robust::RunGuard& guard) {
   require(from >= 0 && from < table.num_states(), "find_transfer: bad state");
-  if (max_length <= 0) return std::nullopt;
+  TransferSearch result;
+  if (max_length <= 0) return result;
 
   struct Node {
     int state;
@@ -33,6 +42,10 @@ std::optional<std::vector<std::uint32_t>> find_transfer(
     const Node node = arena[static_cast<std::size_t>(id)];
     if (node.depth >= max_length) continue;
     for (std::uint32_t a = 0; a < table.num_input_combos(); ++a) {
+      if (!guard.tick()) {
+        result.budget_exhausted = true;
+        return result;
+      }
       const int t = table.next(node.state, a);
       if (target(t)) {
         std::vector<std::uint32_t> seq{a};
@@ -40,7 +53,8 @@ std::optional<std::vector<std::uint32_t>> find_transfer(
              cur = arena[static_cast<std::size_t>(cur)].parent)
           seq.push_back(arena[static_cast<std::size_t>(cur)].via);
         std::reverse(seq.begin(), seq.end());
-        return seq;
+        result.seq = std::move(seq);
+        return result;
       }
       if (seen[static_cast<std::size_t>(t)]) continue;
       seen[static_cast<std::size_t>(t)] = true;
@@ -48,7 +62,7 @@ std::optional<std::vector<std::uint32_t>> find_transfer(
       queue.push_back(static_cast<int>(arena.size()) - 1);
     }
   }
-  return std::nullopt;
+  return result;
 }
 
 }  // namespace fstg

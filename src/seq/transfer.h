@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/robust/budget.h"
 #include "fsm/state_table.h"
 
 namespace fstg {
@@ -17,5 +18,21 @@ namespace fstg {
 std::optional<std::vector<std::uint32_t>> find_transfer(
     const StateTable& table, int from, int max_length,
     const std::function<bool(int)>& target);
+
+/// Typed outcome of a budgeted transfer search: `budget_exhausted`
+/// distinguishes "the budget ended the BFS early" (a transfer may still
+/// exist) from "no transfer exists within max_length". In both cases the
+/// generator's fallback — end the test with a scan-out — is sound.
+struct TransferSearch {
+  std::optional<std::vector<std::uint32_t>> seq;
+  bool budget_exhausted = false;
+};
+
+/// Budgeted variant: checks `guard` at every BFS expansion and returns a
+/// typed partial result on exhaustion instead of running unbounded.
+TransferSearch find_transfer_guarded(const StateTable& table, int from,
+                                     int max_length,
+                                     const std::function<bool(int)>& target,
+                                     robust::RunGuard& guard);
 
 }  // namespace fstg

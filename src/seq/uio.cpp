@@ -22,6 +22,12 @@ int UioSet::max_length() const {
   return m;
 }
 
+int UioSet::aborted_states() const {
+  int n = 0;
+  for (const auto& u : per_state) n += u.aborted ? 1 : 0;
+  return n;
+}
+
 namespace {
 
 /// BFS node: current state of the owner's trace plus the deduplicated,
@@ -43,7 +49,7 @@ std::string node_key(int cur, const std::vector<int>& alive) {
 }
 
 UioSequence search_state(const StateTable& table, int s, int max_len,
-                         std::uint64_t eval_budget) {
+                         std::uint64_t eval_budget, robust::RunGuard& guard) {
   UioSequence result;
   const std::uint32_t nic = table.num_input_combos();
 
@@ -75,8 +81,14 @@ UioSequence search_state(const StateTable& table, int s, int max_len,
     const int cur = arena[static_cast<std::size_t>(node_id)].cur;
 
     for (std::uint32_t a = 0; a < nic; ++a) {
-      evals += arena[static_cast<std::size_t>(node_id)].alive.size();
+      const std::uint64_t work =
+          arena[static_cast<std::size_t>(node_id)].alive.size();
+      evals += work;
       if (evals > eval_budget) return result;  // budget hit: treat as none
+      if (!guard.tick(work)) {
+        result.aborted = true;  // derivation budget: typed partial result
+        return result;
+      }
 
       const std::uint32_t out = table.output(cur, a);
       const int next_cur = table.next(cur, a);
@@ -108,6 +120,11 @@ UioSequence search_state(const StateTable& table, int s, int max_len,
 
       std::string key = node_key(next_cur, next_alive);
       if (!visited.insert(std::move(key)).second) continue;
+      if (!guard.charge_memory(sizeof(Node) +
+                               next_alive.size() * sizeof(int))) {
+        result.aborted = true;
+        return result;
+      }
       Node child;
       child.cur = next_cur;
       child.alive = next_alive;
@@ -130,12 +147,20 @@ UioSet derive_uio_sequences(const StateTable& table,
   const int max_len = options.effective_max_length(table);
   UioSet set;
   set.per_state.resize(static_cast<std::size_t>(table.num_states()));
+  robust::RunGuard guard(options.budget, "uio.search");
   for (int s = 0; s < table.num_states(); ++s) {
-    UioSequence u = search_state(table, s, max_len, options.eval_budget);
+    UioSequence& slot = set.per_state[static_cast<std::size_t>(s)];
+    if (guard.exhausted()) {
+      // Budget spent on an earlier state: the rest are aborted unsearched.
+      slot.aborted = true;
+      continue;
+    }
+    UioSequence u = search_state(table, s, max_len, options.eval_budget, guard);
     if (u.exists) require(verify_uio(table, s, u.inputs),
                           "internal error: derived UIO failed verification");
-    set.per_state[static_cast<std::size_t>(s)] = std::move(u);
+    slot = std::move(u);
   }
+  set.trip = guard.trip();
   return set;
 }
 

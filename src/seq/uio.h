@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/robust/budget.h"
 #include "fsm/state_table.h"
 
 namespace fstg {
@@ -11,10 +12,14 @@ namespace fstg {
 /// (default L = number of state variables, so applying a UIO never costs
 /// more clocks than a scan operation); the evaluation budget bounds the
 /// BFS work per state so pathological machines degrade to "no UIO found",
-/// which is sound — it only removes optional test chaining.
+/// which is sound — it only removes optional test chaining. `budget`
+/// additionally bounds the whole derivation (wall clock, total expansions,
+/// arena memory estimate); exhaustion marks the remaining states
+/// `aborted` and the generator falls back to scan-out for them.
 struct UioOptions {
   int max_length = 0;  ///< 0 means "use the machine's state_bits()"
   std::uint64_t eval_budget = 50'000'000;  ///< child evaluations per state
+  robust::Budget budget;  ///< whole-derivation envelope (default unlimited)
 
   int effective_max_length(const StateTable& table) const {
     return max_length > 0 ? max_length : table.state_bits();
@@ -27,6 +32,9 @@ struct UioOptions {
 /// when applied from the owner state.
 struct UioSequence {
   bool exists = false;
+  /// The search for this state hit the derivation budget before finishing;
+  /// "no UIO" is then a budget artifact, not a proof of non-existence.
+  bool aborted = false;
   std::vector<std::uint32_t> inputs;
   int final_state = -1;
 
@@ -34,8 +42,12 @@ struct UioSequence {
 };
 
 /// UIO sequences for every state (the paper keeps at most one per state).
+/// A budget-exhausted derivation is a *typed partial result*: states whose
+/// search was cut short are marked aborted and `trip` records which limit
+/// ended the run; everything derived before the trip is still valid.
 struct UioSet {
   std::vector<UioSequence> per_state;
+  robust::BudgetTrip trip = robust::BudgetTrip::kNone;
 
   const UioSequence& of(int state) const {
     return per_state[static_cast<std::size_t>(state)];
@@ -44,6 +56,9 @@ struct UioSet {
   int count() const;
   /// Longest UIO found (Table 4 column `m.len`); 0 if none exist.
   int max_length() const;
+  /// Number of states whose search the budget cut short.
+  int aborted_states() const;
+  bool complete() const { return trip == robust::BudgetTrip::kNone; }
 };
 
 /// Derive a shortest UIO (length <= L, ties broken by ascending input

@@ -1,0 +1,160 @@
+// Regression tests for parser edge cases surfaced by the fuzz harness:
+// CRLF line endings, integer overflow in numeric directives, and
+// empty / directive-only inputs. Each malformed input must surface as a
+// ParseError (the typed category the CLI maps to exit code 2), never as a
+// bare std::exception or a wrong-but-accepted parse.
+#include <gtest/gtest.h>
+
+#include "atpg/test_io.h"
+#include "base/error.h"
+#include "kiss/kiss2_parser.h"
+#include "netlist/blif_reader.h"
+
+namespace fstg {
+namespace {
+
+// --- KISS2 ----------------------------------------------------------------
+
+constexpr const char* kTinyKiss =
+    ".i 1\n"
+    ".o 1\n"
+    "0 s0 s1 0\n"
+    "1 s0 s0 1\n"
+    "0 s1 s0 1\n"
+    "1 s1 s1 0\n";
+
+std::string with_crlf(std::string text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '\n') out += '\r';
+    out += c;
+  }
+  return out;
+}
+
+TEST(RobustKiss2, CrlfLineEndingsParseIdentically) {
+  Kiss2Fsm unix_fsm = parse_kiss2(kTinyKiss, "t");
+  Kiss2Fsm dos_fsm = parse_kiss2(with_crlf(kTinyKiss), "t");
+  EXPECT_EQ(dos_fsm.num_inputs, unix_fsm.num_inputs);
+  EXPECT_EQ(dos_fsm.rows.size(), unix_fsm.rows.size());
+  for (std::size_t i = 0; i < unix_fsm.rows.size(); ++i) {
+    EXPECT_EQ(dos_fsm.rows[i].input, unix_fsm.rows[i].input);
+    EXPECT_EQ(dos_fsm.rows[i].output, unix_fsm.rows[i].output);
+  }
+}
+
+TEST(RobustKiss2, DirectiveOverflowIsParseError) {
+  // Would wrap through int and feed 1u << num_inputs if accepted.
+  EXPECT_THROW(parse_kiss2(".i 99999999999999999999\n.o 1\n0 a b 0\n", "t"),
+               ParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.p 9223372036854775808\n0 a b 0\n",
+                           "t"),
+               ParseError);
+}
+
+TEST(RobustKiss2, DirectiveRangeIsEnforced) {
+  EXPECT_THROW(parse_kiss2(".i 32\n.o 1\n", "t"), ParseError);   // 1u << 32
+  EXPECT_THROW(parse_kiss2(".i 0\n.o 1\n", "t"), ParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o -1\n", "t"), ParseError);
+}
+
+TEST(RobustKiss2, TrailingGarbageInIntegerIsParseError) {
+  EXPECT_THROW(parse_kiss2(".i 2x\n.o 1\n0- a b 0\n", "t"), ParseError);
+  EXPECT_THROW(parse_kiss2(".i \xc3\xa9\n.o 1\n", "t"), ParseError);
+}
+
+TEST(RobustKiss2, EmptyAndDirectiveOnlyInputsAreParseErrors) {
+  EXPECT_THROW(parse_kiss2("", "t"), ParseError);
+  EXPECT_THROW(parse_kiss2("# only a comment\n", "t"), ParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.e\n", "t"), ParseError);
+}
+
+// --- BLIF -----------------------------------------------------------------
+
+constexpr const char* kTinyBlif =
+    ".model tiny\n"
+    ".inputs a b\n"
+    ".outputs y\n"
+    ".names a b y\n"
+    "11 1\n"
+    ".end\n";
+
+TEST(RobustBlif, CrlfLineEndingsParse) {
+  ScanCircuit c = parse_blif(with_crlf(kTinyBlif));
+  EXPECT_EQ(c.num_pi, 2);
+  EXPECT_EQ(c.num_po, 1);
+}
+
+TEST(RobustBlif, EmptyAndDirectiveOnlyInputsAreParseErrors) {
+  EXPECT_THROW(parse_blif(""), ParseError);
+  EXPECT_THROW(parse_blif("# nothing\n"), ParseError);
+  EXPECT_THROW(parse_blif(".model empty\n.end\n"), ParseError);
+  // Inputs but no outputs.
+  EXPECT_THROW(parse_blif(".model m\n.inputs a\n.end\n"), ParseError);
+}
+
+TEST(RobustBlif, CombinationalCycleIsParseError) {
+  const char* cyclic =
+      ".model m\n"
+      ".inputs a\n"
+      ".outputs y\n"
+      ".names y x\n"
+      "1 1\n"
+      ".names x y\n"
+      "1 1\n"
+      ".end\n";
+  EXPECT_THROW(parse_blif(cyclic), ParseError);
+}
+
+// --- Functional test files ------------------------------------------------
+
+constexpr const char* kTinyTests =
+    ".circuit t\n"
+    ".inputs 1\n"
+    ".sv 2\n"
+    ".tests 1\n"
+    "00 1,0 01\n";
+
+TEST(RobustTestIo, CrlfLineEndingsParse) {
+  TestFile f = parse_test_file(with_crlf(kTinyTests));
+  EXPECT_EQ(f.input_bits, 1);
+  EXPECT_EQ(f.state_bits, 2);
+  ASSERT_EQ(f.tests.size(), 1u);
+  EXPECT_EQ(f.tests.tests[0].inputs.size(), 2u);
+}
+
+TEST(RobustTestIo, DirectiveOverflowIsParseError) {
+  EXPECT_THROW(parse_test_file(".inputs 99999999999999999999\n.sv 2\n"),
+               ParseError);
+  EXPECT_THROW(parse_test_file(".inputs 1\n.sv 2\n.tests 999999999999\n"),
+               ParseError);
+}
+
+TEST(RobustTestIo, DirectiveRangeIsEnforced) {
+  EXPECT_THROW(parse_test_file(".inputs 0\n.sv 2\n"), ParseError);
+  EXPECT_THROW(parse_test_file(".inputs 32\n.sv 2\n"), ParseError);
+  EXPECT_THROW(parse_test_file(".inputs 1\n.sv -3\n"), ParseError);
+}
+
+TEST(RobustTestIo, NonNumericDirectiveIsParseErrorNotStoiLeak) {
+  // Regression: std::stoi threw std::invalid_argument here, which escaped
+  // the ParseError category and reached callers as a generic exception.
+  EXPECT_THROW(parse_test_file(".inputs abc\n.sv 2\n"), ParseError);
+  EXPECT_THROW(parse_test_file(".inputs 1\n.sv 2\n.tests 1x\n"), ParseError);
+}
+
+TEST(RobustTestIo, EmptyFileIsParseError) {
+  EXPECT_THROW(parse_test_file(""), ParseError);
+  EXPECT_THROW(parse_test_file("# comment only\n"), ParseError);
+}
+
+TEST(RobustTestIo, DirectiveOnlyFileIsValidEmptySet) {
+  // Declared widths with zero tests is a legitimate empty test set (and
+  // round-trips through write_test_file).
+  TestFile f = parse_test_file(".inputs 1\n.sv 2\n.tests 0\n");
+  EXPECT_EQ(f.tests.size(), 0u);
+  EXPECT_EQ(f.input_bits, 1);
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,99 @@
+#include "base/robust/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fstg::robust {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeMessageAndLocation) {
+  Status s = Status::error(Code::kParseError, "bad token");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  // source_location defaults to the call site above.
+  EXPECT_NE(std::string(s.file()).find("test_robust_status.cpp"),
+            std::string::npos);
+  EXPECT_GT(s.line(), 0);
+}
+
+TEST(Status, ContextChainInnermostFirst) {
+  Status s = Status::error(Code::kBudgetExhausted, "tripped");
+  s.with_context("stage generate").with_context("circuit lion");
+  ASSERT_EQ(s.context().size(), 2u);
+  EXPECT_EQ(s.context()[0], "stage generate");
+  EXPECT_EQ(s.context()[1], "circuit lion");
+}
+
+TEST(Status, WithContextIsNoOpOnOk) {
+  Status s;
+  s.with_context("should vanish");
+  EXPECT_TRUE(s.context().empty());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ToStringRendersCodeMessageLocationContext) {
+  Status s = Status::error(Code::kInternal, "boom");
+  s.with_context("inner").with_context("outer");
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("internal: boom"), std::string::npos);
+  EXPECT_NE(text.find("test_robust_status.cpp:"), std::string::npos);
+  EXPECT_NE(text.find("(while inner; while outer)"), std::string::npos);
+  // Basename only: no build-tree path segments.
+  EXPECT_EQ(text.find("/"), std::string::npos);
+}
+
+TEST(Status, EveryCodeHasAStableName) {
+  EXPECT_STREQ(code_name(Code::kOk), "ok");
+  EXPECT_STREQ(code_name(Code::kInvalidArgument), "invalid-argument");
+  EXPECT_STREQ(code_name(Code::kParseError), "parse-error");
+  EXPECT_STREQ(code_name(Code::kIoError), "io-error");
+  EXPECT_STREQ(code_name(Code::kBudgetExhausted), "budget-exhausted");
+  EXPECT_STREQ(code_name(Code::kUnsupported), "unsupported");
+  EXPECT_STREQ(code_name(Code::kInternal), "internal");
+}
+
+Result<int> half(int v) {
+  if (v % 2 != 0)
+    return Status::error(Code::kInvalidArgument, "odd input");
+  return v / 2;  // implicit value conversion
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = half(8);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 4);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r = half(7);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Code::kInvalidArgument);
+}
+
+TEST(Result, WithContextOnlyTouchesErrors) {
+  Result<int> ok = half(4);
+  ok.with_context("ignored");
+  EXPECT_TRUE(ok.status().context().empty());
+
+  Result<int> bad = half(3);
+  bad.with_context("halving");
+  ASSERT_EQ(bad.status().context().size(), 1u);
+  EXPECT_EQ(bad.status().context()[0], "halving");
+}
+
+TEST(Result, TakeMovesTheValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = r.take();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fstg::robust

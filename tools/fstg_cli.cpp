@@ -10,7 +10,15 @@
 //                                     test file (stuck-at + bridging)
 //   fstg verilog <circuit|file.kiss> [-o out.v] [--tb tb.v]
 //                                     emit Verilog netlist (and testbench)
+//
+// Exit codes (stable, scriptable):
+//   0  success
+//   1  usage error (bad command line)
+//   2  input error (parse failure, unreadable/unwritable file)
+//   3  budget exhausted without a usable result (see --time-budget-ms)
+//   4  internal error (invariant violation in the library)
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +28,7 @@
 #include "atpg/cycles.h"
 #include "atpg/test_io.h"
 #include "base/error.h"
+#include "base/robust/budget.h"
 #include "harness/experiment.h"
 #include "kiss/kiss2_parser.h"
 #include "netlist/export.h"
@@ -28,6 +37,51 @@
 namespace {
 
 using namespace fstg;
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitUsage = 1,
+  kExitParse = 2,
+  kExitBudget = 3,
+  kExitInternal = 4,
+};
+
+/// Raised by flag parsing for malformed values; mapped to kExitUsage.
+struct UsageError {};
+
+int parse_int_flag(const char* flag, const char* text, long long lo,
+                   long long hi) {
+  long long v = 0;
+  const char* end = text + std::strlen(text);
+  auto [p, ec] = std::from_chars(text, end, v);
+  if (ec != std::errc() || p != end || v < lo || v > hi) {
+    std::fprintf(stderr, "error: %s expects an integer in [%lld, %lld]\n",
+                 flag, lo, hi);
+    throw UsageError{};
+  }
+  return static_cast<int>(v);
+}
+
+/// --time-budget-ms / --max-expansions, shared by gen and sim.
+struct BudgetFlags {
+  robust::Budget budget;
+
+  /// Consume the flag at argv[i] if it is one of ours (advancing i past the
+  /// value); returns false if the flag is not budget-related.
+  bool consume(int argc, char** argv, int& i) {
+    if (!std::strcmp(argv[i], "--time-budget-ms") && i + 1 < argc) {
+      budget.time_budget_ms =
+          parse_int_flag("--time-budget-ms", argv[++i], 1, 86'400'000);
+      return true;
+    }
+    if (!std::strcmp(argv[i], "--max-expansions") && i + 1 < argc) {
+      budget.max_expansions = static_cast<std::uint64_t>(
+          parse_int_flag("--max-expansions", argv[++i], 1, 2'000'000'000));
+      return true;
+    }
+    return false;
+  }
+};
 
 Kiss2Fsm load_machine(const std::string& arg) {
   try {
@@ -49,7 +103,7 @@ int cmd_list() {
     std::printf("%-10s %3d %3d %7d %8d  %s\n", spec.name.c_str(), spec.pi,
                 spec.sv, spec.specified_states, spec.outputs, source);
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_info(const std::string& target) {
@@ -69,15 +123,22 @@ int cmd_info(const std::string& target) {
   std::printf("functional tests: %zu (total length %zu) for %zu transitions\n",
               exp.gen.tests.size(), exp.gen.tests.total_length(),
               exp.table.num_transitions());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_gen(const std::string& target, const std::string& out,
-            int uio_bound, int xfer_bound) {
+            int uio_bound, int xfer_bound, const robust::Budget& budget) {
   ExperimentOptions options;
   options.gen.uio_max_length = uio_bound;
   options.gen.transfer_max_length = xfer_bound;
+  options.gen.budget = budget;
   CircuitExperiment exp = run_fsm(load_machine(target), options);
+  if (exp.gen.degraded)
+    std::fprintf(stderr,
+                 "warning: budget exhausted during UIO search (%d states "
+                 "aborted); falling back to scan-out — coverage is "
+                 "preserved, cycle count may rise\n",
+                 exp.gen.uio_aborted_states());
 
   TestFile file;
   file.circuit = exp.fsm.name;
@@ -101,10 +162,11 @@ int cmd_gen(const std::string& target, const std::string& out,
     save_test_file(file, out);
     std::fprintf(stderr, "wrote %s\n", out.c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
-int cmd_sim(const std::string& target, const std::string& tests_path) {
+int cmd_sim(const std::string& target, const std::string& tests_path,
+            const robust::Budget& budget) {
   CircuitExperiment exp = run_fsm(load_machine(target));
   TestFile file = load_test_file(tests_path);
   require(file.input_bits == exp.table.input_bits(),
@@ -112,6 +174,15 @@ int cmd_sim(const std::string& target, const std::string& tests_path) {
   require(file.state_bits == exp.synth.circuit.num_sv,
           "test file state width does not match the circuit");
   file.tests.validate(exp.table);
+
+  // The budget covers the two fault simulations (the dominant cost).
+  // A partial simulation would under-report coverage, so exhaustion here
+  // is a hard budget failure (exit 3), not a degraded success.
+  robust::RunGuard guard(budget, "fault_sim.batch");
+  const std::vector<FaultSpec> sa_faults = enumerate_stuck_at(exp.synth.circuit.comb);
+  FaultSimResult sa =
+      simulate_faults_guarded(exp.synth.circuit, file.tests, sa_faults, guard);
+  if (!sa.complete) throw BudgetError(guard.status().message());
 
   CircuitExperiment shim = exp;
   shim.gen.tests = file.tests;
@@ -128,7 +199,7 @@ int cmd_sim(const std::string& target, const std::string& tests_path) {
               gate.br.sim.coverage_percent(),
               gate.br_redundancy.detectable_coverage_percent(),
               gate.br.effective_tests.size());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_verilog(const std::string& target, const std::string& out,
@@ -152,7 +223,7 @@ int cmd_verilog(const std::string& target, const std::string& out,
     f << to_verilog_testbench(exp.synth.circuit, exp.gen.tests, expected);
     std::fprintf(stderr, "wrote %s\n", tb_out.c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_export(const std::string& target, const std::string& format,
@@ -173,7 +244,7 @@ int cmd_export(const std::string& target, const std::string& format,
     f << text;
     std::fprintf(stderr, "wrote %s\n", out.c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 int usage() {
@@ -183,10 +254,22 @@ int usage() {
                "  fstg info <circuit|file.kiss>\n"
                "  fstg gen <circuit|file.kiss> [-o tests.txt] [--uio L] "
                "[--xfer L]\n"
+               "           [--time-budget-ms N] [--max-expansions N]\n"
                "  fstg sim <circuit|file.kiss> <tests.txt>\n"
+               "           [--time-budget-ms N] [--max-expansions N]\n"
                "  fstg verilog <circuit|file.kiss> [-o out.v] [--tb tb.v]\n"
-               "  fstg export <circuit|file.kiss> <blif|bench> [-o out]\n");
-  return 2;
+               "  fstg export <circuit|file.kiss> <blif|bench> [-o out]\n"
+               "\n"
+               "budget flags (gen, sim):\n"
+               "  --time-budget-ms N   wall-clock deadline for the expensive\n"
+               "                       search kernels; on exhaustion gen\n"
+               "                       degrades to scan-out fallback (still\n"
+               "                       exit 0), sim stops and exits 3\n"
+               "  --max-expansions N   same, as a deterministic step count\n"
+               "\n"
+               "exit codes: 0 ok, 1 usage, 2 parse/input error,\n"
+               "            3 budget exhausted, 4 internal error\n");
+  return kExitUsage;
 }
 
 }  // namespace
@@ -200,17 +283,26 @@ int main(int argc, char** argv) {
     if (cmd == "gen" && argc >= 3) {
       std::string out;
       int uio = 0, xfer = 1;
+      BudgetFlags budget;
       for (int i = 3; i < argc; ++i) {
         if (!std::strcmp(argv[i], "-o") && i + 1 < argc) out = argv[++i];
         else if (!std::strcmp(argv[i], "--uio") && i + 1 < argc)
-          uio = std::stoi(argv[++i]);
+          uio = parse_int_flag("--uio", argv[++i], 0, 64);
         else if (!std::strcmp(argv[i], "--xfer") && i + 1 < argc)
-          xfer = std::stoi(argv[++i]);
+          xfer = parse_int_flag("--xfer", argv[++i], 0, 64);
+        else if (budget.consume(argc, argv, i)) continue;
         else return usage();
       }
-      return cmd_gen(argv[2], out, uio, xfer);
+      return cmd_gen(argv[2], out, uio, xfer, budget.budget);
     }
-    if (cmd == "sim" && argc >= 4) return cmd_sim(argv[2], argv[3]);
+    if (cmd == "sim" && argc >= 4) {
+      BudgetFlags budget;
+      for (int i = 4; i < argc; ++i) {
+        if (budget.consume(argc, argv, i)) continue;
+        else return usage();
+      }
+      return cmd_sim(argv[2], argv[3], budget.budget);
+    }
     if (cmd == "export" && argc >= 4) {
       std::string out;
       for (int i = 4; i < argc; ++i) {
@@ -228,9 +320,22 @@ int main(int argc, char** argv) {
       }
       return cmd_verilog(argv[2], out, tb);
     }
-  } catch (const std::exception& e) {
+  } catch (const UsageError&) {
+    return kExitUsage;
+  } catch (const fstg::BudgetError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitBudget;
+  } catch (const fstg::ParseError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitParse;
+  } catch (const fstg::Error& e) {
+    // Library Error outside a parser: unreadable files and mismatched
+    // inputs land here — an input problem, not an internal bug.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitParse;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return kExitInternal;
   }
   return usage();
 }

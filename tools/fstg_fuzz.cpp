@@ -1,0 +1,257 @@
+// fstg_fuzz — deterministic fault-injection and input-fuzz harness.
+//
+// Two properties are checked, matching the robustness contract in
+// docs/ROBUSTNESS.md:
+//
+//   parsers: for any mutation of a valid KISS2 / BLIF / test-file text, the
+//     parser either accepts it or throws a typed Error (usually ParseError).
+//     It never crashes, hangs, or lets a foreign exception type escape.
+//
+//   budget: for every RunGuard site in the pipeline, injecting synthetic
+//     budget exhaustion at that site (at several tick offsets) yields a
+//     valid result, a typed partial result, or a structured error. The
+//     pipeline always terminates and never misreports a cut run as
+//     complete.
+//
+// Everything is seeded (xoshiro256**), so a failing iteration is
+// reproducible from the printed seed.
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "atpg/generator.h"
+#include "atpg/test_io.h"
+#include "base/error.h"
+#include "base/robust/budget.h"
+#include "base/rng.h"
+#include "harness/experiment.h"
+#include "kiss/benchmarks.h"
+#include "kiss/kiss2_parser.h"
+#include "kiss/kiss2_writer.h"
+#include "netlist/blif_reader.h"
+#include "netlist/export.h"
+
+namespace fstg {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fstg_fuzz <parsers|budget|all> [--iters N] [--seed S]\n"
+               "  parsers  mutate KISS2/BLIF/test-file corpora; only typed\n"
+               "           Errors may escape the parsers\n"
+               "  budget   inject budget exhaustion at every guard site;\n"
+               "           the pipeline must return a valid or typed-partial\n"
+               "           result, or a structured error\n");
+  return 1;
+}
+
+/// Apply one seeded mutation to `text`. The menu targets the failure
+/// classes the robustness work hardened: bit/byte corruption, truncation,
+/// CRLF conversion, token duplication, and huge-number substitution.
+std::string mutate(const std::string& text, Rng& rng) {
+  std::string out = text;
+  switch (rng.below(6)) {
+    case 0: {  // flip one byte
+      if (out.empty()) break;
+      out[rng.below(out.size())] ^= static_cast<char>(1 + rng.below(255));
+      break;
+    }
+    case 1: {  // truncate
+      out.resize(rng.below(out.size() + 1));
+      break;
+    }
+    case 2: {  // convert to CRLF line endings
+      std::string crlf;
+      for (char c : out) {
+        if (c == '\n') crlf += '\r';
+        crlf += c;
+      }
+      out = crlf;
+      break;
+    }
+    case 3: {  // duplicate a random chunk
+      if (out.empty()) break;
+      const std::size_t at = rng.below(out.size());
+      const std::size_t len = rng.below(out.size() - at) + 1;
+      out.insert(at, out.substr(at, len));
+      break;
+    }
+    case 4: {  // replace the first integer token with a huge number
+      const std::size_t digit = out.find_first_of("0123456789");
+      if (digit == std::string::npos) break;
+      std::size_t end = digit;
+      while (end < out.size() && std::isdigit(static_cast<unsigned char>(out[end])))
+        ++end;
+      out.replace(digit, end - digit, "99999999999999999999");
+      break;
+    }
+    case 5: {  // inject a stray directive line
+      out.insert(0, ".bogus 1\n");
+      break;
+    }
+  }
+  return out;
+}
+
+/// One parser run: accept, or throw a typed fstg::Error. Anything else —
+/// std::out_of_range from an unchecked stoi, std::bad_alloc from an
+/// unvalidated size, a crash — fails the fuzz run.
+template <typename Fn>
+bool survives(const char* parser, const std::string& input, Fn&& parse,
+              std::uint64_t iter) {
+  try {
+    parse(input);
+  } catch (const Error&) {
+    // Typed rejection: exactly the contract.
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "FUZZ FAILURE iter %llu: %s let %s escape "
+                 "(only fstg::Error is allowed)\n",
+                 static_cast<unsigned long long>(iter), parser, e.what());
+    return false;
+  }
+  return true;
+}
+
+int run_parsers(std::uint64_t iters, std::uint64_t seed) {
+  // Seed corpora from the embedded benchmarks: real KISS2 text, real BLIF
+  // (via synthesis + export), and real test files (via generation).
+  std::vector<std::string> kiss_corpus, blif_corpus, test_corpus;
+  for (const std::string& name : {std::string("lion"), std::string("dk27"),
+                                  std::string("shiftreg")}) {
+    CircuitExperiment exp = run_circuit(name);
+    kiss_corpus.push_back(write_kiss2(exp.fsm));
+    blif_corpus.push_back(to_blif(exp.synth.circuit, name));
+    TestFile tf;
+    tf.circuit = name;
+    tf.input_bits = exp.fsm.num_inputs;
+    tf.state_bits = exp.synth.circuit.num_sv;
+    tf.tests = exp.gen.tests;
+    test_corpus.push_back(write_test_file(tf));
+  }
+
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    // Stack 1-3 mutations so corruption can compound.
+    const std::uint64_t depth = 1 + rng.below(3);
+    auto corrupted = [&](const std::vector<std::string>& corpus) {
+      std::string text = corpus[rng.below(corpus.size())];
+      for (std::uint64_t d = 0; d < depth; ++d) text = mutate(text, rng);
+      return text;
+    };
+    if (!survives("parse_kiss2", corrupted(kiss_corpus),
+                  [](const std::string& s) { parse_kiss2(s, "fuzz"); }, i))
+      return 1;
+    if (!survives("parse_blif", corrupted(blif_corpus),
+                  [](const std::string& s) { parse_blif(s); }, i))
+      return 1;
+    if (!survives("parse_test_file", corrupted(test_corpus),
+                  [](const std::string& s) { parse_test_file(s); }, i))
+      return 1;
+  }
+  std::printf("fuzz parsers: %llu iterations, seed %llu: ok\n",
+              static_cast<unsigned long long>(iters),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+int run_budget(std::uint64_t iters) {
+  using robust::clear_budget_injections;
+  using robust::clear_guard_site_log;
+  using robust::guard_sites_seen;
+  using robust::inject_budget_exhaustion;
+
+  // Discovery pass: run the full pipeline once (functional + gate level)
+  // to record every guard site that exists.
+  clear_budget_injections();
+  clear_guard_site_log();
+  {
+    SuiteOptions options;
+    options.gate_level = true;
+    run_circuit_suite({"lion"}, options);
+  }
+  const std::vector<std::string> sites = guard_sites_seen();
+  if (sites.empty()) {
+    std::fprintf(stderr, "FUZZ FAILURE: discovery run saw no guard sites\n");
+    return 1;
+  }
+
+  // Replay: inject exhaustion at each site at several offsets. The suite
+  // runner must terminate with either a successful (possibly degraded)
+  // run or a structured per-stage failure — nothing may escape it.
+  std::uint64_t checked = 0;
+  for (std::uint64_t round = 0; round < iters; ++round) {
+    // 0 trips the first tick; the others cut mid-run at growing depths.
+    const std::uint64_t after = round == 0 ? 0 : (1ull << (3 * round));
+    for (const std::string& site : sites) {
+      clear_budget_injections();
+      inject_budget_exhaustion(site, after);
+      SuiteOptions options;
+      options.gate_level = true;
+      try {
+        SuiteResult suite = run_circuit_suite({"lion"}, options);
+        for (const CircuitRun& run : suite.runs) {
+          if (run.status.is_ok()) continue;
+          if (run.status.code() != robust::Code::kBudgetExhausted) {
+            std::fprintf(stderr,
+                         "FUZZ FAILURE: injection at %s after %llu became "
+                         "%s, not budget-exhausted\n",
+                         site.c_str(), static_cast<unsigned long long>(after),
+                         run.status.to_string().c_str());
+            clear_budget_injections();
+            return 1;
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "FUZZ FAILURE: injection at %s after %llu escaped the "
+                     "suite boundary: %s\n",
+                     site.c_str(), static_cast<unsigned long long>(after),
+                     e.what());
+        clear_budget_injections();
+        return 1;
+      }
+      ++checked;
+    }
+  }
+  clear_budget_injections();
+  std::printf("fuzz budget: %llu injections across %zu sites: ok\n",
+              static_cast<unsigned long long>(checked), sites.size());
+  return 0;
+}
+
+int fuzz_main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+  std::uint64_t iters = mode == "budget" || mode == "all" ? 3 : 200;
+  std::uint64_t seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--iters" || arg == "--seed") && i + 1 < argc) {
+      char* endp = nullptr;
+      const unsigned long long v = std::strtoull(argv[i + 1], &endp, 10);
+      if (endp == argv[i + 1] || *endp != '\0') return usage();
+      (arg == "--iters" ? iters : seed) = v;
+      ++i;
+    } else {
+      return usage();
+    }
+  }
+  if (mode == "parsers") return run_parsers(iters, seed);
+  if (mode == "budget") return run_budget(iters);
+  if (mode == "all") {
+    const int p = run_parsers(iters == 3 ? 200 : iters, seed);
+    if (p != 0) return p;
+    return run_budget(3);
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace fstg
+
+int main(int argc, char** argv) { return fstg::fuzz_main(argc, argv); }
