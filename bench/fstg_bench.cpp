@@ -1,0 +1,438 @@
+// fstg_bench — reproducible timing harness for the fault-simulation engine.
+//
+// For each benchmark circuit it times, on the same stuck-at + bridging
+// fault list and functional test set:
+//
+//   good        fault-free reference simulation (all 64-lane batches)
+//   serial_seed the seed configuration: full-cone faulty evaluation,
+//               single-threaded (FaultyEval::kFullCone, threads = 0)
+//   serial_evt  event-driven faulty evaluation, single-threaded
+//   parallel    event-driven, N worker threads (default 8)
+//   end_to_end  run_gate_level (compaction + redundancy) at N threads
+//
+// and emits BENCH_faultsim.json: one record per circuit with fault/cycle
+// counts, wall-clock milliseconds, and the headline speedup
+// (serial_seed / parallel). The file is re-read and schema-validated
+// before the process exits 0, so CI can gate on the exit code alone.
+//
+//   fstg_bench [--smoke] [--threads N] [--repeat R] [-o out.json]
+//
+// --smoke runs one small circuit with one repetition (the ctest `perf`
+// label); the default runs the full circuit list with best-of-R timing.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "atpg/cycles.h"
+#include "base/timer.h"
+#include "fault/bridging.h"
+#include "fault/fault.h"
+#include "harness/experiment.h"
+
+namespace {
+
+using namespace fstg;
+
+struct BenchRecord {
+  std::string circuit;
+  std::size_t faults = 0;
+  std::size_t tests = 0;
+  std::size_t cycles = 0;
+  double good_ms = 0.0;
+  double serial_seed_ms = 0.0;
+  double serial_event_ms = 0.0;
+  double parallel_ms = 0.0;
+  double end_to_end_ms = 0.0;
+  double speedup = 0.0;
+};
+
+/// Best-of-R wall time of one configuration, in milliseconds.
+template <typename Fn>
+double time_best_ms(int repeat, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    Timer timer;
+    fn();
+    const double ms = timer.seconds() * 1000.0;
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Bridging list capped the same way the Table 6 harness caps it:
+/// deterministic stride over AND/OR pairs, both polarities kept.
+std::vector<FaultSpec> sampled_bridging(const Netlist& nl, std::size_t cap) {
+  std::vector<FaultSpec> bridges = enumerate_bridging(nl);
+  if (cap == 0 || bridges.size() <= cap) return bridges;
+  const std::size_t pairs = bridges.size() / 2;
+  const std::size_t want_pairs = cap / 2;
+  const std::size_t stride = (pairs + want_pairs - 1) / want_pairs;
+  std::vector<FaultSpec> sampled;
+  sampled.reserve(2 * (pairs / stride + 1));
+  for (std::size_t p = 0; p < pairs; p += stride) {
+    sampled.push_back(bridges[2 * p]);
+    sampled.push_back(bridges[2 * p + 1]);
+  }
+  return sampled;
+}
+
+BenchRecord bench_circuit(const std::string& name, int threads, int repeat) {
+  const CircuitExperiment exp = run_circuit(name);
+  const ScanCircuit& circuit = exp.synth.circuit;
+  std::vector<FaultSpec> faults = enumerate_stuck_at(circuit.comb);
+  const std::vector<FaultSpec> bridges =
+      sampled_bridging(circuit.comb, /*cap=*/4096);
+  faults.insert(faults.end(), bridges.begin(), bridges.end());
+
+  BenchRecord rec;
+  rec.circuit = name;
+  rec.faults = faults.size();
+  rec.tests = exp.gen.tests.size();
+  rec.cycles = test_application_cycles(circuit.num_sv, exp.gen.tests);
+
+  const std::vector<ScanPattern> patterns = to_scan_patterns(exp.gen.tests);
+  rec.good_ms = time_best_ms(repeat, [&] {
+    ScanBatchSim sim(circuit);
+    for (std::size_t base = 0; base < patterns.size(); base += kWordBits) {
+      const std::size_t count =
+          std::min<std::size_t>(kWordBits, patterns.size() - base);
+      (void)sim.run_good(std::span(patterns.data() + base, count));
+    }
+  });
+
+  FaultSimOptions serial_seed;  // the pre-optimization configuration
+  serial_seed.threads = 0;
+  serial_seed.event_driven = false;
+  rec.serial_seed_ms = time_best_ms(repeat, [&] {
+    (void)simulate_faults(circuit, exp.gen.tests, faults, serial_seed);
+  });
+
+  FaultSimOptions serial_event;
+  serial_event.threads = 0;
+  rec.serial_event_ms = time_best_ms(repeat, [&] {
+    (void)simulate_faults(circuit, exp.gen.tests, faults, serial_event);
+  });
+
+  FaultSimOptions parallel;
+  parallel.threads = threads;
+  rec.parallel_ms = time_best_ms(repeat, [&] {
+    (void)simulate_faults(circuit, exp.gen.tests, faults, parallel);
+  });
+
+  // End-to-end = enumeration + compaction on both fault models. Redundancy
+  // classification is exhaustive in 2^(pi+sv) and would dwarf the quantity
+  // under test, so the timed pipeline skips it.
+  GateLevelOptions gate;
+  gate.threads = threads;
+  gate.classify_redundancy = false;
+  rec.end_to_end_ms =
+      time_best_ms(repeat, [&] { (void)run_gate_level(exp, gate); });
+
+  rec.speedup = rec.parallel_ms > 0.0 ? rec.serial_seed_ms / rec.parallel_ms
+                                      : 0.0;
+  return rec;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<BenchRecord>& records, int threads) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "{\n  \"bench\": \"faultsim\",\n  \"threads\": " << threads
+     << ",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    os << "    {\"circuit\": \"" << json_escape(r.circuit) << "\""
+       << ", \"faults\": " << r.faults << ", \"tests\": " << r.tests
+       << ", \"cycles\": " << r.cycles << ", \"good_ms\": " << r.good_ms
+       << ", \"serial_seed_ms\": " << r.serial_seed_ms
+       << ", \"serial_event_ms\": " << r.serial_event_ms
+       << ", \"parallel_ms\": " << r.parallel_ms
+       << ", \"end_to_end_ms\": " << r.end_to_end_ms
+       << ", \"speedup\": " << r.speedup << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+/// --- Minimal JSON reader used only to validate our own output ------------
+///
+/// Not a general parser: enough of RFC 8259 (objects, arrays, strings,
+/// numbers, literals) to re-read BENCH_faultsim.json and verify the schema,
+/// so a malformed emitter fails the bench run instead of poisoning CI data.
+struct JsonValidator {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  explicit JsonValidator(const std::string& t) : text(t) {}
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  bool fail(const std::string& what) {
+    if (error.empty())
+      error = what + " at byte " + std::to_string(pos);
+    return false;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text.compare(pos, n, lit) != 0) return fail("expected literal");
+    pos += n;
+    return true;
+  }
+  bool string(std::string* out = nullptr) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    std::string s;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') ++pos;
+      if (pos < text.size()) s.push_back(text[pos++]);
+    }
+    if (pos >= text.size()) return fail("unterminated string");
+    ++pos;
+    if (out) *out = s;
+    return true;
+  }
+  bool number(double* out) {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            std::strchr("+-.eE", text[pos])))
+      ++pos;
+    if (pos == start) return fail("expected number");
+    *out = std::stod(text.substr(start, pos - start));
+    return true;
+  }
+  /// Parse one object, collecting scalar fields into (key, kind) pairs.
+  /// kind: 's' string, 'n' number, 'a' array (records only), 'o' other.
+  bool object(std::vector<std::pair<std::string, char>>* fields,
+              std::vector<std::string>* record_bodies = nullptr);
+  bool value(char* kind, std::vector<std::string>* record_bodies);
+};
+
+bool JsonValidator::value(char* kind, std::vector<std::string>* record_bodies) {
+  skip_ws();
+  if (pos >= text.size()) return fail("unexpected end");
+  const char c = text[pos];
+  if (c == '"') {
+    *kind = 's';
+    return string();
+  }
+  if (c == '{') {
+    *kind = 'o';
+    std::vector<std::pair<std::string, char>> ignored;
+    return object(&ignored);
+  }
+  if (c == '[') {
+    *kind = 'a';
+    ++pos;
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      const std::size_t start = pos;
+      char inner = 0;
+      if (!value(&inner, nullptr)) return false;
+      if (record_bodies) record_bodies->push_back(text.substr(start, pos - start));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected , or ] in array");
+    }
+  }
+  if (c == 't') { *kind = 'b'; return literal("true"); }
+  if (c == 'f') { *kind = 'b'; return literal("false"); }
+  if (c == 'n') { *kind = '0'; return literal("null"); }
+  *kind = 'n';
+  double d = 0.0;
+  return number(&d);
+}
+
+bool JsonValidator::object(std::vector<std::pair<std::string, char>>* fields,
+                           std::vector<std::string>* record_bodies) {
+  skip_ws();
+  if (pos >= text.size() || text[pos] != '{') return fail("expected object");
+  ++pos;
+  skip_ws();
+  if (pos < text.size() && text[pos] == '}') {
+    ++pos;
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!string(&key)) return false;
+    skip_ws();
+    if (pos >= text.size() || text[pos] != ':') return fail("expected :");
+    ++pos;
+    char kind = 0;
+    if (!value(&kind, key == "records" ? record_bodies : nullptr))
+      return false;
+    fields->emplace_back(key, kind);
+    skip_ws();
+    if (pos < text.size() && text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    return fail("expected , or } in object");
+  }
+}
+
+bool has_field(const std::vector<std::pair<std::string, char>>& fields,
+               const std::string& key, char kind) {
+  for (const auto& [k, v] : fields)
+    if (k == key) return v == kind;
+  return false;
+}
+
+/// Schema check of an emitted BENCH_faultsim.json: top-level bench/threads/
+/// records, and every record carries the full set of typed fields.
+bool validate_bench_json(const std::string& text, std::string* error) {
+  JsonValidator v(text);
+  std::vector<std::pair<std::string, char>> top;
+  std::vector<std::string> records;
+  if (!v.object(&top, &records)) {
+    *error = v.error;
+    return false;
+  }
+  if (!has_field(top, "bench", 's') || !has_field(top, "threads", 'n') ||
+      !has_field(top, "records", 'a')) {
+    *error = "missing or mistyped top-level field (bench/threads/records)";
+    return false;
+  }
+  if (records.empty()) {
+    *error = "no records";
+    return false;
+  }
+  const std::vector<std::pair<const char*, char>> required = {
+      {"circuit", 's'},        {"faults", 'n'},       {"tests", 'n'},
+      {"cycles", 'n'},         {"good_ms", 'n'},      {"serial_seed_ms", 'n'},
+      {"serial_event_ms", 'n'}, {"parallel_ms", 'n'}, {"end_to_end_ms", 'n'},
+      {"speedup", 'n'},
+  };
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    JsonValidator rv(records[i]);
+    std::vector<std::pair<std::string, char>> fields;
+    if (!rv.object(&fields)) {
+      *error = "record " + std::to_string(i) + ": " + rv.error;
+      return false;
+    }
+    for (const auto& [key, kind] : required) {
+      if (!has_field(fields, key, kind)) {
+        *error = "record " + std::to_string(i) + ": missing field " + key;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fstg_bench [--smoke] [--threads N] [--repeat R] "
+               "[-o out.json]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int threads = 8;
+  int repeat = 3;
+  std::string out = "BENCH_faultsim.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+    else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
+      repeat = std::max(1, std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "-o") && i + 1 < argc)
+      out = argv[++i];
+    else
+      return usage();
+  }
+  if (threads < 0 || threads > 256) return usage();
+
+  // Largest circuit last: rie (9 inputs, 5 state variables, 29 states) has
+  // the biggest test volume of the default Table 6 suite (weight <= 1), so
+  // its record carries the headline speedup.
+  const std::vector<std::string> circuits =
+      smoke ? std::vector<std::string>{"dk17"}
+            : std::vector<std::string>{"bbara", "keyb", "rie"};
+  if (smoke) repeat = 1;
+
+  try {
+    std::vector<BenchRecord> records;
+    for (const std::string& name : circuits) {
+      std::fprintf(stderr, "bench: %s ...\n", name.c_str());
+      records.push_back(bench_circuit(name, threads, repeat));
+      const BenchRecord& r = records.back();
+      std::fprintf(stderr,
+                   "bench: %-8s %6zu faults %5zu cycles | good %.1fms | "
+                   "seed %.1fms | event %.1fms | %dthr %.1fms | speedup "
+                   "%.2fx\n",
+                   r.circuit.c_str(), r.faults, r.cycles, r.good_ms,
+                   r.serial_seed_ms, r.serial_event_ms, threads, r.parallel_ms,
+                   r.speedup);
+    }
+
+    const std::string json = to_json(records, threads);
+    {
+      std::ofstream f(out);
+      if (!f.good()) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+      }
+      f << json;
+    }
+
+    // Re-read and schema-validate what we just wrote.
+    std::ifstream f(out);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    std::string error;
+    if (!validate_bench_json(buf.str(), &error)) {
+      std::fprintf(stderr, "error: %s failed schema validation: %s\n",
+                   out.c_str(), error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu records, schema ok)\n", out.c_str(),
+                 records.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

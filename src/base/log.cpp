@@ -1,11 +1,17 @@
 #include "base/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace fstg {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level = LogLevel::kWarn;
+
+/// Serializes whole lines: worker threads (parallel suite / fault sim) log
+/// through the same sink, and interleaved fprintf halves are useless.
+std::mutex g_log_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,11 +24,14 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_log_mu);
   std::fprintf(stderr, "[fstg %s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -1,0 +1,209 @@
+#include "base/parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fstg::parallel {
+
+namespace {
+
+std::atomic<int> g_default_threads{-1};  // -1 = not yet resolved
+thread_local bool t_in_region = false;
+
+/// Lazily grown pool of detached-on-exit worker threads consuming a shared
+/// job queue. parallel_for layers the per-slot work-stealing deques on top;
+/// the pool itself only needs to hand a thread to each slot.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void ensure_workers(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = std::min(n, kMaxThreads);
+    while (static_cast<int>(threads_.size()) < n)
+      threads_.emplace_back([this] { worker_main(); });
+  }
+
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+ private:
+  void worker_main() {
+    t_in_region = false;
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stop requested and queue drained
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+/// Shared state of one parallel_for region. shared_ptr-owned because pool
+/// jobs can outlive the parallel_for scope only if the caller threw while
+/// waiting — shared ownership makes that path safe too.
+struct ForState {
+  explicit ForState(int slots)
+      : queues(static_cast<std::size_t>(slots)),
+        locks(static_cast<std::size_t>(slots)) {}
+
+  std::vector<std::deque<std::pair<std::size_t, std::size_t>>> queues;
+  std::deque<std::mutex> locks;  // deque: mutex is not movable
+  std::atomic<int> pending{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+void run_slot(const std::shared_ptr<ForState>& state, int slot, int slots,
+              const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  const bool was_in_region = t_in_region;
+  t_in_region = true;
+  for (;;) {
+    std::pair<std::size_t, std::size_t> range;
+    bool got = false;
+    {
+      // Own queue first (front = dealing order, keeps chunks cache-warm).
+      std::lock_guard<std::mutex> lock(state->locks[static_cast<std::size_t>(slot)]);
+      auto& q = state->queues[static_cast<std::size_t>(slot)];
+      if (!q.empty()) {
+        range = q.front();
+        q.pop_front();
+        got = true;
+      }
+    }
+    for (int k = 1; !got && k < slots; ++k) {
+      // Steal from the *back* of a victim's deque: the chunks it would
+      // reach last, minimizing contention with its own front pops.
+      const int victim = (slot + k) % slots;
+      std::lock_guard<std::mutex> lock(
+          state->locks[static_cast<std::size_t>(victim)]);
+      auto& q = state->queues[static_cast<std::size_t>(victim)];
+      if (!q.empty()) {
+        range = q.back();
+        q.pop_back();
+        got = true;
+      }
+    }
+    if (!got) break;
+    try {
+      fn(slot, range.first, range.second);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->error_mu);
+      if (!state->error) state->error = std::current_exception();
+      break;  // abandon this slot's remaining work; region reports failure
+    }
+  }
+  t_in_region = was_in_region;
+  if (state->pending.fetch_sub(1) == 1) {
+    std::lock_guard<std::mutex> lock(state->done_mu);
+    state->done_cv.notify_all();
+  }
+}
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void set_default_threads(int n) {
+  g_default_threads.store(std::clamp(n, 0, kMaxThreads));
+}
+
+int default_threads() {
+  int n = g_default_threads.load();
+  if (n < 0) {
+    n = hardware_threads();
+    g_default_threads.store(n);
+  }
+  return n;
+}
+
+int resolve_threads(int requested) {
+  if (requested < 0) requested = default_threads();
+  return std::clamp(requested, 1, kMaxThreads);
+}
+
+bool in_parallel_region() { return t_in_region; }
+
+void parallel_for(std::size_t n, std::size_t grain, int threads,
+                  const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  int slots = std::min<std::size_t>(
+      static_cast<std::size_t>(resolve_threads(threads)), chunks);
+  // Serial fallback: one slot, or a nested region (running chunks inline on
+  // the caller keeps nested parallel code deadlock-free and bounded).
+  if (slots <= 1 || t_in_region) {
+    const bool was_in_region = t_in_region;
+    t_in_region = true;
+    try {
+      fn(0, 0, n);
+    } catch (...) {
+      t_in_region = was_in_region;
+      throw;
+    }
+    t_in_region = was_in_region;
+    return;
+  }
+
+  auto state = std::make_shared<ForState>(slots);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    state->queues[c % static_cast<std::size_t>(slots)].emplace_back(begin, end);
+  }
+  state->pending.store(slots);
+
+  Pool& pool = Pool::instance();
+  pool.ensure_workers(slots - 1);
+  for (int s = 1; s < slots; ++s)
+    pool.submit([state, s, slots, fn] { run_slot(state, s, slots, fn); });
+  run_slot(state, 0, slots, fn);  // the caller is slot 0
+
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(lock, [&] { return state->pending.load() == 0; });
+  lock.unlock();
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace fstg::parallel

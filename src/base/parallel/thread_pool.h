@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace fstg::parallel {
+
+/// Number of hardware threads (always >= 1; std::thread::hardware_concurrency
+/// with a serial fallback when the runtime reports 0).
+int hardware_threads();
+
+/// Process-wide default worker count for parallel regions whose caller does
+/// not request an explicit count. Starts at hardware_threads(); 0 or 1 means
+/// serial. The CLI's --threads flag sets this once at startup.
+void set_default_threads(int n);
+int default_threads();
+
+/// Resolve a per-call thread request into an effective slot count:
+/// negative -> default_threads(), 0 -> 1 (serial fallback), otherwise the
+/// request itself (capped at kMaxThreads).
+int resolve_threads(int requested);
+
+/// True while the calling thread is executing inside a parallel_for slot
+/// (pool worker or participating caller). Nested parallel_for calls detect
+/// this and run inline on the caller, so parallel code can safely call into
+/// other parallel code without deadlocking or oversubscribing.
+bool in_parallel_region();
+
+/// Run fn(slot, begin, end) over a partition of [0, n) across up to
+/// `threads` slots (pool workers plus the calling thread, which always
+/// participates as slot 0). The range is split into chunks of ~grain
+/// indices, dealt round-robin to per-slot deques; a slot that drains its own
+/// deque steals from the back of the others', so uneven per-index cost
+/// (fault simulation with fault dropping is very uneven) still balances.
+///
+/// `slot` is in [0, resolve_threads(threads)) and is stable for the duration
+/// of one chunk, so callers can keep per-slot scratch state (for example a
+/// thread-local simulator) indexed by it. Determinism contract: fn must
+/// write only to disjoint, index-addressed locations; which slot processes
+/// which chunk is *not* deterministic, so any order-sensitive reduction must
+/// happen on the caller after parallel_for returns.
+///
+/// Exceptions thrown by fn are captured; the first one is rethrown on the
+/// caller once every slot has stopped.
+void parallel_for(std::size_t n, std::size_t grain, int threads,
+                  const std::function<void(int, std::size_t, std::size_t)>& fn);
+
+/// Hard cap on slots per region (and on pool threads overall).
+inline constexpr int kMaxThreads = 256;
+
+}  // namespace fstg::parallel

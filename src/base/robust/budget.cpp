@@ -42,45 +42,58 @@ RunGuard::RunGuard(const Budget& budget, const char* site)
     if (inj.site == site) inject_after_ = std::min(inject_after_, inj.after_ticks);
 }
 
+void RunGuard::trip_once(BudgetTrip trip) {
+  BudgetTrip expected = BudgetTrip::kNone;
+  trip_.compare_exchange_strong(expected, trip, std::memory_order_relaxed);
+}
+
 bool RunGuard::tick(std::uint64_t work) {
-  if (trip_ != BudgetTrip::kNone) return false;
-  expansions_ += work;
-  ++ticks_;
-  if (ticks_ > inject_after_) {
-    trip_ = BudgetTrip::kInjected;
+  if (exhausted()) return false;
+  const std::uint64_t expansions =
+      expansions_.fetch_add(work, std::memory_order_relaxed) + work;
+  const std::uint64_t ticks =
+      ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (ticks > inject_after_) {
+    trip_once(BudgetTrip::kInjected);
     return false;
   }
-  if (budget_.max_expansions != 0 && expansions_ > budget_.max_expansions) {
-    trip_ = BudgetTrip::kExpansions;
+  if (budget_.max_expansions != 0 && expansions > budget_.max_expansions) {
+    trip_once(BudgetTrip::kExpansions);
     return false;
   }
-  if (budget_.time_budget_ms > 0.0 && ticks_ >= next_deadline_check_) {
-    next_deadline_check_ = ticks_ + kDeadlineCheckInterval;
-    if (timer_.seconds() * 1000.0 > budget_.time_budget_ms) {
-      trip_ = BudgetTrip::kDeadline;
-      return false;
+  if (budget_.time_budget_ms > 0.0) {
+    // Amortized deadline check: whichever thread wins the CAS pays for the
+    // clock read; the rest skip ahead to the next interval.
+    std::uint64_t next = next_deadline_check_.load(std::memory_order_relaxed);
+    if (ticks >= next &&
+        next_deadline_check_.compare_exchange_strong(
+            next, ticks + kDeadlineCheckInterval, std::memory_order_relaxed)) {
+      if (timer_.seconds() * 1000.0 > budget_.time_budget_ms) {
+        trip_once(BudgetTrip::kDeadline);
+        return false;
+      }
     }
   }
   return true;
 }
 
 bool RunGuard::charge_memory(std::size_t bytes) {
-  if (trip_ != BudgetTrip::kNone) return false;
-  memory_bytes_ += bytes;
-  if (budget_.max_memory_bytes != 0 &&
-      memory_bytes_ > budget_.max_memory_bytes) {
-    trip_ = BudgetTrip::kMemory;
+  if (exhausted()) return false;
+  const std::size_t total =
+      memory_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget_.max_memory_bytes != 0 && total > budget_.max_memory_bytes) {
+    trip_once(BudgetTrip::kMemory);
     return false;
   }
   return true;
 }
 
 Status RunGuard::status() const {
-  if (trip_ == BudgetTrip::kNone) return Status::ok();
+  if (!exhausted()) return Status::ok();
   return Status::error(Code::kBudgetExhausted,
                        std::string("budget exhausted at ") + site_ + " (" +
-                           trip_name(trip_) + " limit, " +
-                           std::to_string(expansions_) + " expansions)");
+                           trip_name(trip()) + " limit, " +
+                           std::to_string(expansions()) + " expansions)");
 }
 
 void inject_budget_exhaustion(const std::string& site,
@@ -89,6 +102,20 @@ void inject_budget_exhaustion(const std::string& site,
 }
 
 void clear_budget_injections() { g_injections.clear(); }
+
+InjectionSnapshot injections_snapshot() {
+  InjectionSnapshot snapshot;
+  snapshot.armed.reserve(g_injections.size());
+  for (const Injection& inj : g_injections)
+    snapshot.armed.emplace_back(inj.site, inj.after_ticks);
+  return snapshot;
+}
+
+void install_injections(const InjectionSnapshot& snapshot) {
+  g_injections.clear();
+  for (const auto& [site, after_ticks] : snapshot.armed)
+    g_injections.push_back({site, after_ticks});
+}
 
 const std::vector<std::string>& guard_sites_seen() { return g_sites_seen; }
 

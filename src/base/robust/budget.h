@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/robust/status.h"
@@ -50,6 +52,15 @@ const char* trip_name(BudgetTrip trip);
 /// Once a guard trips it stays tripped (`exhausted()`), and `status()`
 /// renders the trip as a structured kBudgetExhausted error naming the site.
 ///
+/// Thread safety: a single RunGuard may be shared by the workers of one
+/// parallel kernel (the parallel fault simulator ticks one guard from every
+/// worker). Counters are relaxed atomics, the trip flag is a sticky
+/// compare-exchange (the first limit to trip wins and every subsequent tick
+/// on every thread returns false), so the guard doubles as the kernel's
+/// cooperative-cancellation flag. Construction and `status()` remain
+/// single-threaded: create the guard before the parallel region and read
+/// the status after it joins.
+///
 /// Guard sites have stable string names so the fault-injection test harness
 /// can force exhaustion at any specific site deterministically (see
 /// `inject_budget_exhaustion`).
@@ -59,7 +70,7 @@ class RunGuard {
 
   /// Charge `work` expansions and re-check every limit. Returns true while
   /// the run is still within budget. Sticky: keeps returning false after
-  /// the first trip.
+  /// the first trip (on any thread).
   bool tick(std::uint64_t work = 1);
 
   /// Charge an allocation estimate against max_memory_bytes. Call before
@@ -67,11 +78,17 @@ class RunGuard {
   /// within budget.
   bool charge_memory(std::size_t bytes);
 
-  bool exhausted() const { return trip_ != BudgetTrip::kNone; }
-  BudgetTrip trip() const { return trip_; }
+  bool exhausted() const {
+    return trip_.load(std::memory_order_relaxed) != BudgetTrip::kNone;
+  }
+  BudgetTrip trip() const { return trip_.load(std::memory_order_relaxed); }
   const char* site() const { return site_; }
-  std::uint64_t expansions() const { return expansions_; }
-  std::size_t memory_bytes() const { return memory_bytes_; }
+  std::uint64_t expansions() const {
+    return expansions_.load(std::memory_order_relaxed);
+  }
+  std::size_t memory_bytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// kOk while within budget; otherwise kBudgetExhausted naming the site
   /// and the limit that tripped.
@@ -80,14 +97,17 @@ class RunGuard {
  private:
   static constexpr std::uint64_t kDeadlineCheckInterval = 4096;
 
+  /// First trip wins; later trips on other threads are dropped.
+  void trip_once(BudgetTrip trip);
+
   Budget budget_;
   const char* site_;
   Timer timer_;
-  std::uint64_t expansions_ = 0;
-  std::uint64_t ticks_ = 0;
-  std::uint64_t next_deadline_check_ = 1;  // check early, then amortize
-  std::size_t memory_bytes_ = 0;
-  BudgetTrip trip_ = BudgetTrip::kNone;
+  std::atomic<std::uint64_t> expansions_{0};
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> next_deadline_check_{1};  // check early, amortize
+  std::atomic<std::size_t> memory_bytes_{0};
+  std::atomic<BudgetTrip> trip_{BudgetTrip::kNone};
   std::uint64_t inject_after_ = UINT64_MAX;  ///< tick count; resolved at ctor
 };
 
@@ -104,6 +124,19 @@ void inject_budget_exhaustion(const std::string& site,
 
 /// Clear all armed injections in this thread.
 void clear_budget_injections();
+
+/// Snapshot of one thread's armed injections. Injections are thread-local
+/// by design (parallel tests must not interfere), so a harness that fans a
+/// pipeline out over worker threads must explicitly carry the coordinating
+/// thread's injections across: snapshot on the coordinator, install inside
+/// each worker task. `install_injections` *replaces* the calling thread's
+/// armed set, so pooled workers reused across runs always start from the
+/// current coordinator's state, never a stale one.
+struct InjectionSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> armed;
+};
+InjectionSnapshot injections_snapshot();
+void install_injections(const InjectionSnapshot& snapshot);
 
 /// Names of guard sites constructed in this thread since the last
 /// `clear_guard_site_log` (deduplicated, in first-seen order). The fuzz

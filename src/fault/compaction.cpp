@@ -4,10 +4,12 @@ namespace fstg {
 
 CompactionResult select_effective_tests(const ScanCircuit& circuit,
                                         const TestSet& tests,
-                                        const std::vector<FaultSpec>& faults) {
+                                        const std::vector<FaultSpec>& faults,
+                                        const FaultSimOptions& sim_options) {
   CompactionResult result;
   result.ordered_tests = tests.sorted_by_decreasing_length();
-  result.sim = simulate_faults(circuit, result.ordered_tests, faults);
+  result.sim =
+      simulate_faults(circuit, result.ordered_tests, faults, sim_options);
   for (std::size_t i = 0; i < result.ordered_tests.tests.size(); ++i)
     if (result.sim.test_effective[i])
       result.effective_tests.tests.push_back(result.ordered_tests.tests[i]);

@@ -30,7 +30,8 @@ std::vector<GoodTrace> good_traces(ScanBatchSim& sim,
                                    const std::vector<ScanPattern>& patterns) {
   std::vector<GoodTrace> goods;
   goods.reserve(patterns.size());
-  for (const ScanPattern& p : patterns) goods.push_back(sim.run_good({p}));
+  for (const ScanPattern& p : patterns)
+    goods.push_back(sim.run_good(std::span(&p, 1)));
   return goods;
 }
 

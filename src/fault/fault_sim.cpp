@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <memory>
+#include <span>
 
 #include "base/error.h"
+#include "base/parallel/thread_pool.h"
 #include "netlist/reach.h"
 
 namespace fstg {
@@ -13,7 +16,14 @@ namespace fstg {
 /// gate; bridges exclude the two forced gates.
 std::vector<std::vector<int>> compute_fault_cones(
     const Netlist& nl, const std::vector<FaultSpec>& faults) {
-  const std::vector<BitVec> reach = forward_reachability(nl);
+  return compute_fault_cones(nl, faults, forward_reachability(nl));
+}
+
+std::vector<std::vector<int>> compute_fault_cones(
+    const Netlist& nl, const std::vector<FaultSpec>& faults,
+    const std::vector<BitVec>& reach) {
+  require(reach.size() == static_cast<std::size_t>(nl.num_gates()),
+          "compute_fault_cones: reachability matrix size mismatch");
   std::vector<std::vector<int>> cones(faults.size());
   for (std::size_t f = 0; f < faults.size(); ++f) {
     const FaultSpec& fault = faults[f];
@@ -67,58 +77,107 @@ std::vector<ScanPattern> to_scan_patterns(const TestSet& tests) {
 
 FaultSimResult simulate_faults(const ScanCircuit& circuit,
                                const TestSet& tests,
-                               const std::vector<FaultSpec>& faults) {
+                               const std::vector<FaultSpec>& faults,
+                               const FaultSimOptions& options) {
   robust::RunGuard guard(robust::Budget{}, "fault_sim.batch");
-  FaultSimResult result = simulate_faults_guarded(circuit, tests, faults, guard);
+  FaultSimResult result =
+      simulate_faults_guarded(circuit, tests, faults, guard, options);
   if (!result.complete) throw BudgetError(guard.status().message());
   return result;
 }
 
+namespace {
+
+/// Fault-level parallelism only pays off once a batch carries enough live
+/// faults to amortize the fork/join of one parallel region.
+constexpr std::size_t kMinParallelFaults = 64;
+
+}  // namespace
+
 FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
                                        const TestSet& tests,
                                        const std::vector<FaultSpec>& faults,
-                                       robust::RunGuard& guard) {
+                                       robust::RunGuard& guard,
+                                       const FaultSimOptions& options) {
   FaultSimResult result;
   result.total_faults = faults.size();
   result.detected_by.assign(faults.size(), -1);
   result.test_effective.assign(tests.tests.size(), false);
 
   const std::vector<ScanPattern> all_patterns = to_scan_patterns(tests);
-  ScanBatchSim sim(circuit);
   const std::vector<std::vector<int>> cones =
-      compute_fault_cones(circuit.comb, faults);
+      options.reachability
+          ? compute_fault_cones(circuit.comb, faults, *options.reachability)
+          : compute_fault_cones(circuit.comb, faults);
+  const FaultyEval mode = options.event_driven ? FaultyEval::kEventDriven
+                                               : FaultyEval::kFullCone;
+  const int threads = parallel::resolve_threads(options.threads);
+
+  // One simulator per worker slot; slot 0 (the caller) doubles as the
+  // good-trace simulator. The good trace itself is immutable and shared.
+  std::vector<std::unique_ptr<ScanBatchSim>> sims;
+  sims.reserve(static_cast<std::size_t>(threads));
+  for (int s = 0; s < threads; ++s)
+    sims.push_back(std::make_unique<ScanBatchSim>(circuit));
 
   std::vector<std::size_t> alive(faults.size());
   for (std::size_t f = 0; f < faults.size(); ++f) alive[f] = f;
+  std::vector<std::size_t> still_alive;
 
   for (std::size_t base = 0; base < all_patterns.size() && !alive.empty();
        base += kWordBits) {
     const std::size_t count =
         std::min<std::size_t>(kWordBits, all_patterns.size() - base);
-    const std::vector<ScanPattern> batch(all_patterns.begin() + base,
-                                         all_patterns.begin() + base + count);
-    const GoodTrace good = sim.run_good(batch);
+    const std::span<const ScanPattern> batch(all_patterns.data() + base,
+                                             count);
+    const GoodTrace good = sims[0]->run_good(batch);
 
-    std::vector<std::size_t> still_alive;
+    // Each live fault is simulated independently against the shared good
+    // trace; detected_by writes are disjoint per fault, so workers need no
+    // synchronization beyond the guard. A tripped guard cancels every
+    // worker cooperatively (tick turns false on all threads); faults it
+    // skips simply stay undetected in the partial result.
+    const auto simulate_range = [&](int slot, std::size_t lo, std::size_t hi) {
+      ScanBatchSim& sim = *sims[static_cast<std::size_t>(slot)];
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!guard.tick(count)) return;
+        const std::size_t f = alive[i];
+        const Word det = sim.run_faulty(batch, good, faults[f], &cones[f], mode);
+        if (det != 0) {
+          const int lane = std::countr_zero(det);
+          result.detected_by[f] =
+              static_cast<int>(base + static_cast<std::size_t>(lane));
+        }
+      }
+    };
+    if (threads > 1 && alive.size() >= kMinParallelFaults) {
+      const std::size_t grain = std::max<std::size_t>(
+          1, alive.size() / (static_cast<std::size_t>(threads) * 8));
+      parallel::parallel_for(alive.size(), grain, threads, simulate_range);
+    } else {
+      simulate_range(0, 0, alive.size());
+    }
+
+    // Deterministic reduction in fault order: first-detecting-test marks and
+    // the surviving-fault list are independent of how chunks were scheduled.
+    still_alive.clear();
     still_alive.reserve(alive.size());
     for (std::size_t f : alive) {
-      if (!guard.tick(count)) {
-        // Partial result: detections so far stand; the rest is unknown.
-        result.complete = false;
-        return result;
-      }
-      const Word det = sim.run_faulty(batch, good, faults[f], &cones[f]);
-      if (det == 0) {
+      const int t = result.detected_by[f];
+      if (t >= 0) {
+        result.test_effective[static_cast<std::size_t>(t)] = true;
+        ++result.detected_faults;
+      } else {
         still_alive.push_back(f);
-        continue;
       }
-      const int lane = std::countr_zero(det);
-      const std::size_t test_index = base + static_cast<std::size_t>(lane);
-      result.detected_by[f] = static_cast<int>(test_index);
-      result.test_effective[test_index] = true;
-      ++result.detected_faults;
     }
-    alive = std::move(still_alive);
+    alive.swap(still_alive);
+
+    if (guard.exhausted()) {
+      // Partial result: detections so far stand; the rest is unknown.
+      result.complete = false;
+      return result;
+    }
   }
   return result;
 }

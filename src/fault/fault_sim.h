@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "atpg/test.h"
+#include "base/bitvec.h"
 #include "base/robust/budget.h"
 #include "netlist/netlist.h"
 #include "sim/logic_sim.h"
@@ -36,23 +37,50 @@ struct FaultSimResult {
   }
 };
 
+/// Tuning knobs of the fault-simulation engine. The defaults give the fast
+/// configuration: event-driven faulty evaluation, fault-level parallelism at
+/// the process-wide default thread count.
+struct FaultSimOptions {
+  /// Worker count for fault-level parallelism within each 64-test batch:
+  /// negative = parallel::default_threads() (hardware concurrency unless
+  /// overridden, e.g. by the CLI's --threads), 0 or 1 = serial fallback.
+  /// Results are bit-identical for every thread count: each fault's
+  /// detection word depends only on the shared immutable good trace, and
+  /// detections are reduced on the caller in fault order.
+  int threads = -1;
+  /// Event-driven overlay evaluation (default) vs. the legacy full-cone
+  /// re-evaluation (kept as the measured baseline; see fstg_bench).
+  bool event_driven = true;
+  /// Optional precomputed forward_reachability(circuit.comb) matrix.
+  /// Callers simulating several fault sets over the same netlist (stuck-at
+  /// then bridging, as in Table 6) compute it once and pass it here; null
+  /// means compute it internally.
+  const std::vector<BitVec>* reachability = nullptr;
+};
+
 /// Word-parallel scan fault simulation with fault dropping: tests run 64
 /// per batch (one lane each); each still-undetected fault is injected and
 /// the faulty machine compared against the fault-free reference on every
 /// observed primary output and on the scanned-out state. Detection is
 /// attributed to the lowest-index detecting test, so effectiveness marks
-/// match the paper's sequential-simulation semantics exactly.
+/// match the paper's sequential-simulation semantics exactly — for any
+/// thread count (see FaultSimOptions::threads).
 FaultSimResult simulate_faults(const ScanCircuit& circuit,
                                const TestSet& tests,
-                               const std::vector<FaultSpec>& faults);
+                               const std::vector<FaultSpec>& faults,
+                               const FaultSimOptions& options = {});
 
 /// Budgeted variant: the guard is ticked once per (test batch, live fault)
 /// pair, weighted by the batch width. Exhaustion stops the run at a fault
-/// boundary and returns the partial result with `complete == false`.
+/// boundary and returns the partial result with `complete == false`; under
+/// parallelism the shared guard doubles as the cooperative cancellation
+/// flag, so the partial result is still well-formed (every recorded
+/// detection is real and carries its exact first-detecting test).
 FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
                                        const TestSet& tests,
                                        const std::vector<FaultSpec>& faults,
-                                       robust::RunGuard& guard);
+                                       robust::RunGuard& guard,
+                                       const FaultSimOptions& options = {});
 
 /// Convert functional tests (on the completed table, whose state index is
 /// the state code) into scan patterns.
@@ -62,5 +90,12 @@ std::vector<ScanPattern> to_scan_patterns(const TestSet& tests);
 /// fast path re-evaluates). Exposed for the redundancy checker and tests.
 std::vector<std::vector<int>> compute_fault_cones(
     const Netlist& nl, const std::vector<FaultSpec>& faults);
+
+/// Variant over a precomputed forward_reachability(nl) matrix, so callers
+/// that build cones for several fault sets over one netlist pay for
+/// reachability once.
+std::vector<std::vector<int>> compute_fault_cones(
+    const Netlist& nl, const std::vector<FaultSpec>& faults,
+    const std::vector<BitVec>& reach);
 
 }  // namespace fstg

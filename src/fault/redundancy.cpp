@@ -15,7 +15,8 @@ RedundancyResult classify_faults(const ScanCircuit& circuit,
 
 RedundancyResult classify_faults_from(const ScanCircuit& circuit,
                                       const std::vector<FaultSpec>& faults,
-                                      const std::vector<int>& detected_by) {
+                                      const std::vector<int>& detected_by,
+                                      const std::vector<BitVec>* reach) {
   require(circuit.num_pi + circuit.num_sv <= 22,
           "classify_faults: exhaustive check limited to 22 input+state bits");
   require(detected_by.size() == faults.size(),
@@ -42,7 +43,8 @@ RedundancyResult classify_faults_from(const ScanCircuit& circuit,
   missed_faults.reserve(missed.size());
   for (std::size_t f : missed) missed_faults.push_back(faults[f]);
   std::vector<std::vector<int>> cones =
-      compute_fault_cones(circuit.comb, missed_faults);
+      reach ? compute_fault_cones(circuit.comb, missed_faults, *reach)
+            : compute_fault_cones(circuit.comb, missed_faults);
 
   ScanBatchSim sim(circuit);
   const std::uint32_t num_codes = 1u << circuit.num_sv;
@@ -56,8 +58,7 @@ RedundancyResult classify_faults_from(const ScanCircuit& circuit,
   for (std::size_t base = 0; base < all.size() && !missed.empty();
        base += kWordBits) {
     const std::size_t count = std::min<std::size_t>(kWordBits, all.size() - base);
-    const std::vector<ScanPattern> batch(all.begin() + base,
-                                         all.begin() + base + count);
+    const std::span<const ScanPattern> batch(all.data() + base, count);
     const GoodTrace good = sim.run_good(batch);
     std::vector<std::size_t> still_missed;
     std::vector<std::size_t> still_missed_local;

@@ -38,9 +38,12 @@ RedundancyResult classify_faults(const ScanCircuit& circuit,
 
 /// Variant reusing an existing simulation of the same fault list (e.g. the
 /// one produced by select_effective_tests), so the test-set pass is not
-/// repeated: only the misses are re-simulated exhaustively.
-RedundancyResult classify_faults_from(const ScanCircuit& circuit,
-                                      const std::vector<FaultSpec>& faults,
-                                      const std::vector<int>& detected_by);
+/// repeated: only the misses are re-simulated exhaustively. `reach` may
+/// hold a precomputed forward_reachability(circuit.comb) matrix to reuse
+/// across fault sets (null = compute internally).
+RedundancyResult classify_faults_from(
+    const ScanCircuit& circuit, const std::vector<FaultSpec>& faults,
+    const std::vector<int>& detected_by,
+    const std::vector<BitVec>* reach = nullptr);
 
 }  // namespace fstg

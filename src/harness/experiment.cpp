@@ -2,7 +2,10 @@
 
 #include "base/error.h"
 #include "base/log.h"
+#include "base/parallel/thread_pool.h"
+#include "base/robust/budget.h"
 #include "base/timer.h"
+#include "netlist/reach.h"
 
 namespace fstg {
 
@@ -102,16 +105,25 @@ GateLevelResult run_gate_level(const CircuitExperiment& exp,
     result.br_faults = std::move(sampled);
   }
 
-  result.sa = select_effective_tests(circuit, exp.gen.tests, result.sa_faults);
-  result.br = select_effective_tests(circuit, exp.gen.tests, result.br_faults);
+  // One reachability matrix serves every fault set over this netlist:
+  // stuck-at, bridging, and the redundancy re-checks.
+  const std::vector<BitVec> reach = forward_reachability(circuit.comb);
+  FaultSimOptions sim_options;
+  sim_options.threads = options.threads;
+  sim_options.reachability = &reach;
+
+  result.sa = select_effective_tests(circuit, exp.gen.tests, result.sa_faults,
+                                     sim_options);
+  result.br = select_effective_tests(circuit, exp.gen.tests, result.br_faults,
+                                     sim_options);
 
   if (classify_redundancy) {
     // Reuse the compaction pass's simulation: only the misses get the
     // exhaustive re-check.
-    result.sa_redundancy = classify_faults_from(circuit, result.sa_faults,
-                                                result.sa.sim.detected_by);
-    result.br_redundancy = classify_faults_from(circuit, result.br_faults,
-                                                result.br.sim.detected_by);
+    result.sa_redundancy = classify_faults_from(
+        circuit, result.sa_faults, result.sa.sim.detected_by, &reach);
+    result.br_redundancy = classify_faults_from(
+        circuit, result.br_faults, result.br.sim.detected_by, &reach);
     result.redundancy_classified = true;
   }
   return result;
@@ -195,40 +207,67 @@ std::size_t SuiteResult::failures() const {
   return n;
 }
 
+namespace {
+
+/// One circuit's complete pipeline; never throws (the try_ boundary turns
+/// every failure into a Status on the run record).
+CircuitRun run_one_circuit(const std::string& name,
+                           const SuiteOptions& options) {
+  CircuitRun run;
+  run.name = name;
+  robust::Result<CircuitExperiment> r =
+      try_run_circuit(name, options.experiment);
+  if (r.is_ok() && options.gate_level) {
+    robust::Result<GateLevelResult> g =
+        try_run_gate_level(r.value(), options.gate);
+    if (g.is_ok()) {
+      run.gate = g.take();
+    } else {
+      r = g.status();  // demote the circuit to failed at the gate stage
+    }
+  }
+  if (r.is_ok()) {
+    run.exp = r.take();
+  } else {
+    run.status = r.status();
+    // The innermost "stage <name>" context frame names the failed stage.
+    for (const std::string& frame : run.status.context()) {
+      if (frame.rfind("stage ", 0) == 0) {
+        run.failed_stage = frame.substr(6);
+        break;
+      }
+    }
+    log_warn("suite: circuit " + name + " failed (" + run.status.to_string() +
+             "); continuing with the rest");
+  }
+  return run;
+}
+
+}  // namespace
+
 SuiteResult run_circuit_suite(const std::vector<std::string>& names,
                               const SuiteOptions& options) {
   SuiteResult result;
-  result.runs.reserve(names.size());
-  for (const std::string& name : names) {
-    CircuitRun run;
-    run.name = name;
-    robust::Result<CircuitExperiment> r =
-        try_run_circuit(name, options.experiment);
-    if (r.is_ok() && options.gate_level) {
-      robust::Result<GateLevelResult> g =
-          try_run_gate_level(r.value(), options.gate);
-      if (g.is_ok()) {
-        run.gate = g.take();
-      } else {
-        r = g.status();  // demote the circuit to failed at the gate stage
-      }
-    }
-    if (r.is_ok()) {
-      run.exp = r.take();
-    } else {
-      run.status = r.status();
-      // The innermost "stage <name>" context frame names the failed stage.
-      for (const std::string& frame : run.status.context()) {
-        if (frame.rfind("stage ", 0) == 0) {
-          run.failed_stage = frame.substr(6);
-          break;
-        }
-      }
-      log_warn("suite: circuit " + name + " failed (" +
-               run.status.to_string() + "); continuing with the rest");
-    }
-    result.runs.push_back(std::move(run));
+  result.runs.resize(names.size());
+  const int threads = parallel::resolve_threads(options.threads);
+  if (threads <= 1 || names.size() < 2) {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      result.runs[i] = run_one_circuit(names[i], options);
+    return result;
   }
+
+  // Circuit-level fan-out: each circuit lands in runs[i] by input index, so
+  // the suite report is deterministic regardless of worker scheduling.
+  // Budget injections are thread-local; snapshot the caller's armed set and
+  // install it in every worker so FSTG_INJECT-style failures propagate.
+  const robust::InjectionSnapshot injections = robust::injections_snapshot();
+  parallel::parallel_for(
+      names.size(), /*grain=*/1, threads,
+      [&](int /*slot*/, std::size_t lo, std::size_t hi) {
+        robust::install_injections(injections);
+        for (std::size_t i = lo; i < hi; ++i)
+          result.runs[i] = run_one_circuit(names[i], options);
+      });
   return result;
 }
 

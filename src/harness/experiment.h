@@ -47,6 +47,10 @@ CircuitExperiment run_fsm(const Kiss2Fsm& fsm,
 /// leftover faults.
 struct GateLevelOptions {
   bool classify_redundancy = true;
+  /// Worker threads for the fault-simulation engine (FaultSimOptions
+  /// semantics: negative = process default, 0/1 = serial). Results are
+  /// bit-identical for any value.
+  int threads = -1;
   /// Our two-level implementations have many more qualifying bridging
   /// pairs than the paper's multi-level circuits (the candidate count is
   /// quadratic in multi-input gates). Lists larger than this cap are
@@ -100,6 +104,11 @@ struct SuiteOptions {
   ExperimentOptions experiment;
   bool gate_level = false;  ///< also run stuck-at/bridging evaluation
   GateLevelOptions gate;
+  /// Worker threads for circuit-level parallelism: each circuit's whole
+  /// pipeline runs on one worker (negative = process default, 0/1 =
+  /// serial). `runs` keeps the input order regardless of scheduling, and
+  /// budget injections armed on the calling thread apply inside workers.
+  int threads = -1;
 };
 
 struct SuiteResult {

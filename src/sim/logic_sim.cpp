@@ -1,6 +1,7 @@
 #include "sim/logic_sim.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "base/error.h"
 
@@ -32,49 +33,129 @@ LogicSim::LogicSim(const Netlist& nl) : nl_(&nl) {
 }
 
 Word LogicSim::eval_gate(int id) const {
-  const int begin = fanin_begin_[static_cast<std::size_t>(id)];
-  const int end = fanin_begin_[static_cast<std::size_t>(id) + 1];
-  switch (type_[static_cast<std::size_t>(id)]) {
-    case GateType::kInput:
-      return input_words_[static_cast<std::size_t>(
-          input_index_[static_cast<std::size_t>(id)])];
-    case GateType::kConst0:
-      return 0;
-    case GateType::kConst1:
-      return ~Word{0};
-    case GateType::kBuf:
-      return values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(begin)])];
-    case GateType::kNot:
-      return ~values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(begin)])];
-    case GateType::kAnd: {
-      Word v = ~Word{0};
-      for (int p = begin; p < end; ++p)
-        v &= values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(p)])];
-      return v;
+  return eval_gate_with(
+      id, [this](int g) { return values_[static_cast<std::size_t>(g)]; });
+}
+
+int LogicSim::run_cone_overlay(const FaultSpec& fault,
+                               const std::vector<int>& cone,
+                               const Word* base) {
+  (void)cone;  // the event queue discovers the dirty frontier itself
+  if (overlay_.empty()) {
+    const std::size_t n = static_cast<std::size_t>(nl_->num_gates());
+    overlay_.assign(n, 0);
+    overlay_stamp_.assign(n, 0);
+    queue_stamp_.assign(n, 0);
+    overlay_epoch_ = 0;
+    // Fanout CSR = transpose of the fanin CSR (counting sort by target).
+    fanout_begin_.assign(n + 1, 0);
+    for (int f : fanins_) ++fanout_begin_[static_cast<std::size_t>(f) + 1];
+    for (std::size_t g = 0; g < n; ++g) fanout_begin_[g + 1] += fanout_begin_[g];
+    fanouts_.resize(fanins_.size());
+    std::vector<int> cursor(fanout_begin_.begin(), fanout_begin_.end() - 1);
+    for (std::size_t id = 0; id < n; ++id) {
+      const int begin = fanin_begin_[id];
+      const int end = fanin_begin_[id + 1];
+      for (int p = begin; p < end; ++p) {
+        const std::size_t f = static_cast<std::size_t>(
+            fanins_[static_cast<std::size_t>(p)]);
+        fanouts_[static_cast<std::size_t>(cursor[f]++)] =
+            static_cast<int>(id);
+      }
     }
-    case GateType::kNand: {
-      Word v = ~Word{0};
-      for (int p = begin; p < end; ++p)
-        v &= values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(p)])];
-      return ~v;
-    }
-    case GateType::kOr: {
-      Word v = 0;
-      for (int p = begin; p < end; ++p)
-        v |= values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(p)])];
-      return v;
-    }
-    case GateType::kNor: {
-      Word v = 0;
-      for (int p = begin; p < end; ++p)
-        v |= values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(p)])];
-      return ~v;
-    }
-    case GateType::kXor:
-      return values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(begin)])] ^
-             values_[static_cast<std::size_t>(fanins_[static_cast<std::size_t>(begin + 1)])];
   }
-  return 0;
+  if (++overlay_epoch_ == 0) {  // epoch wrapped: stale stamps could collide
+    std::fill(overlay_stamp_.begin(), overlay_stamp_.end(), 0u);
+    std::fill(queue_stamp_.begin(), queue_stamp_.end(), 0u);
+    overlay_epoch_ = 1;
+  }
+
+  heap_.clear();
+  const auto push_fanouts = [this](int g) {
+    const int begin = fanout_begin_[static_cast<std::size_t>(g)];
+    const int end = fanout_begin_[static_cast<std::size_t>(g) + 1];
+    for (int p = begin; p < end; ++p) {
+      const int out = fanouts_[static_cast<std::size_t>(p)];
+      std::uint32_t& stamp = queue_stamp_[static_cast<std::size_t>(out)];
+      if (stamp == overlay_epoch_) continue;
+      stamp = overlay_epoch_;
+      heap_.push_back(out);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<int>{});
+    }
+  };
+
+  const auto overlaid = [this, base](int g) { return overlay_value(g, base); };
+  int changed = 0;
+  int site = -1, site2 = -1;  // forced gates: never re-evaluated from fanins
+  switch (fault.kind) {
+    case FaultSpec::Kind::kNone:
+      return 0;
+    case FaultSpec::Kind::kStuckGate: {
+      site = fault.gate;
+      const Word forced = fault.value ? ~Word{0} : Word{0};
+      if (forced != base[site]) {
+        overlay_stamp(site, forced);
+        ++changed;
+      }
+      break;
+    }
+    case FaultSpec::Kind::kStuckPin: {
+      site = fault.gate;
+      const int begin = fanin_begin_[static_cast<std::size_t>(site)];
+      const int driver =
+          fanins_[static_cast<std::size_t>(begin + fault.gate2_or_pin)];
+      const Word pin = fault.value ? ~Word{0} : Word{0};
+      const Word v = eval_gate_with(site, [&](int g) {
+        return g == driver ? pin : overlaid(g);
+      });
+      if (v != base[site]) {
+        overlay_stamp(site, v);
+        ++changed;
+      }
+      break;
+    }
+    case FaultSpec::Kind::kBridge: {
+      // base holds the raw (pre-bridge) fault-free line values; the two
+      // bridged gates are forced here and never re-evaluated from fanins.
+      site = fault.gate;
+      site2 = fault.gate2_or_pin;
+      const Word v1 = base[site];
+      const Word v2 = base[site2];
+      const Word wired = fault.value ? (v1 | v2) : (v1 & v2);
+      if (wired != v1) {
+        overlay_stamp(site, wired);
+        ++changed;
+      }
+      if (wired != v2) {
+        overlay_stamp(site2, wired);
+        ++changed;
+      }
+      break;
+    }
+  }
+  if (changed == 0) return 0;  // fault not excited: nothing can propagate
+
+  // Propagate the change wavefront. Ids are topological (fanins smaller),
+  // so the min-heap pops gates in evaluation order: by the time a gate pops,
+  // every fanin that can change already has, and one evaluation is exact.
+  if (overlay_stamp_[static_cast<std::size_t>(site)] == overlay_epoch_)
+    push_fanouts(site);
+  if (site2 >= 0 &&
+      overlay_stamp_[static_cast<std::size_t>(site2)] == overlay_epoch_)
+    push_fanouts(site2);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<int>{});
+    const int id = heap_.back();
+    heap_.pop_back();
+    if (id == site || id == site2) continue;
+    const Word v = eval_gate_with(id, overlaid);
+    if (v != base[id]) {
+      overlay_stamp(id, v);
+      ++changed;
+      push_fanouts(id);
+    }
+  }
+  return changed;
 }
 
 void LogicSim::eval_span(int first_gate, int skip_a, int skip_b) {

@@ -87,11 +87,106 @@ class LogicSim {
   /// the fault site before deciding the delayed value.
   void override_and_propagate(int gate, Word value);
 
+  /// --- Event-driven overlay evaluation ------------------------------------
+  ///
+  /// The fast path of fault simulation evaluates one faulty cycle against a
+  /// known fault-free value array (`base`, the good trace's gate values for
+  /// that cycle) without copying it: changed gates are recorded in an
+  /// epoch-stamped overlay, and an event queue re-evaluates exactly the
+  /// fanouts of gates that actually changed. Gates whose recomputed value
+  /// equals the fault-free value are not stamped and push no events, so a
+  /// dying fault effect prunes its own downstream work completely. The
+  /// netlist's topological storage order is its levelization: a min-heap on
+  /// gate id pops every gate after all its fanins, so one evaluation per
+  /// touched gate is exact. (`cone` is unused by this path and kept for
+  /// signature parity with run_cone.)
+  ///
+  /// Returns the number of gates whose value differs from `base` (0 = the
+  /// fault is not excited this cycle — the whole cycle can be skipped: every
+  /// output and the next state equal the fault-free reference).
+  int run_cone_overlay(const FaultSpec& fault, const std::vector<int>& cone,
+                       const Word* base);
+
+  /// Faulty value of `gate` after run_cone_overlay (base value if unchanged).
+  Word overlay_value(int gate, const Word* base) const {
+    return overlay_stamp_[static_cast<std::size_t>(gate)] == overlay_epoch_
+               ? overlay_[static_cast<std::size_t>(gate)]
+               : base[gate];
+  }
+  /// Faulty value of output `output_index` after run_cone_overlay.
+  Word overlay_output(int output_index, const Word* base) const {
+    return overlay_value(
+        nl_->outputs()[static_cast<std::size_t>(output_index)], base);
+  }
+  /// Lanes where output `output_index` differs from the fault-free base
+  /// after run_cone_overlay (0 for unstamped gates, without touching base).
+  Word overlay_output_diff(int output_index, const Word* base) const {
+    const std::size_t g = static_cast<std::size_t>(
+        nl_->outputs()[static_cast<std::size_t>(output_index)]);
+    return overlay_stamp_[g] == overlay_epoch_ ? overlay_[g] ^ base[g]
+                                               : Word{0};
+  }
+
   const Netlist& netlist() const { return *nl_; }
 
  private:
+  /// Evaluate gate `id` reading fanin values through `value_of(fanin_id)`.
+  /// The direct path binds it to `values_`; the overlay path maps fanins
+  /// through the epoch-stamped overlay.
+  template <typename ValueOf>
+  Word eval_gate_with(int id, ValueOf&& value_of) const {
+    const int begin = fanin_begin_[static_cast<std::size_t>(id)];
+    const int end = fanin_begin_[static_cast<std::size_t>(id) + 1];
+    switch (type_[static_cast<std::size_t>(id)]) {
+      case GateType::kInput:
+        return input_words_[static_cast<std::size_t>(
+            input_index_[static_cast<std::size_t>(id)])];
+      case GateType::kConst0:
+        return 0;
+      case GateType::kConst1:
+        return ~Word{0};
+      case GateType::kBuf:
+        return value_of(fanins_[static_cast<std::size_t>(begin)]);
+      case GateType::kNot:
+        return ~value_of(fanins_[static_cast<std::size_t>(begin)]);
+      case GateType::kAnd: {
+        Word v = ~Word{0};
+        for (int p = begin; p < end; ++p)
+          v &= value_of(fanins_[static_cast<std::size_t>(p)]);
+        return v;
+      }
+      case GateType::kNand: {
+        Word v = ~Word{0};
+        for (int p = begin; p < end; ++p)
+          v &= value_of(fanins_[static_cast<std::size_t>(p)]);
+        return ~v;
+      }
+      case GateType::kOr: {
+        Word v = 0;
+        for (int p = begin; p < end; ++p)
+          v |= value_of(fanins_[static_cast<std::size_t>(p)]);
+        return v;
+      }
+      case GateType::kNor: {
+        Word v = 0;
+        for (int p = begin; p < end; ++p)
+          v |= value_of(fanins_[static_cast<std::size_t>(p)]);
+        return ~v;
+      }
+      case GateType::kXor:
+        return value_of(fanins_[static_cast<std::size_t>(begin)]) ^
+               value_of(fanins_[static_cast<std::size_t>(begin + 1)]);
+    }
+    return 0;
+  }
+
   Word eval_gate(int id) const;
   void eval_span(int first_gate, int skip_a, int skip_b);
+  /// Record `value` for `gate` in the current overlay epoch.
+  void overlay_stamp(int gate, Word value) {
+    overlay_[static_cast<std::size_t>(gate)] = value;
+    overlay_stamp_[static_cast<std::size_t>(gate)] = overlay_epoch_;
+  }
 
   const Netlist* nl_;
   std::vector<Word> input_words_;
@@ -101,6 +196,19 @@ class LogicSim {
   std::vector<int> fanin_begin_;
   std::vector<int> fanins_;
   std::vector<int> input_index_;
+  // Fanout CSR (transpose of the fanin CSR), built lazily on the first
+  // run_cone_overlay: the event queue pushes exactly the fanouts of gates
+  // whose value changed, so a dying fault effect costs nothing downstream.
+  std::vector<int> fanout_begin_;
+  std::vector<int> fanouts_;
+  // Event-driven overlay scratch (O(1) reset via epoch bump). queue_stamp_
+  // dedups event-queue pushes within one epoch; heap_ is a min-heap on gate
+  // id, so gates pop in topological order and one evaluation each is exact.
+  std::vector<Word> overlay_;
+  std::vector<std::uint32_t> overlay_stamp_;
+  std::vector<std::uint32_t> queue_stamp_;
+  std::vector<int> heap_;
+  std::uint32_t overlay_epoch_ = 0;
 };
 
 }  // namespace fstg

@@ -1,6 +1,7 @@
 #include "sim/scan_sim.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "base/error.h"
 
@@ -9,7 +10,7 @@ namespace fstg {
 ScanBatchSim::ScanBatchSim(const ScanCircuit& circuit)
     : circuit_(&circuit), sim_(circuit.comb) {}
 
-void ScanBatchSim::load_cycle(const std::vector<ScanPattern>& batch,
+void ScanBatchSim::load_cycle(std::span<const ScanPattern> batch,
                               const std::vector<std::uint32_t>& state,
                               std::size_t c) {
   const int num_pi = circuit_->num_pi;
@@ -43,7 +44,20 @@ void ScanBatchSim::extract_next_state(std::vector<std::uint32_t>& state,
   }
 }
 
-GoodTrace ScanBatchSim::run_good(const std::vector<ScanPattern>& batch) {
+void ScanBatchSim::extract_next_state_overlay(
+    std::vector<std::uint32_t>& state, Word active, const Word* base) {
+  const int num_po = circuit_->num_po;
+  const int num_sv = circuit_->num_sv;
+  for (std::size_t l = 0; l < state.size(); ++l) {
+    if (!((active >> l) & 1u)) continue;
+    std::uint32_t ns = 0;
+    for (int k = 0; k < num_sv; ++k)
+      if ((sim_.overlay_output(num_po + k, base) >> l) & 1u) ns |= 1u << k;
+    state[l] = ns;
+  }
+}
+
+GoodTrace ScanBatchSim::run_good(std::span<const ScanPattern> batch) {
   require(!batch.empty() && batch.size() <= kWordBits,
           "batch size must be 1..64");
   GoodTrace trace;
@@ -86,9 +100,9 @@ Word lanes_below_lowest(Word detected, Word all_lanes) {
 }
 }  // namespace
 
-Word ScanBatchSim::run_faulty(const std::vector<ScanPattern>& batch,
+Word ScanBatchSim::run_faulty(std::span<const ScanPattern> batch,
                               const GoodTrace& good, const FaultSpec& fault,
-                              const std::vector<int>* cone) {
+                              const std::vector<int>* cone, FaultyEval mode) {
   require(static_cast<int>(batch.size()) == good.num_lanes,
           "batch/trace size mismatch");
   const Word all_lanes = batch.size() == kWordBits
@@ -96,43 +110,93 @@ Word ScanBatchSim::run_faulty(const std::vector<ScanPattern>& batch,
                              : (Word{1} << batch.size()) - 1;
   Word detected = 0;
 
+  // Lazily tracked faulty state: `state[l]` is meaningful only for lanes in
+  // `dirty` (faulty state differs from the good trace); every other lane's
+  // faulty state IS good.state_at[c][l]. A fault that never perturbs the
+  // state (the dominant case, thanks to cycle skipping) costs zero per-lane
+  // work per cycle.
   std::vector<std::uint32_t> state(batch.size());
-  for (std::size_t l = 0; l < batch.size(); ++l) state[l] = batch[l].init_state;
+  Word dirty = 0;
+
+  const int num_po = circuit_->num_po;
+  const int num_sv = circuit_->num_sv;
 
   for (std::size_t c = 0; c < good.active.size(); ++c) {
     const Word relevant = lanes_below_lowest(detected, all_lanes);
     const Word active = good.active[c] & relevant;
     if (active == 0) break;  // active masks only shrink; nothing left to see
 
-    // Fast path: while every tracked active lane is still in the
-    // fault-free state, seed good values and re-evaluate the cone only.
-    bool diverged = false;
-    for (std::size_t l = 0; l < batch.size() && !diverged; ++l)
-      if (((active >> l) & 1u) && state[l] != good.state_at[c][l])
-        diverged = true;
-    if (!diverged && cone != nullptr) {
+    if ((dirty & active) == 0 && cone != nullptr &&
+        mode == FaultyEval::kEventDriven) {
+      // Every tracked lane is in the fault-free state: evaluate against the
+      // good trace through the event-driven overlay (no copying).
+      const Word* base = good.gate_values[c].data();
+      if (sim_.run_cone_overlay(fault, *cone, base) == 0)
+        continue;  // not excited: outputs and next state match fault-free
+      for (int k = 0; k < num_po; ++k)
+        detected |= sim_.overlay_output_diff(k, base) & active;
+      if (detected & 1u) return detected;  // lane 0 is already the minimum
+      // Only lanes whose faulty next state differs from the good next state
+      // become dirty; for them, materialize the faulty state bits.
+      Word ns_diff = 0;
+      for (int k = 0; k < num_sv; ++k)
+        ns_diff |= sim_.overlay_output_diff(num_po + k, base);
+      ns_diff &= active;
+      for (Word w = ns_diff; w != 0; w &= w - 1) {
+        const int l = std::countr_zero(w);
+        std::uint32_t ns = 0;
+        for (int k = 0; k < num_sv; ++k)
+          if ((sim_.overlay_output(num_po + k, base) >> l) & 1u)
+            ns |= 1u << k;
+        state[static_cast<std::size_t>(l)] = ns;
+      }
+      dirty |= ns_diff;
+      continue;
+    }
+
+    // Legacy full-cone path and the diverged path both need the full state
+    // vector: materialize clean lanes from the good trace first.
+    for (Word w = all_lanes & ~dirty; w != 0; w &= w - 1) {
+      const std::size_t l = static_cast<std::size_t>(std::countr_zero(w));
+      state[l] = good.state_at[c][l];
+    }
+
+    if ((dirty & active) == 0 && cone != nullptr) {  // FaultyEval::kFullCone
       sim_.seed_values(good.gate_values[c]);
       sim_.run_cone(fault, *cone);
     } else {
       load_cycle(batch, state, c);
       sim_.run(fault);
     }
-    for (int k = 0; k < circuit_->num_po; ++k) {
+    for (int k = 0; k < num_po; ++k) {
       detected |=
           (sim_.output(k) ^ good.po[c][static_cast<std::size_t>(k)]) & active;
     }
     if (detected & 1u) return detected;  // lane 0 is already the minimum
     extract_next_state(state, active);
+    // Re-derive the dirty set for active lanes by comparing against the
+    // good next state (inactive lanes keep their bits and their state).
+    const std::vector<std::uint32_t>& next = c + 1 < good.state_at.size()
+                                                 ? good.state_at[c + 1]
+                                                 : good.final_state;
+    for (Word w = active; w != 0; w &= w - 1) {
+      const std::size_t l = static_cast<std::size_t>(std::countr_zero(w));
+      if (state[l] != next[l])
+        dirty |= Word{1} << l;
+      else
+        dirty &= ~(Word{1} << l);
+    }
   }
 
-  // Scan-out comparison of the final state. Lanes at or above the lowest
-  // detecting lane cannot change the attribution, but including them is
-  // harmless only if their faulty state is up to date — it may not be once
-  // we stop updating masked lanes — so restrict to the relevant lanes.
+  // Scan-out comparison of the final state. Clean lanes track the good
+  // trace by construction, so only dirty lanes can differ; lanes at or
+  // above the lowest detecting lane cannot change the attribution (and
+  // their state may be stale), so restrict to the relevant ones.
   const Word relevant = lanes_below_lowest(detected, all_lanes);
-  for (std::size_t l = 0; l < batch.size(); ++l)
-    if (((relevant >> l) & 1u) && state[l] != good.final_state[l])
-      detected |= Word{1} << l;
+  for (Word w = relevant & dirty; w != 0; w &= w - 1) {
+    const std::size_t l = static_cast<std::size_t>(std::countr_zero(w));
+    if (state[l] != good.final_state[l]) detected |= Word{1} << l;
+  }
   return detected;
 }
 

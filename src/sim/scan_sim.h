@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -34,15 +35,32 @@ struct GoodTrace {
   std::vector<std::vector<std::uint32_t>> state_at;
 };
 
+/// How run_faulty evaluates cycles whose faulty state still matches the
+/// fault-free state (the dominant case).
+enum class FaultyEval : std::uint8_t {
+  /// Event-driven overlay: no copying of good values; only gates whose
+  /// fanins changed are re-evaluated; unexcited cycles are skipped whole.
+  kEventDriven,
+  /// Legacy full-cone path: copy the good gate values into the simulator
+  /// and re-evaluate the entire cone. Kept as the benchmark baseline (the
+  /// "serial seed" configuration in fstg_bench) and as a cross-check.
+  kFullCone,
+};
+
 /// Applies batches of scan patterns to a full-scan circuit, fault-free or
 /// with one injected fault. Each lane tracks its own (possibly faulty)
 /// state feedback, exactly as the physical scan test would.
+///
+/// Instances are not thread-safe (mutable simulator state); the parallel
+/// fault-simulation engine keeps one ScanBatchSim per worker slot and
+/// shares only the immutable GoodTrace.
 class ScanBatchSim {
  public:
   explicit ScanBatchSim(const ScanCircuit& circuit);
 
-  /// Batch size must be 1..64.
-  GoodTrace run_good(const std::vector<ScanPattern>& batch);
+  /// Batch size must be 1..64. The span is only read for the duration of
+  /// the call (a window over the full pattern list is fine — no copy).
+  GoodTrace run_good(std::span<const ScanPattern> batch);
 
   /// Simulate the batch with `fault` injected; bit l of the result is set
   /// iff lane l's pattern detects the fault (PO mismatch at any active
@@ -50,19 +68,23 @@ class ScanBatchSim {
   /// once a lane detects, only lower lanes (earlier tests) are tracked.
   /// If `cone` is given (the fault site's transitive fanout, ascending),
   /// cycles where the faulty state still matches the fault-free state are
-  /// re-evaluated over the cone only.
-  Word run_faulty(const std::vector<ScanPattern>& batch, const GoodTrace& good,
+  /// evaluated per `mode` (event-driven by default).
+  Word run_faulty(std::span<const ScanPattern> batch, const GoodTrace& good,
                   const FaultSpec& fault,
-                  const std::vector<int>* cone = nullptr);
+                  const std::vector<int>* cone = nullptr,
+                  FaultyEval mode = FaultyEval::kEventDriven);
 
   const ScanCircuit& circuit() const { return *circuit_; }
 
  private:
   /// Load per-lane inputs/state into the simulator for cycle `c`.
-  void load_cycle(const std::vector<ScanPattern>& batch,
+  void load_cycle(std::span<const ScanPattern> batch,
                   const std::vector<std::uint32_t>& state, std::size_t c);
   /// Extract per-lane next states from the simulator outputs.
   void extract_next_state(std::vector<std::uint32_t>& state, Word active);
+  /// Same, reading through the event-driven overlay instead of values().
+  void extract_next_state_overlay(std::vector<std::uint32_t>& state,
+                                  Word active, const Word* base);
 
   const ScanCircuit* circuit_;
   LogicSim sim_;

@@ -24,10 +24,12 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "atpg/cycles.h"
 #include "atpg/test_io.h"
 #include "base/error.h"
+#include "base/parallel/thread_pool.h"
 #include "base/robust/budget.h"
 #include "harness/experiment.h"
 #include "kiss/kiss2_parser.h"
@@ -260,6 +262,12 @@ int usage() {
                "  fstg verilog <circuit|file.kiss> [-o out.v] [--tb tb.v]\n"
                "  fstg export <circuit|file.kiss> <blif|bench> [-o out]\n"
                "\n"
+               "global flags (any command):\n"
+               "  --threads N          worker threads for fault simulation\n"
+               "                       and suite runs (default: hardware\n"
+               "                       concurrency; 0 = serial). Results\n"
+               "                       are identical for every value\n"
+               "\n"
                "budget flags (gen, sim):\n"
                "  --time-budget-ms N   wall-clock deadline for the expensive\n"
                "                       search kernels; on exhaustion gen\n"
@@ -275,6 +283,25 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --threads is global: strip it (and its value) before command dispatch
+  // so every command accepts it in any position.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  try {
+    for (int i = 0; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+        fstg::parallel::set_default_threads(parse_int_flag(
+            "--threads", argv[++i], 0, fstg::parallel::kMaxThreads));
+      } else {
+        args.push_back(argv[i]);
+      }
+    }
+  } catch (const UsageError&) {
+    return kExitUsage;
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
