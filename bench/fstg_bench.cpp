@@ -21,7 +21,6 @@
 // label); the default runs the full circuit list with best-of-R timing.
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +29,9 @@
 #include <vector>
 
 #include "atpg/cycles.h"
+#include "base/obs/json_check.h"
+#include "base/obs/metrics.h"
+#include "base/obs/trace.h"
 #include "base/timer.h"
 #include "fault/bridging.h"
 #include "fault/fault.h"
@@ -170,167 +172,23 @@ std::string to_json(const std::vector<BenchRecord>& records, int threads) {
   return os.str();
 }
 
-/// --- Minimal JSON reader used only to validate our own output ------------
-///
-/// Not a general parser: enough of RFC 8259 (objects, arrays, strings,
-/// numbers, literals) to re-read BENCH_faultsim.json and verify the schema,
-/// so a malformed emitter fails the bench run instead of poisoning CI data.
-struct JsonValidator {
-  const std::string& text;
-  std::size_t pos = 0;
-  std::string error;
-
-  explicit JsonValidator(const std::string& t) : text(t) {}
-
-  void skip_ws() {
-    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
-      ++pos;
-  }
-  bool fail(const std::string& what) {
-    if (error.empty())
-      error = what + " at byte " + std::to_string(pos);
-    return false;
-  }
-  bool literal(const char* lit) {
-    const std::size_t n = std::strlen(lit);
-    if (text.compare(pos, n, lit) != 0) return fail("expected literal");
-    pos += n;
-    return true;
-  }
-  bool string(std::string* out = nullptr) {
-    skip_ws();
-    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
-    ++pos;
-    std::string s;
-    while (pos < text.size() && text[pos] != '"') {
-      if (text[pos] == '\\') ++pos;
-      if (pos < text.size()) s.push_back(text[pos++]);
-    }
-    if (pos >= text.size()) return fail("unterminated string");
-    ++pos;
-    if (out) *out = s;
-    return true;
-  }
-  bool number(double* out) {
-    skip_ws();
-    const std::size_t start = pos;
-    while (pos < text.size() &&
-           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
-            std::strchr("+-.eE", text[pos])))
-      ++pos;
-    if (pos == start) return fail("expected number");
-    *out = std::stod(text.substr(start, pos - start));
-    return true;
-  }
-  /// Parse one object, collecting scalar fields into (key, kind) pairs.
-  /// kind: 's' string, 'n' number, 'a' array (records only), 'o' other.
-  bool object(std::vector<std::pair<std::string, char>>* fields,
-              std::vector<std::string>* record_bodies = nullptr);
-  bool value(char* kind, std::vector<std::string>* record_bodies);
-};
-
-bool JsonValidator::value(char* kind, std::vector<std::string>* record_bodies) {
-  skip_ws();
-  if (pos >= text.size()) return fail("unexpected end");
-  const char c = text[pos];
-  if (c == '"') {
-    *kind = 's';
-    return string();
-  }
-  if (c == '{') {
-    *kind = 'o';
-    std::vector<std::pair<std::string, char>> ignored;
-    return object(&ignored);
-  }
-  if (c == '[') {
-    *kind = 'a';
-    ++pos;
-    skip_ws();
-    if (pos < text.size() && text[pos] == ']') {
-      ++pos;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      const std::size_t start = pos;
-      char inner = 0;
-      if (!value(&inner, nullptr)) return false;
-      if (record_bodies) record_bodies->push_back(text.substr(start, pos - start));
-      skip_ws();
-      if (pos < text.size() && text[pos] == ',') {
-        ++pos;
-        continue;
-      }
-      if (pos < text.size() && text[pos] == ']') {
-        ++pos;
-        return true;
-      }
-      return fail("expected , or ] in array");
-    }
-  }
-  if (c == 't') { *kind = 'b'; return literal("true"); }
-  if (c == 'f') { *kind = 'b'; return literal("false"); }
-  if (c == 'n') { *kind = '0'; return literal("null"); }
-  *kind = 'n';
-  double d = 0.0;
-  return number(&d);
-}
-
-bool JsonValidator::object(std::vector<std::pair<std::string, char>>* fields,
-                           std::vector<std::string>* record_bodies) {
-  skip_ws();
-  if (pos >= text.size() || text[pos] != '{') return fail("expected object");
-  ++pos;
-  skip_ws();
-  if (pos < text.size() && text[pos] == '}') {
-    ++pos;
-    return true;
-  }
-  for (;;) {
-    std::string key;
-    if (!string(&key)) return false;
-    skip_ws();
-    if (pos >= text.size() || text[pos] != ':') return fail("expected :");
-    ++pos;
-    char kind = 0;
-    if (!value(&kind, key == "records" ? record_bodies : nullptr))
-      return false;
-    fields->emplace_back(key, kind);
-    skip_ws();
-    if (pos < text.size() && text[pos] == ',') {
-      ++pos;
-      continue;
-    }
-    if (pos < text.size() && text[pos] == '}') {
-      ++pos;
-      return true;
-    }
-    return fail("expected , or } in object");
-  }
-}
-
-bool has_field(const std::vector<std::pair<std::string, char>>& fields,
-               const std::string& key, char kind) {
-  for (const auto& [k, v] : fields)
-    if (k == key) return v == kind;
-  return false;
-}
-
-/// Schema check of an emitted BENCH_faultsim.json: top-level bench/threads/
-/// records, and every record carries the full set of typed fields.
+/// Schema check of an emitted BENCH_faultsim.json (schema mirrored by
+/// schemas/fstg_bench.schema.json): top-level bench/threads/records, and
+/// every record carries the full set of typed fields. Built on the shared
+/// obs/json_check walker that also validates metrics and trace output.
 bool validate_bench_json(const std::string& text, std::string* error) {
-  JsonValidator v(text);
-  std::vector<std::pair<std::string, char>> top;
-  std::vector<std::string> records;
-  if (!v.object(&top, &records)) {
-    *error = v.error;
-    return false;
-  }
-  if (!has_field(top, "bench", 's') || !has_field(top, "threads", 'n') ||
-      !has_field(top, "records", 'a')) {
+  std::vector<obs::JsonField> top;
+  std::vector<std::pair<std::string, std::string>> arrays;
+  if (!obs::json_parse_object(text, &top, &arrays, error)) return false;
+  if (!obs::json_has_field(top, "bench", 's') ||
+      !obs::json_has_field(top, "threads", 'n') ||
+      !obs::json_has_field(top, "records", 'a')) {
     *error = "missing or mistyped top-level field (bench/threads/records)";
     return false;
   }
+  std::vector<std::string> records;
+  for (auto& [key, body] : arrays)
+    if (key == "records") records.push_back(std::move(body));
   if (records.empty()) {
     *error = "no records";
     return false;
@@ -342,14 +200,14 @@ bool validate_bench_json(const std::string& text, std::string* error) {
       {"speedup", 'n'},
   };
   for (std::size_t i = 0; i < records.size(); ++i) {
-    JsonValidator rv(records[i]);
-    std::vector<std::pair<std::string, char>> fields;
-    if (!rv.object(&fields)) {
-      *error = "record " + std::to_string(i) + ": " + rv.error;
+    std::vector<obs::JsonField> fields;
+    std::string rec_error;
+    if (!obs::json_parse_object(records[i], &fields, nullptr, &rec_error)) {
+      *error = "record " + std::to_string(i) + ": " + rec_error;
       return false;
     }
     for (const auto& [key, kind] : required) {
-      if (!has_field(fields, key, kind)) {
+      if (!obs::json_has_field(fields, key, kind)) {
         *error = "record " + std::to_string(i) + ": missing field " + key;
         return false;
       }
@@ -358,10 +216,44 @@ bool validate_bench_json(const std::string& text, std::string* error) {
   return true;
 }
 
+/// --check-overhead: the instrumentation must stay in the noise. Times the
+/// serial event-driven configuration on a small circuit with metrics
+/// enabled vs. disabled (same binary, obs::set_metrics_enabled) and fails
+/// if enabled exceeds disabled by more than 3% plus a 1 ms absolute slack
+/// (the slack keeps sub-millisecond smoke timings from tripping on jitter).
+int check_overhead(int repeat) {
+  const CircuitExperiment exp = run_circuit("dk17");
+  const ScanCircuit& circuit = exp.synth.circuit;
+  std::vector<FaultSpec> faults = enumerate_stuck_at(circuit.comb);
+  const std::vector<FaultSpec> bridges =
+      sampled_bridging(circuit.comb, /*cap=*/4096);
+  faults.insert(faults.end(), bridges.begin(), bridges.end());
+
+  FaultSimOptions serial_event;
+  serial_event.threads = 0;
+  const auto run_once = [&] {
+    (void)simulate_faults(circuit, exp.gen.tests, faults, serial_event);
+  };
+
+  obs::set_metrics_enabled(false);
+  const double off_ms = time_best_ms(repeat, run_once);
+  obs::set_metrics_enabled(true);
+  const double on_ms = time_best_ms(repeat, run_once);
+
+  const double limit_ms = off_ms * 1.03 + 1.0;
+  std::fprintf(stderr,
+               "bench: overhead check: metrics off %.3fms, on %.3fms "
+               "(limit %.3fms) — %s\n",
+               off_ms, on_ms, limit_ms, on_ms <= limit_ms ? "ok" : "FAIL");
+  return on_ms <= limit_ms ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: fstg_bench [--smoke] [--threads N] [--repeat R] "
-               "[-o out.json]\n");
+               "[-o out.json]\n"
+               "                  [--metrics-out m.json] [--trace-out t.json]\n"
+               "                  [--check-overhead]\n");
   return 1;
 }
 
@@ -369,21 +261,39 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool overhead = false;
   int threads = 8;
   int repeat = 3;
   std::string out = "BENCH_faultsim.json";
+  std::string metrics_out, trace_out;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+    else if (!std::strcmp(argv[i], "--check-overhead")) overhead = true;
     else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
       threads = std::atoi(argv[++i]);
     else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
       repeat = std::max(1, std::atoi(argv[++i]));
     else if (!std::strcmp(argv[i], "-o") && i + 1 < argc)
       out = argv[++i];
+    else if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc)
+      metrics_out = argv[++i];
+    else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
+      trace_out = argv[++i];
     else
       return usage();
   }
   if (threads < 0 || threads > 256) return usage();
+
+  if (overhead) {
+    try {
+      return check_overhead(std::max(repeat, 3));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (!trace_out.empty()) obs::start_tracing();
 
   // Largest circuit last: rie (9 inputs, 5 state variables, 29 states) has
   // the biggest test volume of the default Table 6 suite (weight <= 1), so
@@ -430,6 +340,18 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "wrote %s (%zu records, schema ok)\n", out.c_str(),
                  records.size());
+
+    // Observability side channels: both writers self-validate their output
+    // against the fstg.metrics.v1 / fstg.trace.v1 schemas.
+    if (!metrics_out.empty() &&
+        !obs::write_metrics_json(metrics_out, &error)) {
+      std::fprintf(stderr, "error: --metrics-out: %s\n", error.c_str());
+      return 1;
+    }
+    if (!trace_out.empty() && !obs::write_trace_json(trace_out, &error)) {
+      std::fprintf(stderr, "error: --trace-out: %s\n", error.c_str());
+      return 1;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

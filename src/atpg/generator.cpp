@@ -1,6 +1,10 @@
 #include "atpg/generator.h"
 
+#include <string>
+
 #include "base/error.h"
+#include "base/obs/metrics.h"
+#include "base/obs/trace.h"
 #include "base/timer.h"
 #include "seq/transfer.h"
 
@@ -56,7 +60,12 @@ GeneratorResult generate_functional_tests(const StateTable& table,
   uio_options.max_length = options.uio_max_length;
   uio_options.eval_budget = options.uio_eval_budget;
   uio_options.budget = options.budget;
-  UioSet uios = derive_uio_sequences(table, uio_options);
+  UioSet uios;
+  {
+    obs::Span uio_span("uio.derive",
+                       std::to_string(table.num_states()) + " states");
+    uios = derive_uio_sequences(table, uio_options);
+  }
   const double uio_seconds = timer.seconds();
   GeneratorResult result =
       generate_functional_tests(table, options, std::move(uios));
@@ -86,6 +95,16 @@ GeneratorResult generate_functional_tests(const StateTable& table,
     return result.uios.of(state).exists;
   };
 
+  // Chaining outcomes: how each step after a tested transition continued
+  // (UIO into more work, transfer into more work, or scan-out fallback).
+  static const obs::Counter c_uio_hits = obs::counter("atpg.uio_hits");
+  static const obs::Counter c_transfer_hits = obs::counter("atpg.transfer_hits");
+  static const obs::Counter c_scanout = obs::counter("atpg.scanout_fallbacks");
+  static const obs::Histogram h_test_len = obs::histogram("atpg.test_length");
+  obs::Span chain_span("atpg.chain",
+                       std::to_string(table.num_transitions()) +
+                           " transitions");
+
   // Two passes over first transitions: pass 0 honors the postponement rule
   // (skip starts whose destination has no UIO); pass 1 picks up the rest.
   const int first_pass = options.postpone_no_uio_starts ? 0 : 1;
@@ -112,6 +131,7 @@ GeneratorResult generate_functional_tests(const StateTable& table,
           // No UIO for the destination: the scan-out itself verifies it.
           if (!has_uio(end_state)) {
             test.final_state = end_state;
+            c_scanout.inc();
             break;
           }
           const UioSequence& uio = result.uios.of(end_state);
@@ -121,6 +141,7 @@ GeneratorResult generate_functional_tests(const StateTable& table,
             // Apply the UIO and continue with the next untested transition.
             test.inputs.insert(test.inputs.end(), uio.inputs.begin(),
                                uio.inputs.end());
+            c_uio_hits.inc();
             s = after_uio;
             a = tracker.first_untested(s);
             continue;
@@ -141,6 +162,7 @@ GeneratorResult generate_functional_tests(const StateTable& table,
                                  xfer.seq->end());
               s = table.run(after_uio, *xfer.seq);
               a = tracker.first_untested(s);
+              c_transfer_hits.inc();
               continue;
             }
           }
@@ -148,11 +170,13 @@ GeneratorResult generate_functional_tests(const StateTable& table,
           // No continuation: stop at the last tested transition's end state
           // *without* applying the UIO (the scan-out verifies it directly).
           test.final_state = end_state;
+          c_scanout.inc();
           break;
         }
 
         if (test.inputs.size() == 1)
           result.transitions_in_length_one += transitions_in_test;
+        h_test_len.observe(test.inputs.size());
         tests.tests.push_back(std::move(test));
       }
     }

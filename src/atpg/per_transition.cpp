@@ -1,8 +1,14 @@
 #include "atpg/per_transition.h"
 
+#include <string>
+
+#include "base/obs/trace.h"
+
 namespace fstg {
 
 TestSet per_transition_tests(const StateTable& table) {
+  obs::Span span("atpg.per_transition",
+                 std::to_string(table.num_transitions()) + " transitions");
   TestSet set;
   set.tests.reserve(table.num_transitions());
   for (int s = 0; s < table.num_states(); ++s) {

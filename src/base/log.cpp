@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <mutex>
 
+#include "base/obs/metrics.h"
+#include "base/timer.h"
+
 namespace fstg {
 
 namespace {
@@ -22,6 +25,14 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Monotonic seconds since the first log call: cheap, strictly ordered
+/// within a thread, and immune to wall-clock jumps. Interleaved worker
+/// lines sort by it.
+double uptime_seconds() {
+  static const Timer t_start;
+  return t_start.seconds();
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -29,10 +40,21 @@ void set_log_level(LogLevel level) {
 }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+std::string format_log_line(LogLevel level, const std::string& msg) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[fstg %s t%d +%.6fs] ",
+                level_name(level), obs::thread_index(), uptime_seconds());
+  return std::string(prefix) + msg;
+}
+
 void log(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
+  const std::string line = format_log_line(level, msg);
   std::lock_guard<std::mutex> lock(g_log_mu);
-  std::fprintf(stderr, "[fstg %s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "%s\n", line.c_str());
+  // Errors must be on disk before anything that might follow them (abort,
+  // exit, a crashing worker): pay the flush only at kError.
+  if (level == LogLevel::kError) std::fflush(stderr);
 }
 
 }  // namespace fstg

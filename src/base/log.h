@@ -11,6 +11,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// The exact line `log` emits (sans trailing newline):
+/// `[fstg LEVEL tN +S.SSSSSSs] msg` — level name, obs::thread_index(), and
+/// monotonic seconds since the first log call, so interleaved worker lines
+/// stay attributable and ordered. Exposed for tests.
+std::string format_log_line(LogLevel level, const std::string& msg);
+
+/// Emit one line to stderr (filtered by the level). kError lines are
+/// flushed immediately.
 void log(LogLevel level, const std::string& msg);
 
 inline void log_debug(const std::string& msg) { log(LogLevel::kDebug, msg); }

@@ -1,0 +1,287 @@
+#include "base/obs/json_check.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace fstg::obs {
+
+namespace {
+
+/// Recursive-descent walker over one JSON document. Collects top-level
+/// object fields; array element bodies are captured as raw text so the
+/// caller can re-parse the arrays it cares about with another walker.
+struct Walker {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+  std::vector<std::pair<std::string, std::string>>* array_bodies = nullptr;
+
+  explicit Walker(const std::string& t) : text(t) {}
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  bool fail(const std::string& what) {
+    if (error.empty()) error = what + " at byte " + std::to_string(pos);
+    return false;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text.compare(pos, n, lit) != 0) return fail("expected literal");
+    pos += n;
+    return true;
+  }
+  bool string(std::string* out) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    std::string s;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') ++pos;
+      if (pos < text.size()) s.push_back(text[pos++]);
+    }
+    if (pos >= text.size()) return fail("unterminated string");
+    ++pos;
+    if (out) *out = std::move(s);
+    return true;
+  }
+  bool number(double* out) {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            std::strchr("+-.eE", text[pos])))
+      ++pos;
+    if (pos == start) return fail("expected number");
+    try {
+      *out = std::stod(text.substr(start, pos - start));
+    } catch (...) {
+      return fail("unparsable number");
+    }
+    return true;
+  }
+
+  /// Parse any value; `*kind`/`*sval`/`*nval` report what it was. When
+  /// `key` is non-empty and the value is an array, element bodies are
+  /// captured into array_bodies under that key.
+  bool value(char* kind, std::string* sval, double* nval,
+             const std::string& key) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end");
+    const char c = text[pos];
+    if (c == '"') {
+      *kind = 's';
+      return string(sval);
+    }
+    if (c == '{') {
+      *kind = 'o';
+      std::vector<JsonField> ignored;
+      return object(&ignored);
+    }
+    if (c == '[') {
+      *kind = 'a';
+      ++pos;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        const std::size_t start = pos;
+        char inner = 0;
+        std::string is;
+        double in = 0.0;
+        if (!value(&inner, &is, &in, std::string())) return false;
+        if (array_bodies && !key.empty())
+          array_bodies->emplace_back(key, text.substr(start, pos - start));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        return fail("expected , or ] in array");
+      }
+    }
+    if (c == 't') {
+      *kind = 'b';
+      return literal("true");
+    }
+    if (c == 'f') {
+      *kind = 'b';
+      return literal("false");
+    }
+    if (c == 'n') {
+      *kind = '0';
+      return literal("null");
+    }
+    *kind = 'n';
+    return number(nval);
+  }
+
+  bool object(std::vector<JsonField>* fields) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '{') return fail("expected object");
+    ++pos;
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      JsonField field;
+      if (!string(&field.key)) return false;
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ':') return fail("expected :");
+      ++pos;
+      if (!value(&field.kind, &field.sval, &field.nval, field.key))
+        return false;
+      fields->push_back(std::move(field));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected , or } in object");
+    }
+  }
+};
+
+/// Every element captured under `key`, in order.
+std::vector<std::string> bodies_of(
+    const std::vector<std::pair<std::string, std::string>>& array_bodies,
+    const std::string& key) {
+  std::vector<std::string> out;
+  for (const auto& [k, body] : array_bodies)
+    if (k == key) out.push_back(body);
+  return out;
+}
+
+/// Validate that every record in `bodies` is an object carrying all of
+/// `required` (key, kind) fields. `what` names the array in errors.
+bool validate_records(
+    const std::vector<std::string>& bodies,
+    const std::vector<std::pair<const char*, char>>& required,
+    const char* what, std::string* error) {
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    std::vector<JsonField> fields;
+    if (!json_parse_object(bodies[i], &fields, nullptr, error)) {
+      *error = std::string(what) + "[" + std::to_string(i) + "]: " + *error;
+      return false;
+    }
+    for (const auto& [key, kind] : required) {
+      if (!json_has_field(fields, key, kind)) {
+        *error = std::string(what) + "[" + std::to_string(i) +
+                 "]: missing or mistyped field " + key;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool json_parse_object(
+    const std::string& text, std::vector<JsonField>* fields,
+    std::vector<std::pair<std::string, std::string>>* array_bodies,
+    std::string* error) {
+  Walker w(text);
+  w.array_bodies = array_bodies;
+  if (!w.object(fields)) {
+    if (error) *error = w.error;
+    return false;
+  }
+  return true;
+}
+
+bool json_has_field(const std::vector<JsonField>& fields,
+                    const std::string& key, char kind) {
+  const JsonField* f = json_find_field(fields, key);
+  return f != nullptr && f->kind == kind;
+}
+
+const JsonField* json_find_field(const std::vector<JsonField>& fields,
+                                 const std::string& key) {
+  for (const JsonField& f : fields)
+    if (f.key == key) return &f;
+  return nullptr;
+}
+
+bool validate_metrics_json(const std::string& text, std::string* error) {
+  std::vector<JsonField> top;
+  std::vector<std::pair<std::string, std::string>> arrays;
+  if (!json_parse_object(text, &top, &arrays, error)) return false;
+
+  const JsonField* schema = json_find_field(top, "schema");
+  if (schema == nullptr || schema->kind != 's' ||
+      schema->sval != "fstg.metrics.v1") {
+    *error = "missing or wrong schema tag (want fstg.metrics.v1)";
+    return false;
+  }
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    if (!json_has_field(top, key, 'a')) {
+      *error = std::string("missing or mistyped top-level array ") + key;
+      return false;
+    }
+  }
+  const std::vector<std::pair<const char*, char>> scalar = {{"name", 's'},
+                                                            {"value", 'n'}};
+  if (!validate_records(bodies_of(arrays, "counters"), scalar, "counters",
+                        error))
+    return false;
+  if (!validate_records(bodies_of(arrays, "gauges"), scalar, "gauges", error))
+    return false;
+  const std::vector<std::pair<const char*, char>> hist = {
+      {"name", 's'}, {"count", 'n'}, {"sum", 'n'}, {"buckets", 'a'}};
+  return validate_records(bodies_of(arrays, "histograms"), hist, "histograms",
+                          error);
+}
+
+bool validate_trace_json(const std::string& text, std::string* error) {
+  std::vector<JsonField> top;
+  std::vector<std::pair<std::string, std::string>> arrays;
+  if (!json_parse_object(text, &top, &arrays, error)) return false;
+
+  if (!json_has_field(top, "traceEvents", 'a')) {
+    *error = "missing or mistyped traceEvents array";
+    return false;
+  }
+  const std::vector<std::string> events = bodies_of(arrays, "traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    std::vector<JsonField> fields;
+    if (!json_parse_object(events[i], &fields, nullptr, error)) {
+      *error = "traceEvents[" + std::to_string(i) + "]: " + *error;
+      return false;
+    }
+    for (const auto& [key, kind] :
+         std::vector<std::pair<const char*, char>>{
+             {"name", 's'}, {"ph", 's'}, {"ts", 'n'}, {"pid", 'n'},
+             {"tid", 'n'}}) {
+      if (!json_has_field(fields, key, kind)) {
+        *error = "traceEvents[" + std::to_string(i) +
+                 "]: missing or mistyped field " + key;
+        return false;
+      }
+    }
+    const JsonField* ph = json_find_field(fields, "ph");
+    if (ph->sval == "X" && !json_has_field(fields, "dur", 'n')) {
+      *error = "traceEvents[" + std::to_string(i) +
+               "]: complete (X) event without dur";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fstg::obs

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fstg::obs {
+
+/// --- Minimal JSON structural checker -------------------------------------
+///
+/// Enough of RFC 8259 (objects, arrays, strings, numbers, literals) to
+/// re-read the JSON this codebase emits — metrics snapshots, trace files,
+/// bench records — and verify it against the checked-in schemas under
+/// schemas/ before CI consumes it. Not a general parser: no unicode
+/// escapes, no duplicate-key detection. A malformed emitter fails its own
+/// process instead of poisoning downstream data.
+///
+/// The C++ validators below are the enforced mirror of the JSON Schema
+/// documents (schemas/fstg_metrics.schema.json, schemas/fstg_trace.schema.json);
+/// keep both in sync when the formats evolve.
+
+/// One top-level field of a parsed object. `kind` is 's' string,
+/// 'n' number, 'a' array, 'o' object, 'b' bool, '0' null. For 's' fields
+/// `sval` holds the (unescaped) string value; for 'n' fields `nval` holds
+/// the parsed number.
+struct JsonField {
+  std::string key;
+  char kind = 0;
+  std::string sval;
+  double nval = 0.0;
+};
+
+/// Parse `text` as a single JSON object, collecting its fields. For every
+/// field whose value is an array, the raw text of each element is appended
+/// to `*array_bodies` tagged with the field's key (so callers can re-parse
+/// the elements of the arrays they care about). Returns false and sets
+/// `*error` (position-annotated) on malformed input.
+bool json_parse_object(
+    const std::string& text, std::vector<JsonField>* fields,
+    std::vector<std::pair<std::string, std::string>>* array_bodies,
+    std::string* error);
+
+/// True iff `fields` contains `key` with kind `kind`.
+bool json_has_field(const std::vector<JsonField>& fields,
+                    const std::string& key, char kind);
+
+/// Pointer to the field named `key`, or nullptr.
+const JsonField* json_find_field(const std::vector<JsonField>& fields,
+                                 const std::string& key);
+
+/// Validate a metrics snapshot (schema fstg.metrics.v1): top-level schema
+/// tag plus counters/gauges/histograms arrays of typed records.
+bool validate_metrics_json(const std::string& text, std::string* error);
+
+/// Validate a trace file (schema fstg.trace.v1): traceEvents array whose
+/// every event carries name/ph/ts/pid/tid, with dur required on "X" events.
+bool validate_trace_json(const std::string& text, std::string* error);
+
+}  // namespace fstg::obs

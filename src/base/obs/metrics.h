@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fstg::obs {
+
+/// --- Metrics registry ----------------------------------------------------
+///
+/// Process-wide named counters, gauges, and histograms with lock-free hot
+/// paths. Counters and histograms are sharded per thread: an increment is
+/// one relaxed atomic add on a cache line no other thread writes, so the
+/// fault-simulation inner loops can afford to be instrumented. Shards are
+/// merged on scrape (`snapshot_metrics`), and a thread that exits folds its
+/// shard into a retired total first, so no count is ever lost.
+///
+/// Handles are registered lazily by name and are cheap to copy; the usual
+/// pattern is a function-local static at the instrumentation site:
+///
+///   static const obs::Counter c_pushes = obs::counter("sim.event_pushes");
+///   c_pushes.add(n);
+///
+/// The registry has fixed capacity (kMaxCounters/kMaxGauges/kMaxHistograms).
+/// Registration past capacity returns an inert handle whose operations are
+/// no-ops — instrumentation must never take the process down.
+///
+/// The full metric catalog lives in docs/OBSERVABILITY.md.
+
+inline constexpr int kMaxCounters = 192;
+inline constexpr int kMaxGauges = 64;
+inline constexpr int kMaxHistograms = 48;
+/// Power-of-two histogram buckets: bucket 0 holds value 0, bucket b >= 1
+/// holds [2^(b-1), 2^b - 1], and the last bucket is unbounded above.
+inline constexpr int kHistogramBuckets = 18;
+
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t n = 1) const;
+  void inc() const { add(1); }
+
+ private:
+  friend Counter counter(const std::string& name);
+  explicit Counter(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Gauges are last-write-wins process globals (one relaxed atomic each),
+/// not sharded: they model levels, not flows.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) const;
+  void add(std::int64_t v) const;
+  /// Raise to `v` if `v` is larger (high-water mark).
+  void max(std::int64_t v) const;
+
+ private:
+  friend Gauge gauge(const std::string& name);
+  explicit Gauge(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::uint64_t value) const;
+
+  static int bucket_of(std::uint64_t value);
+  /// Inclusive lower bound of bucket `b`.
+  static std::uint64_t bucket_lo(int b);
+
+ private:
+  friend Histogram histogram(const std::string& name);
+  explicit Histogram(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+/// Look up (registering on first use) a metric by name. Thread-safe.
+Counter counter(const std::string& name);
+Gauge gauge(const std::string& name);
+Histogram histogram(const std::string& name);
+
+/// Global kill switch, on by default. When off, every handle operation is a
+/// relaxed load + branch; the bench harness uses it to measure the cost of
+/// instrumentation itself (docs/OBSERVABILITY.md, "Overhead").
+void set_metrics_enabled(bool enabled);
+bool metrics_enabled();
+
+/// Small sequential id for the calling thread (0 for the first thread that
+/// asks, 1 for the next, ...). Stable for the thread's lifetime; used by
+/// the logger and the trace writer so lines and spans correlate.
+int thread_index();
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::uint64_t> buckets;  ///< kHistogramBuckets entries
+};
+
+/// A merged view of every registered metric. Taken while other threads are
+/// still incrementing, it is consistent in the monotone sense: every
+/// counter value is one the counter actually passed through (relaxed
+/// atomics, no torn reads), and successive snapshots never go backwards.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< name-sorted
+  std::vector<std::pair<std::string, std::int64_t>> gauges;     ///< name-sorted
+  std::vector<HistogramSnapshot> histograms;                    ///< name-sorted
+
+  /// Value of a counter by name; 0 if not registered.
+  std::uint64_t counter_value(const std::string& name) const;
+  /// Value of a gauge by name; 0 if not registered.
+  std::int64_t gauge_value(const std::string& name) const;
+  /// Histogram by name; nullptr if not registered.
+  const HistogramSnapshot* find_histogram(const std::string& name) const;
+};
+
+MetricsSnapshot snapshot_metrics();
+
+/// Zero every value (registrations stay). Test-only: racing this against
+/// concurrent increments loses the raced increments.
+void reset_metrics();
+
+/// Render a snapshot as schema `fstg.metrics.v1` JSON
+/// (schemas/fstg_metrics.schema.json).
+std::string metrics_to_json(const MetricsSnapshot& snap);
+
+/// snapshot + render + write + re-read + validate. Returns false and sets
+/// `*error` on write or validation failure.
+bool write_metrics_json(const std::string& path, std::string* error);
+
+}  // namespace fstg::obs

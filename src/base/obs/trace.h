@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fstg::obs {
+
+/// --- Span tracing --------------------------------------------------------
+///
+/// RAII spans that render as Chrome `trace_event` JSON ("X" complete
+/// events), viewable in Perfetto (https://ui.perfetto.dev) or
+/// chrome://tracing. Tracing is off by default: an inactive Span costs one
+/// relaxed atomic load. When active, span begin/end timestamps land in a
+/// per-thread buffer (one short mutex hold per completed span; buffers are
+/// only contended at stop_tracing time).
+///
+///   obs::start_tracing();
+///   { obs::Span span("synth", circuit_name); ... }
+///   obs::write_trace_json("trace.json", &error);
+///
+/// Thread ids in the output are obs::thread_index() values, matching the
+/// logger's `tN` tags.
+
+bool tracing_active();
+
+/// Begin capture. Clears any events buffered by a previous session.
+void start_tracing();
+
+/// Stop capture and render every buffered event as trace JSON
+/// (schema fstg.trace.v1; schemas/fstg_trace.schema.json).
+std::string stop_tracing_to_json();
+
+/// stop + write + re-read + validate. Returns false and sets `*error` on
+/// write or validation failure.
+bool write_trace_json(const std::string& path, std::string* error);
+
+class Span {
+ public:
+  explicit Span(const char* name);
+  /// `detail` lands in the event's args ({"detail": ...}) — circuit names,
+  /// fault counts, slot indices. Only evaluated into the event when
+  /// tracing is active, but the argument itself is built by the caller;
+  /// keep construction cheap at hot sites.
+  Span(const char* name, std::string detail);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::string detail_;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// Zero-duration marker ("i" instant event).
+void trace_instant(const char* name, std::string detail = {});
+
+}  // namespace fstg::obs

@@ -10,6 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include "base/obs/metrics.h"
+#include "base/obs/trace.h"
+#include "base/timer.h"
+
 namespace fstg::parallel {
 
 namespace {
@@ -54,16 +58,25 @@ class Pool {
  private:
   void worker_main() {
     t_in_region = false;
+    // Worker utilization: time blocked on the queue vs. time running jobs.
+    // Scrapes derive idleness as pool.idle_us / (pool.idle_us +
+    // pool.busy_us); both are flushed once per wait/job, not per tick.
+    static const obs::Counter c_idle = obs::counter("pool.idle_us");
+    static const obs::Counter c_busy = obs::counter("pool.busy_us");
     for (;;) {
       std::function<void()> job;
       {
+        Timer idle;
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+        c_idle.add(static_cast<std::uint64_t>(idle.seconds() * 1e6));
         if (jobs_.empty()) return;  // stop requested and queue drained
         job = std::move(jobs_.front());
         jobs_.pop_front();
       }
+      Timer busy;
       job();
+      c_busy.add(static_cast<std::uint64_t>(busy.seconds() * 1e6));
     }
   }
 
@@ -95,6 +108,8 @@ void run_slot(const std::shared_ptr<ForState>& state, int slot, int slots,
               const std::function<void(int, std::size_t, std::size_t)>& fn) {
   const bool was_in_region = t_in_region;
   t_in_region = true;
+  obs::Span span("pool.slot", "slot " + std::to_string(slot));
+  std::uint64_t chunks = 0, steals = 0;
   for (;;) {
     std::pair<std::size_t, std::size_t> range;
     bool got = false;
@@ -119,9 +134,11 @@ void run_slot(const std::shared_ptr<ForState>& state, int slot, int slots,
         range = q.back();
         q.pop_back();
         got = true;
+        ++steals;
       }
     }
     if (!got) break;
+    ++chunks;
     try {
       fn(slot, range.first, range.second);
     } catch (...) {
@@ -131,6 +148,10 @@ void run_slot(const std::shared_ptr<ForState>& state, int slot, int slots,
     }
   }
   t_in_region = was_in_region;
+  static const obs::Counter c_chunks = obs::counter("pool.chunks");
+  static const obs::Counter c_steals = obs::counter("pool.steals");
+  c_chunks.add(chunks);
+  c_steals.add(steals);
   if (state->pending.fetch_sub(1) == 1) {
     std::lock_guard<std::mutex> lock(state->done_mu);
     state->done_cv.notify_all();
@@ -186,6 +207,10 @@ void parallel_for(std::size_t n, std::size_t grain, int threads,
     return;
   }
 
+  static const obs::Counter c_regions = obs::counter("pool.regions");
+  c_regions.inc();
+  obs::Span region_span("pool.region", std::to_string(n) + " items / " +
+                                           std::to_string(slots) + " slots");
   auto state = std::make_shared<ForState>(slots);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * grain;

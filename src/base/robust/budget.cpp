@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/obs/metrics.h"
+
 namespace fstg::robust {
 
 namespace {
@@ -38,8 +40,20 @@ const char* trip_name(BudgetTrip trip) {
 RunGuard::RunGuard(const Budget& budget, const char* site)
     : budget_(budget), site_(site) {
   log_site(site);
+  static const obs::Counter c_guards = obs::counter("budget.guards");
+  c_guards.inc();
   for (const Injection& inj : g_injections)
     if (inj.site == site) inject_after_ = std::min(inject_after_, inj.after_ticks);
+}
+
+RunGuard::~RunGuard() {
+  // One registry write per guard lifetime, never per tick: the tick fast
+  // path stays free of instrumentation.
+  static const obs::Counter c_expansions = obs::counter("budget.expansions");
+  c_expansions.add(expansions());
+  const BudgetTrip t = trip();
+  if (t != BudgetTrip::kNone)
+    obs::counter(std::string("budget.trips.") + trip_name(t)).inc();
 }
 
 void RunGuard::trip_once(BudgetTrip trip) {

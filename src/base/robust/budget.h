@@ -67,6 +67,9 @@ const char* trip_name(BudgetTrip trip);
 class RunGuard {
  public:
   RunGuard(const Budget& budget, const char* site);
+  /// Flushes this run's consumption into the observability registry
+  /// (counter `budget.expansions`, and `budget.trips.<reason>` if tripped).
+  ~RunGuard();
 
   /// Charge `work` expansions and re-check every limit. Returns true while
   /// the run is still within budget. Sticky: keeps returning false after

@@ -6,6 +6,8 @@
 #include <span>
 
 #include "base/error.h"
+#include "base/obs/metrics.h"
+#include "base/obs/trace.h"
 #include "base/parallel/thread_pool.h"
 #include "netlist/reach.h"
 
@@ -92,6 +94,38 @@ namespace {
 /// faults to amortize the fork/join of one parallel region.
 constexpr std::size_t kMinParallelFaults = 64;
 
+/// Fold every per-slot simulator's thread-confined tallies into the global
+/// registry: one registry write per counter per run, so the hot loops
+/// carry only plain increments.
+void flush_sim_stats(const std::vector<std::unique_ptr<ScanBatchSim>>& sims) {
+  static const obs::Counter c_pushes = obs::counter("sim.event_pushes");
+  static const obs::Counter c_pops = obs::counter("sim.event_pops");
+  static const obs::Counter c_calls = obs::counter("sim.overlay_calls");
+  static const obs::Counter c_unexcited = obs::counter("sim.overlay_unexcited");
+  static const obs::Counter c_changed = obs::counter("sim.overlay_gates_changed");
+  static const obs::Counter c_skipped = obs::counter("scan.cycles_skipped");
+  static const obs::Counter c_overlay = obs::counter("scan.cycles_overlay");
+  static const obs::Counter c_full = obs::counter("scan.cycles_full");
+  static const obs::Counter c_dirty_on = obs::counter("scan.dirty_activations");
+  static const obs::Counter c_dirty_off = obs::counter("scan.dirty_clears");
+  LogicSim::Stats logic;
+  ScanBatchSim::Stats scan;
+  for (const auto& sim : sims) {
+    logic += sim->sim_stats();
+    scan += sim->stats();
+  }
+  c_pushes.add(logic.event_pushes);
+  c_pops.add(logic.event_pops);
+  c_calls.add(logic.overlay_calls);
+  c_unexcited.add(logic.overlay_unexcited);
+  c_changed.add(logic.gates_changed);
+  c_skipped.add(scan.cycles_skipped);
+  c_overlay.add(scan.cycles_overlay);
+  c_full.add(scan.cycles_full);
+  c_dirty_on.add(scan.dirty_activations);
+  c_dirty_off.add(scan.dirty_clears);
+}
+
 }  // namespace
 
 FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
@@ -103,6 +137,18 @@ FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
   result.total_faults = faults.size();
   result.detected_by.assign(faults.size(), -1);
   result.test_effective.assign(tests.tests.size(), false);
+
+  static const obs::Counter c_runs = obs::counter("fault_sim.runs");
+  static const obs::Counter c_batches = obs::counter("fault_sim.batches");
+  static const obs::Counter c_simulated = obs::counter("fault_sim.faults_simulated");
+  static const obs::Counter c_dropped = obs::counter("fault_sim.faults_dropped");
+  static const obs::Gauge g_alive = obs::gauge("fault_sim.faults_alive");
+  static const obs::Histogram h_batch_live =
+      obs::histogram("fault_sim.batch_live_faults");
+  c_runs.inc();
+  obs::Span run_span("fault_sim.run",
+                     std::to_string(faults.size()) + " faults / " +
+                         std::to_string(tests.tests.size()) + " tests");
 
   const std::vector<ScanPattern> all_patterns = to_scan_patterns(tests);
   const std::vector<std::vector<int>> cones =
@@ -130,6 +176,9 @@ FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
         std::min<std::size_t>(kWordBits, all_patterns.size() - base);
     const std::span<const ScanPattern> batch(all_patterns.data() + base,
                                              count);
+    c_batches.inc();
+    c_simulated.add(alive.size());  // per-batch (fault, 64-test-batch) evals
+    h_batch_live.observe(alive.size());
     const GoodTrace good = sims[0]->run_good(batch);
 
     // Each live fault is simulated independently against the shared good
@@ -171,14 +220,20 @@ FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
         still_alive.push_back(f);
       }
     }
+    c_dropped.add(still_alive.size() <= alive.size()
+                      ? alive.size() - still_alive.size()
+                      : 0);
     alive.swap(still_alive);
+    g_alive.set(static_cast<std::int64_t>(alive.size()));
 
     if (guard.exhausted()) {
       // Partial result: detections so far stand; the rest is unknown.
       result.complete = false;
+      flush_sim_stats(sims);
       return result;
     }
   }
+  flush_sim_stats(sims);
   return result;
 }
 

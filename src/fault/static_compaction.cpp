@@ -1,9 +1,11 @@
 #include "fault/static_compaction.h"
 
 #include <algorithm>
+#include <string>
 
 #include "atpg/cycles.h"
 #include "base/error.h"
+#include "base/obs/trace.h"
 
 namespace fstg {
 
@@ -19,6 +21,8 @@ std::size_t count_detected(const ScanCircuit& circuit, const TestSet& tests,
 StaticCompactionResult static_compact(const ScanCircuit& circuit,
                                       const TestSet& tests,
                                       const std::vector<FaultSpec>& faults) {
+  obs::Span span("compaction.select",
+                 std::to_string(tests.tests.size()) + " tests");
   StaticCompactionResult result;
   result.cycles_before =
       test_application_cycles(circuit.num_sv, tests);

@@ -2,6 +2,8 @@
 
 #include "base/error.h"
 #include "base/log.h"
+#include "base/obs/metrics.h"
+#include "base/obs/trace.h"
 #include "base/parallel/thread_pool.h"
 #include "base/robust/budget.h"
 #include "base/timer.h"
@@ -23,22 +25,33 @@ CircuitExperiment run_fsm(const Kiss2Fsm& fsm,
   CircuitExperiment exp;
   exp.fsm = fsm;
 
-  Timer timer;
-  exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
-  exp.synth_seconds = timer.seconds();
+  {
+    obs::Span span("synth", fsm.name);
+    Timer timer;
+    exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
+    exp.synth_seconds = timer.seconds();
+  }
 
-  std::string message;
-  const bool matches =
-      circuit_matches_fsm(exp.synth.circuit, exp.fsm, exp.synth.encoding,
-                          &message);
-  require(matches, "synthesis self-check failed for " + fsm.name + ": " + message);
-  exp.table = read_back_table(exp.synth.circuit, &exp.fsm, &exp.synth.encoding);
+  {
+    obs::Span span("verify.readback", fsm.name);
+    std::string message;
+    const bool matches =
+        circuit_matches_fsm(exp.synth.circuit, exp.fsm, exp.synth.encoding,
+                            &message);
+    require(matches,
+            "synthesis self-check failed for " + fsm.name + ": " + message);
+    exp.table =
+        read_back_table(exp.synth.circuit, &exp.fsm, &exp.synth.encoding);
+  }
 
   log_info("circuit " + fsm.name + ": " +
            std::to_string(exp.synth.circuit.comb.num_gates()) + " gates, " +
            std::to_string(exp.table.num_states()) + " states");
 
-  exp.gen = generate_functional_tests(exp.table, options.gen);
+  {
+    obs::Span span("generate", fsm.name);
+    exp.gen = generate_functional_tests(exp.table, options.gen);
+  }
   return exp;
 }
 
@@ -112,14 +125,23 @@ GateLevelResult run_gate_level(const CircuitExperiment& exp,
   sim_options.threads = options.threads;
   sim_options.reachability = &reach;
 
-  result.sa = select_effective_tests(circuit, exp.gen.tests, result.sa_faults,
-                                     sim_options);
-  result.br = select_effective_tests(circuit, exp.gen.tests, result.br_faults,
-                                     sim_options);
+  {
+    obs::Span span("gate_level.stuck_at",
+                   std::to_string(result.sa_faults.size()) + " faults");
+    result.sa = select_effective_tests(circuit, exp.gen.tests,
+                                       result.sa_faults, sim_options);
+  }
+  {
+    obs::Span span("gate_level.bridging",
+                   std::to_string(result.br_faults.size()) + " faults");
+    result.br = select_effective_tests(circuit, exp.gen.tests,
+                                       result.br_faults, sim_options);
+  }
 
   if (classify_redundancy) {
     // Reuse the compaction pass's simulation: only the misses get the
     // exhaustive re-check.
+    obs::Span span("redundancy.classify", exp.fsm.name);
     result.sa_redundancy = classify_faults_from(
         circuit, result.sa_faults, result.sa.sim.detected_by, &reach);
     result.br_redundancy = classify_faults_from(
@@ -156,6 +178,7 @@ robust::Result<CircuitExperiment> try_run_fsm(const Kiss2Fsm& fsm,
   exp.fsm = fsm;
 
   try {
+    obs::Span span("synth", fsm.name);
     Timer timer;
     exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
     exp.synth_seconds = timer.seconds();
@@ -164,6 +187,7 @@ robust::Result<CircuitExperiment> try_run_fsm(const Kiss2Fsm& fsm,
   }
 
   try {
+    obs::Span span("verify.readback", fsm.name);
     std::string message;
     const bool matches = circuit_matches_fsm(exp.synth.circuit, exp.fsm,
                                              exp.synth.encoding, &message);
@@ -178,6 +202,7 @@ robust::Result<CircuitExperiment> try_run_fsm(const Kiss2Fsm& fsm,
     return stage_status("verify", fsm.name);
   }
 
+  obs::Span gen_span("generate", fsm.name);
   robust::Result<GeneratorResult> gen =
       try_generate_functional_tests(exp.table, options.gen);
   if (!gen.is_ok()) {
@@ -213,6 +238,7 @@ namespace {
 /// every failure into a Status on the run record).
 CircuitRun run_one_circuit(const std::string& name,
                            const SuiteOptions& options) {
+  obs::Span span("suite.circuit", name);
   CircuitRun run;
   run.name = name;
   robust::Result<CircuitExperiment> r =
@@ -245,14 +271,30 @@ CircuitRun run_one_circuit(const std::string& name,
 
 }  // namespace
 
+namespace {
+
+/// Suite-level outcome counters, bumped once after all runs complete.
+void count_suite_outcomes(const SuiteResult& result) {
+  static const obs::Counter c_ok = obs::counter("suite.circuits_ok");
+  static const obs::Counter c_failed = obs::counter("suite.circuits_failed");
+  const std::size_t failed = result.failures();
+  c_ok.add(result.runs.size() - failed);
+  c_failed.add(failed);
+}
+
+}  // namespace
+
 SuiteResult run_circuit_suite(const std::vector<std::string>& names,
                               const SuiteOptions& options) {
+  obs::Span suite_span("suite",
+                       std::to_string(names.size()) + " circuits");
   SuiteResult result;
   result.runs.resize(names.size());
   const int threads = parallel::resolve_threads(options.threads);
   if (threads <= 1 || names.size() < 2) {
     for (std::size_t i = 0; i < names.size(); ++i)
       result.runs[i] = run_one_circuit(names[i], options);
+    count_suite_outcomes(result);
     return result;
   }
 
@@ -268,6 +310,7 @@ SuiteResult run_circuit_suite(const std::vector<std::string>& names,
         for (std::size_t i = lo; i < hi; ++i)
           result.runs[i] = run_one_circuit(names[i], options);
       });
+  count_suite_outcomes(result);
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "base/error.h"
+#include "base/obs/metrics.h"
+#include "base/obs/trace.h"
 #include "base/string_util.h"
 
 namespace fstg {
@@ -68,6 +70,8 @@ void parse_directive(const std::vector<std::string>& tok, int line_no,
 }  // namespace
 
 Kiss2Fsm parse_kiss2(std::string_view text, std::string name) {
+  static const obs::Counter c_machines = obs::counter("parse.kiss2_machines");
+  obs::Span span("parse.kiss2", name);
   Kiss2Fsm fsm;
   fsm.name = std::move(name);
   Decls decls;
@@ -140,6 +144,7 @@ Kiss2Fsm parse_kiss2(std::string_view text, std::string name) {
   if (!fsm.reset_state.empty() && fsm.state_index(fsm.reset_state) < 0)
     throw ParseError("reset state " + fsm.reset_state + " never appears",
                      line_no);
+  c_machines.inc();
   return fsm;
 }
 

@@ -70,6 +70,7 @@ int LogicSim::run_cone_overlay(const FaultSpec& fault,
     overlay_epoch_ = 1;
   }
 
+  ++stats_.overlay_calls;
   heap_.clear();
   const auto push_fanouts = [this](int g) {
     const int begin = fanout_begin_[static_cast<std::size_t>(g)];
@@ -79,6 +80,7 @@ int LogicSim::run_cone_overlay(const FaultSpec& fault,
       std::uint32_t& stamp = queue_stamp_[static_cast<std::size_t>(out)];
       if (stamp == overlay_epoch_) continue;
       stamp = overlay_epoch_;
+      ++stats_.event_pushes;
       heap_.push_back(out);
       std::push_heap(heap_.begin(), heap_.end(), std::greater<int>{});
     }
@@ -133,7 +135,10 @@ int LogicSim::run_cone_overlay(const FaultSpec& fault,
       break;
     }
   }
-  if (changed == 0) return 0;  // fault not excited: nothing can propagate
+  if (changed == 0) {
+    ++stats_.overlay_unexcited;
+    return 0;  // fault not excited: nothing can propagate
+  }
 
   // Propagate the change wavefront. Ids are topological (fanins smaller),
   // so the min-heap pops gates in evaluation order: by the time a gate pops,
@@ -147,6 +152,7 @@ int LogicSim::run_cone_overlay(const FaultSpec& fault,
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<int>{});
     const int id = heap_.back();
     heap_.pop_back();
+    ++stats_.event_pops;
     if (id == site || id == site2) continue;
     const Word v = eval_gate_with(id, overlaid);
     if (v != base[id]) {
@@ -155,6 +161,7 @@ int LogicSim::run_cone_overlay(const FaultSpec& fault,
       push_fanouts(id);
     }
   }
+  stats_.gates_changed += static_cast<std::uint64_t>(changed);
   return changed;
 }
 

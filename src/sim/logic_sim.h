@@ -129,6 +129,29 @@ class LogicSim {
 
   const Netlist& netlist() const { return *nl_; }
 
+  /// Tallies of the event-driven overlay path, accumulated with plain
+  /// increments (a LogicSim is thread-confined, so no atomics in the hot
+  /// loop); the fault-simulation engine flushes them into the obs metrics
+  /// registry once per run (counters sim.event_pushes / sim.event_pops /
+  /// sim.overlay_calls / sim.overlay_unexcited / sim.overlay_gates_changed).
+  struct Stats {
+    std::uint64_t overlay_calls = 0;      ///< run_cone_overlay invocations
+    std::uint64_t overlay_unexcited = 0;  ///< calls that returned 0
+    std::uint64_t event_pushes = 0;       ///< event-queue insertions
+    std::uint64_t event_pops = 0;         ///< event-queue removals
+    std::uint64_t gates_changed = 0;      ///< overlay stamps (value != base)
+
+    Stats& operator+=(const Stats& o) {
+      overlay_calls += o.overlay_calls;
+      overlay_unexcited += o.overlay_unexcited;
+      event_pushes += o.event_pushes;
+      event_pops += o.event_pops;
+      gates_changed += o.gates_changed;
+      return *this;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
   /// Evaluate gate `id` reading fanin values through `value_of(fanin_id)`.
   /// The direct path binds it to `values_`; the overlay path maps fanins
@@ -209,6 +232,7 @@ class LogicSim {
   std::vector<std::uint32_t> queue_stamp_;
   std::vector<int> heap_;
   std::uint32_t overlay_epoch_ = 0;
+  Stats stats_;
 };
 
 }  // namespace fstg

@@ -131,8 +131,11 @@ Word ScanBatchSim::run_faulty(std::span<const ScanPattern> batch,
       // Every tracked lane is in the fault-free state: evaluate against the
       // good trace through the event-driven overlay (no copying).
       const Word* base = good.gate_values[c].data();
-      if (sim_.run_cone_overlay(fault, *cone, base) == 0)
+      if (sim_.run_cone_overlay(fault, *cone, base) == 0) {
+        ++stats_.cycles_skipped;
         continue;  // not excited: outputs and next state match fault-free
+      }
+      ++stats_.cycles_overlay;
       for (int k = 0; k < num_po; ++k)
         detected |= sim_.overlay_output_diff(k, base) & active;
       if (detected & 1u) return detected;  // lane 0 is already the minimum
@@ -151,6 +154,8 @@ Word ScanBatchSim::run_faulty(std::span<const ScanPattern> batch,
         state[static_cast<std::size_t>(l)] = ns;
       }
       dirty |= ns_diff;
+      stats_.dirty_activations +=
+          static_cast<std::uint64_t>(std::popcount(ns_diff));
       continue;
     }
 
@@ -161,6 +166,7 @@ Word ScanBatchSim::run_faulty(std::span<const ScanPattern> batch,
       state[l] = good.state_at[c][l];
     }
 
+    ++stats_.cycles_full;
     if ((dirty & active) == 0 && cone != nullptr) {  // FaultyEval::kFullCone
       sim_.seed_values(good.gate_values[c]);
       sim_.run_cone(fault, *cone);
@@ -181,10 +187,13 @@ Word ScanBatchSim::run_faulty(std::span<const ScanPattern> batch,
                                                  : good.final_state;
     for (Word w = active; w != 0; w &= w - 1) {
       const std::size_t l = static_cast<std::size_t>(std::countr_zero(w));
-      if (state[l] != next[l])
+      if (state[l] != next[l]) {
+        if (!((dirty >> l) & 1u)) ++stats_.dirty_activations;
         dirty |= Word{1} << l;
-      else
+      } else {
+        if ((dirty >> l) & 1u) ++stats_.dirty_clears;
         dirty &= ~(Word{1} << l);
+      }
     }
   }
 

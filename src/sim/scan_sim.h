@@ -76,6 +76,28 @@ class ScanBatchSim {
 
   const ScanCircuit& circuit() const { return *circuit_; }
 
+  /// Per-instance tallies of the lazy dirty-lane machinery in run_faulty,
+  /// plain increments like LogicSim::Stats (instances are thread-confined);
+  /// flushed by the fault-simulation engine (counters scan.*).
+  struct Stats {
+    std::uint64_t cycles_skipped = 0;   ///< unexcited cycles skipped whole
+    std::uint64_t cycles_overlay = 0;   ///< cycles evaluated event-driven
+    std::uint64_t cycles_full = 0;      ///< full-cone or diverged cycles
+    std::uint64_t dirty_activations = 0;  ///< lanes turning dirty
+    std::uint64_t dirty_clears = 0;       ///< dirty lanes reconverging
+
+    Stats& operator+=(const Stats& o) {
+      cycles_skipped += o.cycles_skipped;
+      cycles_overlay += o.cycles_overlay;
+      cycles_full += o.cycles_full;
+      dirty_activations += o.dirty_activations;
+      dirty_clears += o.dirty_clears;
+      return *this;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  const LogicSim::Stats& sim_stats() const { return sim_.stats(); }
+
  private:
   /// Load per-lane inputs/state into the simulator for cycle `c`.
   void load_cycle(std::span<const ScanPattern> batch,
@@ -88,6 +110,7 @@ class ScanBatchSim {
 
   const ScanCircuit* circuit_;
   LogicSim sim_;
+  Stats stats_;
 };
 
 }  // namespace fstg

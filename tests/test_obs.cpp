@@ -1,0 +1,168 @@
+// Observability integration lane (`ctest -L obs`): JSON round-trips of the
+// metrics and trace writers against the shared json_check validators, the
+// logger's line format, and end-to-end span/counter coverage of the
+// pipeline stages named in docs/OBSERVABILITY.md.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include "base/log.h"
+#include "base/obs/json_check.h"
+#include "base/obs/metrics.h"
+#include "base/obs/trace.h"
+#include "fault/fault.h"
+#include "harness/experiment.h"
+
+namespace fstg {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(ObsJson, MetricsJsonValidatesAgainstSchema) {
+  obs::reset_metrics();
+  obs::counter("test.json.counter").add(3);
+  obs::gauge("test.json.gauge").set(-7);
+  obs::histogram("test.json.hist").observe(12);
+  const std::string json = obs::metrics_to_json(obs::snapshot_metrics());
+  std::string error;
+  EXPECT_TRUE(obs::validate_metrics_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"fstg.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("test.json.counter"), std::string::npos);
+}
+
+TEST(ObsJson, MetricsFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fstg_obs_metrics.json";
+  obs::reset_metrics();
+  obs::counter("test.json.file").inc();
+  std::string error;
+  ASSERT_TRUE(obs::write_metrics_json(path, &error)) << error;
+  EXPECT_TRUE(obs::validate_metrics_json(slurp(path), &error)) << error;
+  std::remove(path.c_str());
+}
+
+TEST(ObsJson, TraceJsonValidatesAgainstSchema) {
+  obs::start_tracing();
+  {
+    obs::Span outer("test.trace.outer", "detail with \"quotes\"");
+    obs::Span inner("test.trace.inner");
+    obs::trace_instant("test.trace.marker");
+  }
+  const std::string json = obs::stop_tracing_to_json();
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace_json(json, &error)) << error;
+  EXPECT_NE(json.find("test.trace.outer"), std::string::npos);
+  EXPECT_NE(json.find("test.trace.marker"), std::string::npos);
+  EXPECT_NE(json.find("\"fstg.trace.v1\""), std::string::npos);
+}
+
+TEST(ObsJson, MalformedJsonIsRejected) {
+  std::string error;
+  EXPECT_FALSE(obs::validate_metrics_json("", &error));
+  EXPECT_FALSE(obs::validate_metrics_json("[1,2,3]", &error));
+  EXPECT_FALSE(obs::validate_metrics_json("{\"schema\": \"wrong.v0\"}", &error));
+  EXPECT_FALSE(obs::validate_metrics_json(
+      "{\"schema\": \"fstg.metrics.v1\", \"counters\": [{\"name\": 3}]}",
+      &error));
+  EXPECT_FALSE(obs::validate_trace_json("{\"traceEvents\": 5}", &error));
+  EXPECT_FALSE(obs::validate_trace_json(
+      "{\"otherData\": {\"schema\": \"fstg.trace.v1\"}, "
+      "\"traceEvents\": [{\"name\": \"x\"}]}",
+      &error));
+  // Unterminated object: the walker must not run off the end.
+  EXPECT_FALSE(obs::validate_metrics_json("{\"schema\": ", &error));
+}
+
+TEST(ObsJson, ParserCollectsTypedFields) {
+  std::vector<obs::JsonField> fields;
+  std::vector<std::pair<std::string, std::string>> arrays;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse_object(
+      R"({"s": "hi", "n": -2.5, "a": [1, {"k": 2}], "b": true, "z": null})",
+      &fields, &arrays, &error))
+      << error;
+  EXPECT_TRUE(obs::json_has_field(fields, "s", 's'));
+  EXPECT_TRUE(obs::json_has_field(fields, "n", 'n'));
+  EXPECT_TRUE(obs::json_has_field(fields, "a", 'a'));
+  EXPECT_TRUE(obs::json_has_field(fields, "b", 'b'));
+  EXPECT_FALSE(obs::json_has_field(fields, "s", 'n'));  // wrong kind
+  EXPECT_FALSE(obs::json_has_field(fields, "missing", 's'));
+  const obs::JsonField* s = obs::json_find_field(fields, "s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->sval, "hi");
+  const obs::JsonField* n = obs::json_find_field(fields, "n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_DOUBLE_EQ(n->nval, -2.5);
+  ASSERT_EQ(arrays.size(), 2u);  // two elements of "a"
+  EXPECT_EQ(arrays[0].first, "a");
+  EXPECT_EQ(arrays[0].second, "1");
+}
+
+TEST(ObsLog, LineFormatCarriesLevelThreadAndUptime) {
+  const std::string line = format_log_line(LogLevel::kWarn, "hello world");
+  // `[fstg WARN tN +S.SSSSSSs] hello world`
+  const std::regex expect(
+      R"(\[fstg WARN t\d+ \+\d+\.\d{6}s\] hello world)");
+  EXPECT_TRUE(std::regex_match(line, expect)) << line;
+
+  const std::string dbg = format_log_line(LogLevel::kDebug, "x");
+  EXPECT_EQ(dbg.rfind("[fstg DEBUG", 0), 0u) << dbg;
+}
+
+TEST(ObsPipeline, RunFsmEmitsStageSpans) {
+  obs::start_tracing();
+  (void)run_circuit("lion");
+  const std::string json = obs::stop_tracing_to_json();
+  std::string error;
+  ASSERT_TRUE(obs::validate_trace_json(json, &error)) << error;
+  for (const char* span :
+       {"\"parse.kiss2\"", "\"synth\"", "\"verify.readback\"", "\"generate\"",
+        "\"uio.derive\"", "\"atpg.chain\""}) {
+    EXPECT_NE(json.find(span), std::string::npos) << "missing span " << span;
+  }
+}
+
+TEST(ObsPipeline, GateLevelRunFillsFaultSimCounters) {
+  obs::reset_metrics();
+  CircuitExperiment exp = run_circuit("lion");
+  (void)run_gate_level(exp, /*classify_redundancy=*/false);
+  const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+  for (const char* name :
+       {"fault_sim.runs", "fault_sim.batches", "fault_sim.faults_simulated",
+        "fault_sim.faults_dropped", "sim.overlay_calls", "scan.cycles_overlay",
+        "atpg.uio_hits", "parse.kiss2_machines"}) {
+    EXPECT_GT(snap.counter_value(name), 0u) << "counter " << name;
+  }
+  const obs::HistogramSnapshot* h =
+      snap.find_histogram("fault_sim.batch_live_faults");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->count, 0u);
+  // Suite wrapper: outcome counters and the suite span.
+  obs::start_tracing();
+  SuiteOptions options;
+  options.gate_level = false;
+  (void)run_circuit_suite({"lion"}, options);
+  const std::string json = obs::stop_tracing_to_json();
+  EXPECT_NE(json.find("\"suite\""), std::string::npos);
+  EXPECT_NE(json.find("\"suite.circuit\""), std::string::npos);
+  EXPECT_GT(obs::snapshot_metrics().counter_value("suite.circuits_ok"), 0u);
+}
+
+TEST(ObsPipeline, InertHandlesPastCapacityAreSafe) {
+  // Exhausting the counter table must return no-op handles, not crash.
+  for (int i = 0; i < obs::kMaxCounters + 8; ++i)
+    obs::counter("test.obs.flood." + std::to_string(i)).inc();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fstg

@@ -1,0 +1,150 @@
+// Concurrency-facing tests of the sharded metrics registry. This file is
+// part of the `determinism` lane (fstg_parallel_tests) so the tsan preset
+// exercises the lock-free shard merging under a race detector.
+
+#include "base/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace fstg::obs {
+namespace {
+
+TEST(ObsMetrics, ConcurrentIncrementsMergeExactly) {
+  reset_metrics();
+  const Counter c = counter("test.obs.concurrent_inc");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Worker threads have exited: their shards were folded into the retired
+  // totals, so the merged value is exact, not approximate.
+  EXPECT_EQ(snapshot_metrics().counter_value("test.obs.concurrent_inc"),
+            kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, SnapshotWhileRunningIsMonotone) {
+  reset_metrics();
+  const Counter c = counter("test.obs.racing_inc");
+  constexpr std::uint64_t kTotal = 200'000;
+  std::thread writer([c] {
+    for (std::uint64_t i = 0; i < kTotal; ++i) c.inc();
+  });
+  // Concurrent scrapes must never observe the counter going backwards.
+  std::uint64_t last = 0;
+  for (int s = 0; s < 50; ++s) {
+    const std::uint64_t now =
+        snapshot_metrics().counter_value("test.obs.racing_inc");
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  writer.join();
+  EXPECT_EQ(snapshot_metrics().counter_value("test.obs.racing_inc"), kTotal);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  // Power-of-two buckets: 0 | 1 | 2-3 | 4-7 | 8-15 | ...
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(7), 3);
+  EXPECT_EQ(Histogram::bucket_of(8), 4);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), kHistogramBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lo(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lo(2), 2u);
+  EXPECT_EQ(Histogram::bucket_lo(3), 4u);
+}
+
+TEST(ObsMetrics, HistogramObservationsLandInBuckets) {
+  reset_metrics();
+  const Histogram h = histogram("test.obs.hist");
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(3);
+  h.observe(1000);
+  const MetricsSnapshot snap = snapshot_metrics();
+  const HistogramSnapshot* hs = snap.find_histogram("test.obs.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 5u);
+  EXPECT_EQ(hs->sum, 1006u);
+  ASSERT_EQ(static_cast<int>(hs->buckets.size()), kHistogramBuckets);
+  EXPECT_EQ(hs->buckets[0], 1u);  // value 0
+  EXPECT_EQ(hs->buckets[1], 1u);  // value 1
+  EXPECT_EQ(hs->buckets[2], 2u);  // values 2, 3
+  EXPECT_EQ(hs->buckets[Histogram::bucket_of(1000)], 1u);
+}
+
+TEST(ObsMetrics, ConcurrentHistogramsMergeExactly) {
+  reset_metrics();
+  const Histogram h = histogram("test.obs.hist_conc");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(i % 16);
+    });
+  for (auto& w : workers) w.join();
+  const MetricsSnapshot snap = snapshot_metrics();
+  const HistogramSnapshot* hs = snap.find_histogram("test.obs.hist_conc");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, GaugeSetAddMax) {
+  reset_metrics();
+  const Gauge g = gauge("test.obs.gauge");
+  g.set(10);
+  EXPECT_EQ(snapshot_metrics().gauge_value("test.obs.gauge"), 10);
+  g.add(-3);
+  EXPECT_EQ(snapshot_metrics().gauge_value("test.obs.gauge"), 7);
+  g.max(5);  // not larger: no change
+  EXPECT_EQ(snapshot_metrics().gauge_value("test.obs.gauge"), 7);
+  g.max(42);
+  EXPECT_EQ(snapshot_metrics().gauge_value("test.obs.gauge"), 42);
+}
+
+TEST(ObsMetrics, SameNameReturnsSameMetric) {
+  reset_metrics();
+  const Counter a = counter("test.obs.same");
+  const Counter b = counter("test.obs.same");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(snapshot_metrics().counter_value("test.obs.same"), 2u);
+}
+
+TEST(ObsMetrics, DisabledMetricsDropUpdates) {
+  reset_metrics();
+  const Counter c = counter("test.obs.disabled");
+  set_metrics_enabled(false);
+  c.inc();
+  set_metrics_enabled(true);
+  c.inc();
+  EXPECT_EQ(snapshot_metrics().counter_value("test.obs.disabled"), 1u);
+}
+
+TEST(ObsMetrics, ThreadIndexIsStablePerThread) {
+  const int self = thread_index();
+  EXPECT_EQ(thread_index(), self);
+  int other = -1;
+  std::thread t([&] { other = thread_index(); });
+  t.join();
+  EXPECT_GE(other, 0);
+  EXPECT_NE(other, self);
+}
+
+}  // namespace
+}  // namespace fstg::obs

@@ -29,6 +29,9 @@
 #include "atpg/cycles.h"
 #include "atpg/test_io.h"
 #include "base/error.h"
+#include "base/log.h"
+#include "base/obs/metrics.h"
+#include "base/obs/trace.h"
 #include "base/parallel/thread_pool.h"
 #include "base/robust/budget.h"
 #include "harness/experiment.h"
@@ -84,6 +87,17 @@ struct BudgetFlags {
     return false;
   }
 };
+
+LogLevel parse_log_level(const char* text) {
+  if (!std::strcmp(text, "debug")) return LogLevel::kDebug;
+  if (!std::strcmp(text, "info")) return LogLevel::kInfo;
+  if (!std::strcmp(text, "warn")) return LogLevel::kWarn;
+  if (!std::strcmp(text, "error")) return LogLevel::kError;
+  std::fprintf(stderr,
+               "error: --log-level expects debug|info|warn|error, got %s\n",
+               text);
+  throw UsageError{};
+}
 
 Kiss2Fsm load_machine(const std::string& arg) {
   try {
@@ -267,6 +281,13 @@ int usage() {
                "                       and suite runs (default: hardware\n"
                "                       concurrency; 0 = serial). Results\n"
                "                       are identical for every value\n"
+               "  --log-level LEVEL    stderr log threshold:\n"
+               "                       debug|info|warn|error (default info)\n"
+               "  --metrics-out FILE   write the merged metrics registry as\n"
+               "                       schema-validated JSON (fstg.metrics.v1)\n"
+               "  --trace-out FILE     capture pipeline spans as Chrome\n"
+               "                       trace_event JSON — load in Perfetto\n"
+               "                       (see docs/OBSERVABILITY.md)\n"
                "\n"
                "budget flags (gen, sim):\n"
                "  --time-budget-ms N   wall-clock deadline for the expensive\n"
@@ -280,28 +301,11 @@ int usage() {
   return kExitUsage;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  // --threads is global: strip it (and its value) before command dispatch
-  // so every command accepts it in any position.
-  std::vector<char*> args;
-  args.reserve(static_cast<std::size_t>(argc));
-  try {
-    for (int i = 0; i < argc; ++i) {
-      if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-        fstg::parallel::set_default_threads(parse_int_flag(
-            "--threads", argv[++i], 0, fstg::parallel::kMaxThreads));
-      } else {
-        args.push_back(argv[i]);
-      }
-    }
-  } catch (const UsageError&) {
-    return kExitUsage;
-  }
-  argc = static_cast<int>(args.size());
-  argv = args.data();
-
+/// Command dispatch after global flags are stripped. Factored out of main
+/// so the observability outputs (--metrics-out / --trace-out) are written
+/// on every exit path, including errors — a failed run's metrics are
+/// exactly the ones worth looking at.
+int run_command(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -365,4 +369,52 @@ int main(int argc, char** argv) {
     return kExitInternal;
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Global flags are stripped (with their values) before command dispatch
+  // so every command accepts them in any position.
+  std::string metrics_out, trace_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  try {
+    for (int i = 0; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+        fstg::parallel::set_default_threads(parse_int_flag(
+            "--threads", argv[++i], 0, fstg::parallel::kMaxThreads));
+      } else if (!std::strcmp(argv[i], "--log-level") && i + 1 < argc) {
+        fstg::set_log_level(parse_log_level(argv[++i]));
+      } else if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc) {
+        metrics_out = argv[++i];
+      } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
+        trace_out = argv[++i];
+      } else {
+        args.push_back(argv[i]);
+      }
+    }
+  } catch (const UsageError&) {
+    return kExitUsage;
+  }
+
+  if (!trace_out.empty()) fstg::obs::start_tracing();
+
+  int rc = run_command(static_cast<int>(args.size()), args.data());
+
+  // Observability outputs are written whatever the command's outcome. Each
+  // writer re-reads and schema-validates its own file; a validation failure
+  // on an otherwise successful run is an input/output error (exit 2).
+  std::string error;
+  if (!metrics_out.empty() &&
+      !fstg::obs::write_metrics_json(metrics_out, &error)) {
+    std::fprintf(stderr, "error: --metrics-out: %s\n", error.c_str());
+    if (rc == kExitOk) rc = kExitParse;
+  }
+  if (!trace_out.empty() &&
+      !fstg::obs::write_trace_json(trace_out, &error)) {
+    std::fprintf(stderr, "error: --trace-out: %s\n", error.c_str());
+    if (rc == kExitOk) rc = kExitParse;
+  }
+  return rc;
 }
