@@ -21,7 +21,13 @@ std::string FunctionalTest::to_string(int input_bits) const {
   std::string s = "(" + std::to_string(init_state) + ", (";
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     if (i) s += ",";
-    s += binary(inputs[i], input_bits);
+    std::string field = binary(inputs[i], input_bits);
+    if (i < input_x.size()) {
+      for (int b = 0; b < input_bits; ++b)
+        if ((input_x[i] >> b) & 1u)
+          field[static_cast<std::size_t>(input_bits - 1 - b)] = 'x';
+    }
+    s += field;
   }
   s += "), " + std::to_string(final_state) + ")";
   return s;

@@ -16,8 +16,21 @@ struct FunctionalTest {
   int init_state = -1;
   std::vector<std::uint32_t> inputs;
   int final_state = -1;
+  /// Optional per-cycle X mask over the input bits (same length as `inputs`
+  /// when non-empty; trailing member so `{init, {inputs}, final}` aggregate
+  /// initialization keeps working). A set bit marks that input unknown for
+  /// that cycle; the corresponding value bit is ignored. ATPG never emits X
+  /// tests — these arise from external test files and the difftest workload
+  /// generator.
+  std::vector<std::uint32_t> input_x;
 
   int length() const { return static_cast<int>(inputs.size()); }
+
+  bool has_x() const {
+    for (std::uint32_t m : input_x)
+      if (m != 0) return true;
+    return false;
+  }
 
   /// Paper-style rendering, e.g. "(0, (10,00,11,00,01,00), 1)" with
   /// input combinations printed as binary over `input_bits` lines.

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "base/error.h"
 #include "base/string_util.h"
@@ -53,6 +54,37 @@ std::uint32_t parse_binary(const std::string& s, int bits, int line) {
   return v;
 }
 
+/// Ternary input field: 0/1/x per bit, MSB first. An 'x' reads as value 0
+/// with the X bit set (the canonical form the simulator uses).
+std::pair<std::uint32_t, std::uint32_t> parse_ternary(const std::string& s,
+                                                      int bits, int line) {
+  if (static_cast<int>(s.size()) != bits)
+    throw ParseError("field `" + s + "` is not " + std::to_string(bits) +
+                         " bits wide",
+                     line);
+  std::uint32_t v = 0;
+  std::uint32_t x = 0;
+  for (int b = 0; b < bits; ++b) {
+    const char c = s[static_cast<std::size_t>(bits - 1 - b)];
+    if (c == '1')
+      v |= 1u << b;
+    else if (c == 'x' || c == 'X')
+      x |= 1u << b;
+    else if (c != '0')
+      throw ParseError("field `" + s + "` is not ternary (0/1/x)", line);
+  }
+  return {v, x};
+}
+
+/// Input field with X overrides; an X bit prints 'x' regardless of the
+/// value bit underneath, so the written form is canonical.
+std::string ternary(std::uint32_t v, std::uint32_t x, int bits) {
+  std::string s = binary(v, bits);
+  for (int b = 0; b < bits; ++b)
+    if ((x >> b) & 1u) s[static_cast<std::size_t>(bits - 1 - b)] = 'x';
+  return s;
+}
+
 }  // namespace
 
 std::string write_test_file(const TestFile& file) {
@@ -67,9 +99,14 @@ std::string write_test_file(const TestFile& file) {
   for (const FunctionalTest& t : file.tests.tests) {
     os << binary(static_cast<std::uint32_t>(t.init_state), file.state_bits)
        << ' ';
+    // An empty input sequence (scan-in immediately followed by scan-out)
+    // writes as `-`; the parser maps it back to zero vectors.
+    if (t.inputs.empty()) os << '-';
     for (std::size_t i = 0; i < t.inputs.size(); ++i) {
       if (i) os << ',';
-      os << binary(t.inputs[i], file.input_bits);
+      os << ternary(t.inputs[i],
+                    i < t.input_x.size() ? t.input_x[i] : 0u,
+                    file.input_bits);
     }
     os << ' '
        << binary(static_cast<std::uint32_t>(t.final_state), file.state_bits)
@@ -116,9 +153,18 @@ TestFile parse_test_file(const std::string& text) {
     FunctionalTest t;
     t.init_state =
         static_cast<int>(parse_binary(tok[0], file.state_bits, line_no));
-    for (const std::string& field : split_char(tok[1], ','))
-      t.inputs.push_back(parse_binary(field, file.input_bits, line_no));
-    if (t.inputs.empty()) throw ParseError("test with no inputs", line_no);
+    bool any_x = false;
+    if (tok[1] != "-") {  // `-` marks an empty input sequence
+      for (const std::string& field : split_char(tok[1], ',')) {
+        const auto [v, x] = parse_ternary(field, file.input_bits, line_no);
+        t.inputs.push_back(v);
+        t.input_x.push_back(x);
+        any_x = any_x || x != 0;
+      }
+    }
+    // Canonical in-memory form: no X anywhere -> empty input_x, so a file
+    // without 'x' parses to tests that compare equal to ATPG-built ones.
+    if (!any_x) t.input_x.clear();
     t.final_state =
         static_cast<int>(parse_binary(tok[2], file.state_bits, line_no));
     file.tests.tests.push_back(std::move(t));

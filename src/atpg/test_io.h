@@ -16,8 +16,12 @@ namespace fstg {
 ///     00 00,00,01 01
 ///
 /// Each test row is `init_state_code input,input,... final_state_code`,
-/// every field in MSB-first binary (state codes over .sv bits, inputs over
-/// .inputs bits), matching the paper's notation.
+/// every field MSB-first (state codes over .sv bits in binary, inputs over
+/// .inputs bits), matching the paper's notation. Input fields are ternary:
+/// an `x` marks that bit unknown for the cycle (FunctionalTest::input_x);
+/// a lone `-` in the inputs position is a test with an empty input
+/// sequence (scan-in immediately followed by scan-out). write_test_file is
+/// canonical — write -> parse -> write is byte-identical.
 struct TestFile {
   std::string circuit;
   int input_bits = 0;

@@ -1,0 +1,283 @@
+#include "difftest/case_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "atpg/test_io.h"
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace fstg::difftest {
+
+namespace {
+
+long long int_field(const std::string& text, const char* what, int line_no,
+                    long long lo, long long hi) {
+  long long v = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [p, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || p != end)
+    throw ParseError(std::string("bad integer for ") + what, line_no);
+  if (v < lo || v > hi)
+    throw ParseError(std::string(what) + " value " + text +
+                         " out of range [" + std::to_string(lo) + ", " +
+                         std::to_string(hi) + "]",
+                     line_no);
+  return v;
+}
+
+GateType parse_gate_type(const std::string& s, int line_no) {
+  static constexpr GateType kTypes[] = {
+      GateType::kInput, GateType::kConst0, GateType::kConst1,
+      GateType::kBuf,   GateType::kNot,    GateType::kAnd,
+      GateType::kOr,    GateType::kNand,   GateType::kNor,
+      GateType::kXor,   GateType::kXnor,
+  };
+  for (GateType t : kTypes)
+    if (s == gate_type_name(t)) return t;
+  throw ParseError("unknown gate type " + s, line_no);
+}
+
+bool parse_bit(const std::string& s, int line_no) {
+  if (s == "0") return false;
+  if (s == "1") return true;
+  throw ParseError("expected 0 or 1, got " + s, line_no);
+}
+
+}  // namespace
+
+std::string write_case(const Workload& w) {
+  std::ostringstream os;
+  os << ".case " << w.name << "\n";
+  os << ".seed " << w.seed << "\n";
+  os << ".check "
+     << (w.check == CheckKind::kCompaction ? "compaction" : "oracle") << "\n";
+  os << ".iface " << w.circuit.num_pi << ' ' << w.circuit.num_po << ' '
+     << w.circuit.num_sv << "\n";
+
+  const Netlist& nl = w.circuit.comb;
+  os << ".gates " << nl.num_gates() << "\n";
+  for (int id = 0; id < nl.num_gates(); ++id) {
+    const Gate& g = nl.gate(id);
+    os << gate_type_name(g.type);
+    if (g.type == GateType::kInput) {
+      if (!g.name.empty()) os << ' ' << g.name;
+    } else {
+      for (int f : g.fanins) os << ' ' << f;
+    }
+    os << "\n";
+  }
+  os << ".outputs";
+  for (int id : nl.outputs()) os << ' ' << id;
+  os << "\n";
+
+  os << ".faults " << w.faults.size() << "\n";
+  for (const FaultSpec& f : w.faults) {
+    switch (f.kind) {
+      case FaultSpec::Kind::kStuckGate:
+        os << "SG " << f.gate << ' ' << (f.value ? 1 : 0) << "\n";
+        break;
+      case FaultSpec::Kind::kStuckPin:
+        os << "SP " << f.gate << ' ' << f.gate2_or_pin << ' '
+           << (f.value ? 1 : 0) << "\n";
+        break;
+      case FaultSpec::Kind::kBridge:
+        os << "BR " << f.gate << ' ' << f.gate2_or_pin << ' '
+           << (f.value ? 'O' : 'A') << "\n";
+        break;
+      case FaultSpec::Kind::kNone:
+        require(false, "write_case: kNone fault in workload");
+    }
+  }
+
+  TestFile tf;
+  tf.circuit = w.name;
+  tf.input_bits = w.circuit.num_pi;
+  tf.state_bits = w.circuit.num_sv;
+  tf.tests = w.tests;
+  os << ".tests\n" << write_test_file(tf) << ".endtests\n";
+  return os.str();
+}
+
+Workload parse_case(const std::string& text) {
+  Workload w;
+  int declared_gates = -1;
+  int declared_faults = -1;
+  int pending_gates = 0;
+  int pending_faults = 0;
+  bool in_tests = false;
+  bool saw_tests = false;
+  bool saw_iface = false;
+  std::ostringstream tests_text;
+
+  int line_no = 0;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (in_tests) {
+      // The block between .tests and .endtests is the embedded atpg test
+      // file, passed to parse_test_file untouched (it has its own comment
+      // and directive syntax).
+      if (std::string(trim(raw)) == ".endtests") {
+        in_tests = false;
+        continue;
+      }
+      tests_text << raw << "\n";
+      continue;
+    }
+    std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const std::string line{trim(raw)};
+    if (line.empty()) continue;
+    const std::vector<std::string> tok = split_ws(line);
+
+    if (pending_gates > 0) {
+      const GateType type = parse_gate_type(tok[0], line_no);
+      if (type == GateType::kInput) {
+        w.circuit.comb.add_input(tok.size() > 1 ? tok[1] : "");
+      } else {
+        std::vector<int> fanins;
+        for (std::size_t i = 1; i < tok.size(); ++i)
+          fanins.push_back(static_cast<int>(int_field(
+              tok[i], "fanin", line_no, 0, w.circuit.comb.num_gates() - 1)));
+        w.circuit.comb.add_gate(type, std::move(fanins));
+      }
+      --pending_gates;
+      continue;
+    }
+
+    if (pending_faults > 0) {
+      const int max_gate = w.circuit.comb.num_gates() - 1;
+      if (tok[0] == "SG" && tok.size() == 3) {
+        w.faults.push_back(FaultSpec::stuck_gate(
+            static_cast<int>(int_field(tok[1], "gate", line_no, 0, max_gate)),
+            parse_bit(tok[2], line_no)));
+      } else if (tok[0] == "SP" && tok.size() == 4) {
+        const int gate =
+            static_cast<int>(int_field(tok[1], "gate", line_no, 0, max_gate));
+        const int pin = static_cast<int>(int_field(
+            tok[2], "pin", line_no, 0,
+            static_cast<long long>(w.circuit.comb.gate(gate).fanins.size()) -
+                1));
+        w.faults.push_back(
+            FaultSpec::stuck_pin(gate, pin, parse_bit(tok[3], line_no)));
+      } else if (tok[0] == "BR" && tok.size() == 4) {
+        const int g1 =
+            static_cast<int>(int_field(tok[1], "gate", line_no, 0, max_gate));
+        const int g2 =
+            static_cast<int>(int_field(tok[2], "gate", line_no, 0, max_gate));
+        if (tok[3] == "O")
+          w.faults.push_back(FaultSpec::bridge_or(g1, g2));
+        else if (tok[3] == "A")
+          w.faults.push_back(FaultSpec::bridge_and(g1, g2));
+        else
+          throw ParseError("bridge type must be A or O", line_no);
+      } else {
+        throw ParseError("bad fault line (SG/SP/BR)", line_no);
+      }
+      --pending_faults;
+      continue;
+    }
+
+    if (tok[0] == ".case") {
+      if (tok.size() < 2) throw ParseError(".case needs a name", line_no);
+      w.name = tok[1];
+      w.circuit.name = tok[1];
+    } else if (tok[0] == ".seed") {
+      if (tok.size() < 2) throw ParseError(".seed needs a value", line_no);
+      std::uint64_t v = 0;
+      const char* b = tok[1].data();
+      const char* e = b + tok[1].size();
+      auto [p, ec] = std::from_chars(b, e, v);
+      if (ec != std::errc() || p != e)
+        throw ParseError("bad integer for .seed", line_no);
+      w.seed = v;
+    } else if (tok[0] == ".check") {
+      if (tok.size() < 2) throw ParseError(".check needs a kind", line_no);
+      if (tok[1] == "oracle")
+        w.check = CheckKind::kOracle;
+      else if (tok[1] == "compaction")
+        w.check = CheckKind::kCompaction;
+      else
+        throw ParseError("unknown check kind " + tok[1], line_no);
+    } else if (tok[0] == ".iface") {
+      if (tok.size() != 4) throw ParseError(".iface needs pi po sv", line_no);
+      w.circuit.num_pi =
+          static_cast<int>(int_field(tok[1], "num_pi", line_no, 1, 31));
+      w.circuit.num_po =
+          static_cast<int>(int_field(tok[2], "num_po", line_no, 0, 64));
+      w.circuit.num_sv =
+          static_cast<int>(int_field(tok[3], "num_sv", line_no, 1, 31));
+      saw_iface = true;
+    } else if (tok[0] == ".gates") {
+      if (tok.size() < 2) throw ParseError(".gates needs a count", line_no);
+      declared_gates =
+          static_cast<int>(int_field(tok[1], ".gates", line_no, 1, 1'000'000));
+      pending_gates = declared_gates;
+    } else if (tok[0] == ".outputs") {
+      for (std::size_t i = 1; i < tok.size(); ++i)
+        w.circuit.comb.add_output(static_cast<int>(
+            int_field(tok[i], "output", line_no, 0,
+                      w.circuit.comb.num_gates() - 1)));
+    } else if (tok[0] == ".faults") {
+      if (tok.size() < 2) throw ParseError(".faults needs a count", line_no);
+      declared_faults = static_cast<int>(
+          int_field(tok[1], ".faults", line_no, 0, 1'000'000));
+      pending_faults = declared_faults;
+    } else if (tok[0] == ".tests") {
+      in_tests = true;
+      saw_tests = true;
+    } else {
+      throw ParseError("unknown directive " + tok[0], line_no);
+    }
+  }
+
+  if (in_tests) throw ParseError(".tests block missing .endtests", line_no);
+  if (pending_gates > 0)
+    throw ParseError(".gates declares more gates than present", line_no);
+  if (pending_faults > 0)
+    throw ParseError(".faults declares more faults than present", line_no);
+  if (!saw_iface) throw ParseError("missing .iface", line_no);
+  if (declared_gates < 0) throw ParseError("missing .gates", line_no);
+
+  const ScanCircuit& c = w.circuit;
+  require(c.comb.num_inputs() == c.comb_inputs(),
+          "case netlist has " + std::to_string(c.comb.num_inputs()) +
+              " inputs, .iface declares " + std::to_string(c.comb_inputs()));
+  require(c.comb.num_outputs() == c.comb_outputs(),
+          "case netlist has " + std::to_string(c.comb.num_outputs()) +
+              " outputs, .iface declares " + std::to_string(c.comb_outputs()));
+
+  if (saw_tests) {
+    const TestFile tf = parse_test_file(tests_text.str());
+    require(tf.input_bits == c.num_pi,
+            "embedded tests declare " + std::to_string(tf.input_bits) +
+                " input bits, .iface has " + std::to_string(c.num_pi));
+    require(tf.state_bits == c.num_sv,
+            "embedded tests declare " + std::to_string(tf.state_bits) +
+                " state bits, .iface has " + std::to_string(c.num_sv));
+    w.tests = tf.tests;
+  }
+  return w;
+}
+
+void save_case(const Workload& w, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "cannot open for writing: " + path);
+  out << write_case(w);
+  require(out.good(), "write failed: " + path);
+}
+
+Workload load_case(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open case file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_case(ss.str());
+}
+
+}  // namespace fstg::difftest

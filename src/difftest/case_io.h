@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+
+#include "difftest/workload.h"
+
+namespace fstg::difftest {
+
+/// Self-contained corpus case files (tests/difftest_corpus/*.case).
+///
+/// The netlist is serialized flat, one line per gate, with gate ids
+/// implicit from line order. This is deliberate: faults reference gate ids
+/// directly, and a round-trip through BLIF renumbers gates, which would
+/// silently move every fault to a different site. The flat form preserves
+/// ids exactly, so a shrunk repro replays against the same sites the
+/// shrinker verified.
+///
+///     .case xor_nary_parity
+///     .seed 0
+///     .check oracle            # or: compaction
+///     .iface 2 1 2             # num_pi num_po num_sv
+///     .gates 7
+///     INPUT a                  # gate 0 (ids follow line order)
+///     INPUT b
+///     INPUT s0
+///     INPUT s1
+///     XOR 0 1 2                # fanin gate ids
+///     AND 0 3
+///     XNOR 4 5 1
+///     .outputs 6 4 5           # [primary outputs][next-state], gate ids
+///     .faults 3
+///     SG 4 1                   # stem stuck: gate value
+///     SP 6 2 0                 # pin stuck: gate pin value
+///     BR 4 5 A                 # bridge: gate1 gate2 A(nd)|O(r)
+///     .tests
+///     .circuit xor_nary_parity # embedded atpg test-file text, verbatim
+///     .inputs 2
+///     .sv 2
+///     .tests 1
+///     00 1x,01 00
+///     .endtests
+///
+/// Blank lines and `#` comments are ignored outside the .tests block; the
+/// block itself is passed to parse_test_file untouched. write_case is
+/// canonical: write -> parse -> write is byte-identical.
+std::string write_case(const Workload& workload);
+Workload parse_case(const std::string& text);
+
+/// Disk helpers.
+void save_case(const Workload& workload, const std::string& path);
+Workload load_case(const std::string& path);
+
+}  // namespace fstg::difftest

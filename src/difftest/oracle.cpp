@@ -1,0 +1,290 @@
+#include "difftest/oracle.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/obs/metrics.h"
+#include "difftest/reference_sim.h"
+#include "fault/fault_sim.h"
+#include "fault/static_compaction.h"
+#include "sim/scan_sim.h"
+
+namespace fstg::difftest {
+
+namespace {
+
+/// Work counters that must not depend on the worker count: the engine
+/// partitions identical per-fault work (each fault's cycle classification
+/// and event traffic depend only on the shared immutable good trace, and
+/// fault dropping is resolved at deterministic batch boundaries). A delta
+/// here under a different thread count means scheduling changed *what* was
+/// simulated, not just *where*.
+constexpr const char* kInvariantCounters[] = {
+    "fault_sim.batches",
+    "fault_sim.faults_simulated",
+    "fault_sim.faults_dropped",
+    "scan.cycles_skipped",
+    "scan.cycles_overlay",
+    "scan.cycles_full",
+    "scan.dirty_activations",
+    "scan.dirty_clears",
+    "sim.event_pushes",
+    "sim.event_pops",
+    "sim.overlay_calls",
+    "sim.overlay_unexcited",
+    "sim.overlay_gates_changed",
+};
+
+struct EngineRun {
+  std::string label;
+  FaultSimResult result;
+  /// Deltas of kInvariantCounters across the run (same order); empty when
+  /// metrics were disabled.
+  std::vector<std::uint64_t> counter_deltas;
+};
+
+class Reporter {
+ public:
+  explicit Reporter(std::vector<std::string>* out) : out_(out) {}
+
+  /// Append a divergence, keeping at most kMaxPerCategory per category so a
+  /// badly broken engine doesn't drown the report.
+  void add(const std::string& category, const std::string& detail) {
+    std::size_t& n = per_category_[category];
+    ++n;
+    if (n <= kMaxPerCategory) {
+      out_->push_back(category + ": " + detail);
+    } else if (n == kMaxPerCategory + 1) {
+      out_->push_back(category + ": ... further mismatches suppressed");
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMaxPerCategory = 8;
+  std::vector<std::string>* out_;
+  std::map<std::string, std::size_t> per_category_;
+};
+
+EngineRun run_engine(const Workload& w, const std::string& label,
+                     bool event_driven, int threads, bool want_deltas) {
+  EngineRun run;
+  run.label = label;
+  FaultSimOptions opt;
+  opt.event_driven = event_driven;
+  opt.threads = threads;
+
+  const bool track = want_deltas && obs::metrics_enabled();
+  obs::MetricsSnapshot before;
+  if (track) before = obs::snapshot_metrics();
+  run.result = simulate_faults(w.circuit, w.tests, w.faults, opt);
+  if (track) {
+    const obs::MetricsSnapshot after = obs::snapshot_metrics();
+    for (const char* name : kInvariantCounters)
+      run.counter_deltas.push_back(after.counter_value(name) -
+                                   before.counter_value(name));
+  }
+  return run;
+}
+
+void compare_results(const EngineRun& base, const EngineRun& other,
+                     Reporter& report) {
+  const FaultSimResult& a = base.result;
+  const FaultSimResult& b = other.result;
+  const std::string pair = other.label + " vs " + base.label;
+
+  if (a.detected_faults != b.detected_faults)
+    report.add("detected_faults",
+               pair + ": " + std::to_string(b.detected_faults) + " vs " +
+                   std::to_string(a.detected_faults));
+  for (std::size_t f = 0; f < a.detected_by.size(); ++f) {
+    if (f < b.detected_by.size() && a.detected_by[f] != b.detected_by[f])
+      report.add("detected_by",
+                 pair + ": fault " + std::to_string(f) + " detected by test " +
+                     std::to_string(b.detected_by[f]) + " vs " +
+                     std::to_string(a.detected_by[f]));
+  }
+  for (std::size_t t = 0; t < a.test_effective.size(); ++t) {
+    if (t < b.test_effective.size() &&
+        a.test_effective[t] != b.test_effective[t])
+      report.add("test_effective",
+                 pair + ": test " + std::to_string(t) + " effective=" +
+                     (b.test_effective[t] ? "true" : "false") + " vs " +
+                     (a.test_effective[t] ? "true" : "false"));
+  }
+}
+
+void compare_counters(const EngineRun& base, const EngineRun& other,
+                      Reporter& report) {
+  if (base.counter_deltas.empty() || other.counter_deltas.empty()) return;
+  for (std::size_t k = 0; k < base.counter_deltas.size(); ++k) {
+    if (base.counter_deltas[k] != other.counter_deltas[k])
+      report.add("obs_invariance",
+                 other.label + " vs " + base.label + ": " +
+                     kInvariantCounters[k] + " delta " +
+                     std::to_string(other.counter_deltas[k]) + " vs " +
+                     std::to_string(base.counter_deltas[k]));
+  }
+}
+
+/// Cross-check the word-parallel fault-free trace, lane by lane, against
+/// the scalar reference: PO values, X masks, and scanned-out states.
+void check_good_trace(const Workload& w, Reporter& report) {
+  const std::vector<ScanPattern> patterns = to_scan_patterns(w.tests);
+  if (patterns.empty()) return;
+  ScanBatchSim sim(w.circuit);
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t width = std::min<std::size_t>(64, patterns.size() - base);
+    const GoodTrace good =
+        sim.run_good(std::span<const ScanPattern>(&patterns[base], width));
+    for (std::size_t l = 0; l < width; ++l) {
+      const std::size_t t = base + l;
+      const RefTestTrace ref =
+          reference_good_trace(w.circuit, w.tests.tests[t]);
+      const std::string where = "test " + std::to_string(t);
+      for (std::size_t c = 0; c < ref.po.size(); ++c) {
+        for (int k = 0; k < w.circuit.num_po; ++k) {
+          const std::size_t kk = static_cast<std::size_t>(k);
+          const bool ref_x = (ref.po_x[c] >> k) & 1u;
+          const bool eng_x =
+              good.has_x && ((good.po_x[c][kk] >> l) & 1u) != 0;
+          if (ref_x != eng_x) {
+            report.add("good_trace_po_x",
+                       where + " cycle " + std::to_string(c) + " po " +
+                           std::to_string(k) + ": engine x=" +
+                           (eng_x ? "1" : "0") + " ref x=" +
+                           (ref_x ? "1" : "0"));
+            continue;
+          }
+          if (ref_x) continue;  // defined values only
+          const bool ref_v = (ref.po[c] >> k) & 1u;
+          const bool eng_v = (good.po[c][kk] >> l) & 1u;
+          if (ref_v != eng_v)
+            report.add("good_trace_po",
+                       where + " cycle " + std::to_string(c) + " po " +
+                           std::to_string(k) + ": engine " +
+                           (eng_v ? "1" : "0") + " ref " + (ref_v ? "1" : "0"));
+        }
+      }
+      const std::uint32_t eng_fsx =
+          good.has_x ? good.final_state_x[l] : 0u;
+      if (eng_fsx != ref.final_state_x)
+        report.add("good_trace_final_x",
+                   where + ": engine final-state X mask " +
+                       std::to_string(eng_fsx) + " ref " +
+                       std::to_string(ref.final_state_x));
+      const std::uint32_t defined = ~(eng_fsx | ref.final_state_x);
+      if ((good.final_state[l] & defined) != (ref.final_state & defined))
+        report.add("good_trace_final",
+                   where + ": engine final state " +
+                       std::to_string(good.final_state[l] & defined) +
+                       " ref " + std::to_string(ref.final_state & defined));
+    }
+  }
+}
+
+void check_reference(const Workload& w, const EngineRun& base,
+                     Reporter& report) {
+  const ReferenceResult ref = reference_simulate(w.circuit, w.tests, w.faults);
+  const FaultSimResult& a = base.result;
+  if (ref.detected_faults != a.detected_faults)
+    report.add("reference_detected_faults",
+               base.label + ": " + std::to_string(a.detected_faults) +
+                   " vs reference " + std::to_string(ref.detected_faults));
+  for (std::size_t f = 0; f < ref.detected_by.size(); ++f) {
+    if (f < a.detected_by.size() && ref.detected_by[f] != a.detected_by[f])
+      report.add("reference_detected_by",
+                 base.label + ": fault " + std::to_string(f) +
+                     " detected by test " + std::to_string(a.detected_by[f]) +
+                     " vs reference " + std::to_string(ref.detected_by[f]));
+  }
+  for (std::size_t t = 0; t < ref.test_effective.size(); ++t) {
+    if (t < a.test_effective.size() &&
+        ref.test_effective[t] != a.test_effective[t])
+      report.add("reference_test_effective",
+                 base.label + ": test " + std::to_string(t) + " effective=" +
+                     (a.test_effective[t] ? "true" : "false") +
+                     " vs reference " +
+                     (ref.test_effective[t] ? "true" : "false"));
+  }
+}
+
+/// The static-compaction contract: every fault detected by the original
+/// test set must still be detected by the compacted one (per-fault, not
+/// just the same count).
+void check_compaction(const Workload& w, Reporter& report) {
+  StaticCompactionResult compacted;
+  try {
+    compacted = static_compact(w.circuit, w.tests, w.faults);
+  } catch (const std::exception& e) {
+    report.add("compaction_error", std::string(e.what()));
+    return;
+  }
+  const FaultSimResult before = simulate_faults(w.circuit, w.tests, w.faults);
+  const FaultSimResult after =
+      simulate_faults(w.circuit, compacted.compacted, w.faults);
+  for (std::size_t f = 0; f < before.detected_by.size(); ++f) {
+    if (before.detected_by[f] >= 0 && after.detected_by[f] < 0)
+      report.add("compaction_coverage_loss",
+                 "fault " + std::to_string(f) +
+                     " detected before compaction but not after");
+  }
+  if (compacted.detected_after < compacted.detected_before)
+    report.add("compaction_count",
+               "reported detected_after " +
+                   std::to_string(compacted.detected_after) +
+                   " < detected_before " +
+                   std::to_string(compacted.detected_before));
+}
+
+}  // namespace
+
+std::string OracleReport::to_string() const {
+  if (divergences.empty()) return "ok";
+  std::ostringstream os;
+  os << divergences.size() << " divergence(s):\n";
+  for (const std::string& d : divergences) os << "  - " << d << "\n";
+  return os.str();
+}
+
+OracleReport run_oracle(const Workload& workload,
+                        const OracleOptions& options) {
+  OracleReport out;
+  Reporter report(&out.divergences);
+
+  // Engine matrix. The full-cone serial run is the comparison base: it is
+  // the seed implementation, the slowest and simplest path.
+  std::vector<EngineRun> runs;
+  runs.push_back(run_engine(workload, "fullcone@1", /*event_driven=*/false,
+                            /*threads=*/1, /*want_deltas=*/false));
+  for (int threads : options.event_thread_counts)
+    runs.push_back(run_engine(workload, "event@" + std::to_string(threads),
+                              /*event_driven=*/true, threads,
+                              options.check_obs_invariance));
+
+  for (std::size_t i = 1; i < runs.size(); ++i)
+    compare_results(runs[0], runs[i], report);
+
+  // Thread-count invariance of the work counters across the event-driven
+  // runs (the first event run is the base; full-cone does different work by
+  // design, so it is excluded).
+  if (options.check_obs_invariance && runs.size() > 2)
+    for (std::size_t i = 2; i < runs.size(); ++i)
+      compare_counters(runs[1], runs[i], report);
+
+  if (options.check_reference) {
+    check_good_trace(workload, report);
+    check_reference(workload, runs[0], report);
+  }
+
+  if (workload.check == CheckKind::kCompaction)
+    check_compaction(workload, report);
+
+  return out;
+}
+
+}  // namespace fstg::difftest

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "difftest/workload.h"
+
+namespace fstg::difftest {
+
+/// Oracle configuration. The default engine matrix is the seed full-cone
+/// serial path plus the event-driven path at thread counts {1, 2, 8} —
+/// every engine/scheduling combination the library ships.
+struct OracleOptions {
+  std::vector<int> event_thread_counts = {1, 2, 8};
+  /// Also compare every engine against the independent scalar reference
+  /// simulator (reference_sim.h). Costs O(faults * tests) scalar sims.
+  bool check_reference = true;
+  /// Require the obs work counters (faults simulated, batches, cycle
+  /// classification, event-queue traffic) to be identical across the
+  /// event-driven runs at different thread counts: the engine partitions
+  /// identical per-fault work, so any delta is a scheduling-dependent
+  /// behavior leak.
+  bool check_obs_invariance = true;
+};
+
+struct OracleReport {
+  /// Human-readable divergence descriptions; empty means every engine,
+  /// the reference, and the work counters agree.
+  std::vector<std::string> divergences;
+
+  bool ok() const { return divergences.empty(); }
+  std::string to_string() const;
+};
+
+/// Run `workload` through the full engine matrix and cross-compare:
+///  - per-fault detection maps (detected_by, full vectors — not counts),
+///  - effective-test marks and detected totals,
+///  - fault-free batch responses (PO words, X masks, scan-out states)
+///    against the scalar reference, lane by lane,
+///  - thread-count invariance of the obs work counters.
+/// For Workload::check == kCompaction, additionally runs static_compact
+/// and verifies per-fault coverage preservation.
+OracleReport run_oracle(const Workload& workload,
+                        const OracleOptions& options = {});
+
+}  // namespace fstg::difftest

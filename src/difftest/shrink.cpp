@@ -1,0 +1,201 @@
+#include "difftest/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "base/error.h"
+
+namespace fstg::difftest {
+
+namespace {
+
+/// Try removing one whole test, latest first (later tests can only matter
+/// through fault dropping, so they are the most likely to be dead weight).
+bool shrink_tests(Workload& w, const FailurePredicate& fails,
+                  ShrinkStats& stats) {
+  bool progress = false;
+  for (std::size_t t = w.tests.tests.size(); t-- > 0;) {
+    Workload candidate = w;
+    candidate.tests.tests.erase(candidate.tests.tests.begin() +
+                                static_cast<std::ptrdiff_t>(t));
+    ++stats.predicate_calls;
+    if (fails(candidate)) {
+      w = std::move(candidate);
+      ++stats.tests_removed;
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+/// Try truncating each surviving test's input sequence from the end, one
+/// cycle at a time.
+bool shrink_cycles(Workload& w, const FailurePredicate& fails,
+                   ShrinkStats& stats) {
+  bool progress = false;
+  for (std::size_t t = 0; t < w.tests.tests.size(); ++t) {
+    while (!w.tests.tests[t].inputs.empty()) {
+      Workload candidate = w;
+      FunctionalTest& ct = candidate.tests.tests[t];
+      ct.inputs.pop_back();
+      if (ct.input_x.size() > ct.inputs.size())
+        ct.input_x.resize(ct.inputs.size());
+      bool any_x = false;
+      for (std::uint32_t x : ct.input_x) any_x = any_x || x != 0;
+      if (!any_x) ct.input_x.clear();
+      ++stats.predicate_calls;
+      if (!fails(candidate)) break;
+      w = std::move(candidate);
+      ++stats.cycles_removed;
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+bool shrink_faults(Workload& w, const FailurePredicate& fails,
+                   ShrinkStats& stats) {
+  bool progress = false;
+  for (std::size_t f = w.faults.size(); f-- > 0;) {
+    Workload candidate = w;
+    candidate.faults.erase(candidate.faults.begin() +
+                           static_cast<std::ptrdiff_t>(f));
+    ++stats.predicate_calls;
+    if (fails(candidate)) {
+      w = std::move(candidate);
+      ++stats.faults_removed;
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+/// Rebuild the netlist without primary output `k` (next-state outputs are
+/// structural and always stay).
+Workload drop_output(const Workload& w, int k) {
+  Workload out = w;
+  Netlist nl;
+  const Netlist& old = w.circuit.comb;
+  for (int id = 0; id < old.num_gates(); ++id) {
+    const Gate& g = old.gate(id);
+    if (g.type == GateType::kInput)
+      nl.add_input(g.name);
+    else
+      nl.add_gate(g.type, g.fanins, g.name);
+  }
+  for (int j = 0; j < old.num_outputs(); ++j)
+    if (j != k) nl.add_output(old.outputs()[static_cast<std::size_t>(j)]);
+  out.circuit.comb = std::move(nl);
+  out.circuit.num_po -= 1;
+  return out;
+}
+
+bool shrink_outputs(Workload& w, const FailurePredicate& fails,
+                    ShrinkStats& stats) {
+  bool progress = false;
+  for (int k = w.circuit.num_po; k-- > 0;) {
+    if (w.circuit.num_po <= 1) break;  // keep at least one primary output
+    Workload candidate = drop_output(w, k);
+    ++stats.predicate_calls;
+    if (fails(candidate)) {
+      w = std::move(candidate);
+      ++stats.outputs_removed;
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+/// Remove every gate outside the backward cones of the outputs and the
+/// fault sites. Primary-input gates always stay (the scan interface is
+/// fixed), so gate ids shift but the input order — and therefore test
+/// semantics — does not change. One structural pass, checked once by the
+/// predicate: pruning dead logic cannot change any engine's responses, but
+/// the check guards the shrinker itself.
+bool prune_gates(Workload& w, const FailurePredicate& fails,
+                 ShrinkStats& stats) {
+  const Netlist& old = w.circuit.comb;
+  const int n = old.num_gates();
+  std::vector<char> live(static_cast<std::size_t>(n), 0);
+  std::vector<int> work;
+  auto mark = [&](int id) {
+    if (!live[static_cast<std::size_t>(id)]) {
+      live[static_cast<std::size_t>(id)] = 1;
+      work.push_back(id);
+    }
+  };
+  for (int id : old.outputs()) mark(id);
+  for (const FaultSpec& f : w.faults) {
+    mark(f.gate);
+    if (f.kind == FaultSpec::Kind::kBridge) mark(f.gate2_or_pin);
+  }
+  while (!work.empty()) {
+    const int id = work.back();
+    work.pop_back();
+    for (int fi : old.gate(id).fanins) mark(fi);
+  }
+  for (int id = 0; id < n; ++id)
+    if (old.gate(id).type == GateType::kInput)
+      live[static_cast<std::size_t>(id)] = 1;
+
+  int kept = 0;
+  for (char l : live) kept += l;
+  if (kept == n) return false;
+
+  std::vector<int> remap(static_cast<std::size_t>(n), -1);
+  Workload candidate = w;
+  Netlist nl;
+  for (int id = 0; id < n; ++id) {
+    if (!live[static_cast<std::size_t>(id)]) continue;
+    const Gate& g = old.gate(id);
+    if (g.type == GateType::kInput) {
+      remap[static_cast<std::size_t>(id)] = nl.add_input(g.name);
+    } else {
+      std::vector<int> fanins;
+      for (int fi : g.fanins)
+        fanins.push_back(remap[static_cast<std::size_t>(fi)]);
+      remap[static_cast<std::size_t>(id)] = nl.add_gate(g.type, std::move(fanins), g.name);
+    }
+  }
+  for (int id : old.outputs())
+    nl.add_output(remap[static_cast<std::size_t>(id)]);
+  candidate.circuit.comb = std::move(nl);
+  for (FaultSpec& f : candidate.faults) {
+    f.gate = remap[static_cast<std::size_t>(f.gate)];
+    if (f.kind == FaultSpec::Kind::kBridge)
+      f.gate2_or_pin = remap[static_cast<std::size_t>(f.gate2_or_pin)];
+  }
+
+  ++stats.predicate_calls;
+  if (!fails(candidate)) return false;
+  stats.gates_removed += static_cast<std::size_t>(n - kept);
+  w = std::move(candidate);
+  return true;
+}
+
+}  // namespace
+
+Workload shrink_workload(const Workload& workload,
+                         const FailurePredicate& still_fails,
+                         ShrinkStats* stats_out) {
+  ShrinkStats stats;
+  ++stats.predicate_calls;
+  require(still_fails(workload),
+          "shrink_workload: input does not exhibit the failure");
+
+  Workload w = workload;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    progress |= shrink_tests(w, still_fails, stats);
+    progress |= shrink_cycles(w, still_fails, stats);
+    progress |= shrink_faults(w, still_fails, stats);
+    progress |= shrink_outputs(w, still_fails, stats);
+    progress |= prune_gates(w, still_fails, stats);
+  }
+  if (stats_out) *stats_out = stats;
+  return w;
+}
+
+}  // namespace fstg::difftest

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <functional>
+
+#include "difftest/workload.h"
+
+namespace fstg::difftest {
+
+/// Predicate deciding whether a candidate workload still exhibits the
+/// failure being shrunk (true = still fails). Typically wraps run_oracle
+/// (or any narrower check) — it must be deterministic for the shrink to be
+/// sound.
+using FailurePredicate = std::function<bool(const Workload&)>;
+
+struct ShrinkStats {
+  std::size_t predicate_calls = 0;
+  std::size_t tests_removed = 0;
+  std::size_t cycles_removed = 0;
+  std::size_t faults_removed = 0;
+  std::size_t outputs_removed = 0;
+  std::size_t gates_removed = 0;
+};
+
+/// Greedy delta-debugging shrink: repeatedly try to remove tests, truncate
+/// input sequences, drop faults, drop primary outputs, and prune gates no
+/// longer in any output or fault-site cone — keeping a removal only when
+/// `still_fails` stays true — until a full pass makes no progress. The
+/// result is 1-minimal with respect to these operations (removing any
+/// single remaining element makes the failure disappear), self-contained,
+/// and ready for save_case.
+///
+/// `workload` must satisfy `still_fails` on entry (require()d).
+Workload shrink_workload(const Workload& workload,
+                         const FailurePredicate& still_fails,
+                         ShrinkStats* stats = nullptr);
+
+}  // namespace fstg::difftest

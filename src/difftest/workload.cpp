@@ -1,0 +1,161 @@
+#include "difftest/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/error.h"
+#include "difftest/reference_sim.h"
+#include "fault/bridging.h"
+#include "fault/fault.h"
+#include "kiss/benchmarks.h"
+#include "netlist/synth.h"
+
+namespace fstg::difftest {
+
+void append_observers(ScanCircuit& circuit, Rng& rng, int count) {
+  const Netlist& old = circuit.comb;
+  const int n = old.num_gates();
+  require(n > 0, "append_observers: empty netlist");
+
+  Netlist enriched;
+  for (int id = 0; id < n; ++id) {
+    const Gate& g = old.gate(id);
+    if (g.type == GateType::kInput)
+      enriched.add_input(g.name);
+    else
+      enriched.add_gate(g.type, g.fanins, g.name);
+  }
+
+  std::vector<int> observers;
+  observers.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    const GateType type = rng.chance(1, 2) ? GateType::kXor : GateType::kXnor;
+    const int arity = rng.chance(1, 2) ? 2 : 3;
+    std::vector<int> fanins;
+    for (int p = 0; p < arity; ++p)
+      fanins.push_back(static_cast<int>(rng.below(static_cast<std::uint64_t>(n))));
+    // Deliberate duplicated fanin: the shape where per-driver and per-pin
+    // stuck-at forcing disagree.
+    if (arity >= 2 && rng.chance(1, 4)) fanins[1] = fanins[0];
+    observers.push_back(enriched.add_gate(type, std::move(fanins)));
+  }
+
+  // Rebuild the output list as [old POs][observers][next-state] so the
+  // ScanCircuit convention (outputs = [po][sv]) survives the widening.
+  for (int k = 0; k < circuit.num_po; ++k)
+    enriched.add_output(old.outputs()[static_cast<std::size_t>(k)]);
+  for (int id : observers) enriched.add_output(id);
+  for (int k = 0; k < circuit.num_sv; ++k)
+    enriched.add_output(
+        old.outputs()[static_cast<std::size_t>(circuit.num_po + k)]);
+
+  circuit.comb = std::move(enriched);
+  circuit.num_po += count;
+}
+
+namespace {
+
+std::vector<FaultSpec> sample_faults(const ScanCircuit& circuit, Rng& rng) {
+  StuckAtOptions sa;
+  sa.include_branches = true;
+  sa.collapse = rng.chance(1, 2);
+  std::vector<FaultSpec> pool = enumerate_stuck_at(circuit.comb, sa);
+  std::vector<FaultSpec> bridges = enumerate_bridging(circuit.comb);
+  // Bridges vastly outnumber stuck faults on enriched netlists; keep a
+  // random slice so the mix stays balanced.
+  const std::size_t bridge_cap = 8 + rng.below(40);
+  for (std::size_t i = bridges.size(); i > 1; --i)
+    std::swap(bridges[i - 1], bridges[rng.below(i)]);
+  if (bridges.size() > bridge_cap) bridges.resize(bridge_cap);
+  pool.insert(pool.end(), bridges.begin(), bridges.end());
+
+  // Partial Fisher-Yates, then truncate. Target sizes straddle the
+  // engine's parallel-dispatch threshold (kMinParallelFaults = 64) so both
+  // the serial and the work-stealing reduction paths get exercised.
+  const std::size_t target = 8 + rng.below(130);
+  for (std::size_t i = pool.size(); i > 1; --i)
+    std::swap(pool[i - 1], pool[rng.below(i)]);
+  if (pool.size() > target) pool.resize(target);
+  return pool;
+}
+
+TestSet sample_tests(const ScanCircuit& circuit, Rng& rng) {
+  TestSet tests;
+  const std::uint32_t in_mask =
+      circuit.num_pi >= 32 ? ~0u : (1u << circuit.num_pi) - 1;
+  const std::uint32_t st_mask =
+      circuit.num_sv >= 32 ? ~0u : (1u << circuit.num_sv) - 1;
+  const std::size_t count = rng.below(14);  // 0 tests is a valid shape
+  for (std::size_t t = 0; t < count; ++t) {
+    FunctionalTest ft;
+    ft.init_state = static_cast<int>(rng.next() & st_mask);
+    ft.final_state = 0;  // truthful value filled in by generate_workload
+    std::size_t len;
+    if (rng.chance(1, 8))
+      len = 0;  // scan-in immediately followed by scan-out
+    else if (rng.chance(1, 3))
+      len = 1;  // single-cycle test
+    else
+      len = 2 + rng.below(6);
+    const bool x_test = rng.chance(1, 3);
+    bool any_x = false;
+    for (std::size_t c = 0; c < len; ++c) {
+      std::uint32_t x = 0;
+      if (x_test) {
+        if (rng.chance(1, 8))
+          x = in_mask;  // all-X vector
+        else if (rng.chance(1, 2))
+          x = static_cast<std::uint32_t>(rng.next()) & in_mask;
+      }
+      ft.inputs.push_back(static_cast<std::uint32_t>(rng.next()) & in_mask &
+                          ~x);
+      ft.input_x.push_back(x);
+      any_x = any_x || x != 0;
+    }
+    if (!any_x) ft.input_x.clear();
+    tests.tests.push_back(std::move(ft));
+  }
+  return tests;
+}
+
+}  // namespace
+
+Workload generate_workload(std::uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  w.seed = seed;
+  w.name = "seed" + std::to_string(seed);
+
+  const int pi = 1 + static_cast<int>(rng.below(4));
+  const int states = 2 + static_cast<int>(rng.below(9));
+  const int outputs = 1 + static_cast<int>(rng.below(3));
+  const Kiss2Fsm fsm = make_synthetic_fsm(w.name, pi, states, outputs);
+
+  SynthesisOptions opt;
+  opt.multilevel = rng.chance(1, 2);
+  opt.max_fanin = 3 + static_cast<int>(rng.below(3));
+  w.circuit = synthesize_scan_circuit(fsm, opt).circuit;
+
+  if (rng.chance(2, 3))
+    append_observers(w.circuit, rng, 1 + static_cast<int>(rng.below(4)));
+
+  w.faults = sample_faults(w.circuit, rng);
+  w.tests = sample_tests(w.circuit, rng);
+
+  // Fault simulation ignores the declared final state, but static
+  // compaction chains tests on it, so make it truthful (via the scalar
+  // reference) wherever it is fully defined — otherwise compaction
+  // workloads would only ever merge by accident.
+  for (FunctionalTest& t : w.tests.tests) {
+    const RefTestTrace trace = reference_good_trace(w.circuit, t);
+    if (trace.final_state_x == 0)
+      t.final_state = static_cast<int>(trace.final_state);
+  }
+
+  // A quarter of the workloads additionally exercise the static-compaction
+  // contract (per-fault coverage preservation through merges).
+  if (rng.chance(1, 4)) w.check = CheckKind::kCompaction;
+  return w;
+}
+
+}  // namespace fstg::difftest

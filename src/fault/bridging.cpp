@@ -27,6 +27,7 @@ BridgingEnumeration enumerate_bridging_guarded(const Netlist& nl,
       case GateType::kNand:
       case GateType::kNor:
       case GateType::kXor:
+      case GateType::kXnor:
         if (gate.fanins.size() >= 2) candidates.push_back(g);
         break;
       default:

@@ -72,6 +72,7 @@ std::vector<ScanPattern> to_scan_patterns(const TestSet& tests) {
     ScanPattern p;
     p.init_state = static_cast<std::uint32_t>(t.init_state);
     p.inputs = t.inputs;
+    p.input_x = t.input_x;
     patterns.push_back(std::move(p));
   }
   return patterns;

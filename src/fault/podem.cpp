@@ -166,10 +166,15 @@ class Podem {
           if (g.type == GateType::kNor) v = {v3_not(v.good), v3_not(v.faulty)};
           break;
         }
-        case GateType::kXor: {
-          V5 a = fanin(id, 0);
-          V5 b = fanin(id, 1);
-          v = {v3_xor(a.good, b.good), v3_xor(a.faulty, b.faulty)};
+        case GateType::kXor:
+        case GateType::kXnor: {
+          v = {V3::k0, V3::k0};
+          for (std::size_t p = 0; p < g.fanins.size(); ++p) {
+            V5 a = fanin(id, static_cast<int>(p));
+            v = {v3_xor(v.good, a.good), v3_xor(v.faulty, a.faulty)};
+          }
+          if (g.type == GateType::kXnor)
+            v = {v3_not(v.good), v3_not(v.faulty)};
           break;
         }
       }
@@ -256,14 +261,17 @@ class Podem {
         case GateType::kNor:
           v = v3_not(v);
           break;
-        case GateType::kXor: {
-          // Aim for v assuming the other input resolves to 0/known value.
-          const V5 a = values_[static_cast<std::size_t>(g.fanins[0])];
-          const V5 b = values_[static_cast<std::size_t>(g.fanins[1])];
-          const V3 known = a.good != V3::kX ? a.good
-                           : b.good != V3::kX ? b.good
-                                              : V3::k0;
+        case GateType::kXor:
+        case GateType::kXnor: {
+          // Aim for v assuming every other fanin resolves to its known
+          // value (undefined fanins besides the one we follow count as 0).
+          V3 known = V3::k0;
+          for (int f : g.fanins) {
+            const V3 fg = values_[static_cast<std::size_t>(f)].good;
+            if (fg != V3::kX) known = v3_xor(known, fg);
+          }
           v = v3_xor(v, known);
+          if (g.type == GateType::kXnor) v = v3_not(v);
           break;
         }
         default:

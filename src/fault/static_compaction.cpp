@@ -4,6 +4,7 @@
 #include <string>
 
 #include "atpg/cycles.h"
+#include "base/bitvec.h"
 #include "base/error.h"
 #include "base/obs/trace.h"
 
@@ -11,9 +12,19 @@ namespace fstg {
 
 namespace {
 
-std::size_t count_detected(const ScanCircuit& circuit, const TestSet& tests,
+/// Faults detected when `test` is applied alone, as a bitmap over the fault
+/// list. With a single test there is exactly one batch, so detected_by is
+/// the exact single-test detection set (fault dropping cannot interfere).
+BitVec detection_signature(const ScanCircuit& circuit,
+                           const FunctionalTest& test,
                            const std::vector<FaultSpec>& faults) {
-  return simulate_faults(circuit, tests, faults).detected_faults;
+  TestSet one;
+  one.tests.push_back(test);
+  const FaultSimResult r = simulate_faults(circuit, one, faults);
+  BitVec sig(faults.size());
+  for (std::size_t f = 0; f < faults.size(); ++f)
+    if (r.detected_by[f] >= 0) sig.set(f);
+  return sig;
 }
 
 }  // namespace
@@ -24,13 +35,39 @@ StaticCompactionResult static_compact(const ScanCircuit& circuit,
   obs::Span span("compaction.select",
                  std::to_string(tests.tests.size()) + " tests");
   StaticCompactionResult result;
-  result.cycles_before =
-      test_application_cycles(circuit.num_sv, tests);
-  result.detected_before = count_detected(circuit, tests, faults);
+  result.cycles_before = test_application_cycles(circuit.num_sv, tests);
+
+  // Baseline: the per-fault detection bitmap of the full set. Acceptance
+  // below is per fault against this set — comparing detection *counts*
+  // instead would let a merge swap one detected fault for another while
+  // keeping the total, silently changing which faults are covered
+  // (difftest corpus case compact_swap).
+  BitVec baseline(faults.size());
+  {
+    const FaultSimResult full = simulate_faults(circuit, tests, faults);
+    for (std::size_t f = 0; f < faults.size(); ++f)
+      if (full.detected_by[f] >= 0) baseline.set(f);
+    result.detected_before = full.detected_faults;
+  }
 
   // Work on a copy; merged-away tests are tombstoned.
   std::vector<FunctionalTest> pool = tests.tests;
   std::vector<bool> alive(pool.size(), true);
+
+  // Cached per-test signatures plus a per-fault cover count over the alive
+  // tests. The union of alive signatures always equals the full-set
+  // detection bitmap (dropping only affects attribution), so a candidate
+  // merge needs ONE single-test simulation of the merged test instead of a
+  // full re-simulation of every candidate set — the former O(n^2) full
+  // re-sims are gone.
+  std::vector<BitVec> sig(pool.size());
+  std::vector<int> cover(faults.size(), 0);
+  for (std::size_t k = 0; k < pool.size(); ++k) {
+    sig[k] = detection_signature(circuit, pool[k], faults);
+    for (std::size_t f = sig[k].find_first(); f != BitVec::npos;
+         f = sig[k].find_first(f + 1))
+      ++cover[f];
+  }
 
   for (std::size_t i = 0; i < pool.size(); ++i) {
     if (!alive[i]) continue;
@@ -45,16 +82,44 @@ StaticCompactionResult static_compact(const ScanCircuit& circuit,
         FunctionalTest merged = pool[i];
         merged.inputs.insert(merged.inputs.end(), pool[j].inputs.begin(),
                              pool[j].inputs.end());
+        if (!merged.input_x.empty() || !pool[j].input_x.empty()) {
+          merged.input_x.resize(pool[i].inputs.size(), 0);
+          merged.input_x.insert(merged.input_x.end(),
+                                pool[j].input_x.begin(),
+                                pool[j].input_x.end());
+          merged.input_x.resize(merged.inputs.size(), 0);
+        }
         merged.final_state = pool[j].final_state;
 
-        TestSet candidate;
-        for (std::size_t k = 0; k < pool.size(); ++k) {
-          if (!alive[k] || k == j) continue;
-          candidate.tests.push_back(k == i ? merged : pool[k]);
+        // Accept only if no individual baseline fault loses its last
+        // remaining detecting test: for every fault, the covers lost from
+        // retiring i and j must be made up by the merged test or by some
+        // untouched alive test.
+        const BitVec merged_sig =
+            detection_signature(circuit, merged, faults);
+        bool coverage_kept = true;
+        for (std::size_t f = baseline.find_first(); f != BitVec::npos;
+             f = baseline.find_first(f + 1)) {
+          const int after = cover[f] - (sig[i].test(f) ? 1 : 0) -
+                            (sig[j].test(f) ? 1 : 0) +
+                            (merged_sig.test(f) ? 1 : 0);
+          if (after <= 0) {
+            coverage_kept = false;
+            break;
+          }
         }
-        if (count_detected(circuit, candidate, faults) >=
-            result.detected_before) {
+        if (coverage_kept) {
+          for (std::size_t f = sig[i].find_first(); f != BitVec::npos;
+               f = sig[i].find_first(f + 1))
+            --cover[f];
+          for (std::size_t f = sig[j].find_first(); f != BitVec::npos;
+               f = sig[j].find_first(f + 1))
+            --cover[f];
+          for (std::size_t f = merged_sig.find_first(); f != BitVec::npos;
+               f = merged_sig.find_first(f + 1))
+            ++cover[f];
           pool[i] = std::move(merged);
+          sig[i] = merged_sig;
           alive[j] = false;
           ++result.combinations_applied;
           extended = true;
@@ -68,9 +133,16 @@ StaticCompactionResult static_compact(const ScanCircuit& circuit,
     if (alive[i]) result.compacted.tests.push_back(pool[i]);
   result.cycles_after =
       test_application_cycles(circuit.num_sv, result.compacted);
-  result.detected_after = count_detected(circuit, result.compacted, faults);
-  require(result.detected_after >= result.detected_before,
-          "static_compact: internal error, coverage dropped");
+
+  // Post-condition: every individually-detected baseline fault is still
+  // detected (not just the same number of faults).
+  const FaultSimResult after =
+      simulate_faults(circuit, result.compacted, faults);
+  result.detected_after = after.detected_faults;
+  for (std::size_t f = baseline.find_first(); f != BitVec::npos;
+       f = baseline.find_first(f + 1))
+    require(after.detected_by[f] >= 0,
+            "static_compact: internal error, coverage dropped");
   return result;
 }
 

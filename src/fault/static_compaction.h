@@ -16,17 +16,20 @@ struct StaticCompactionResult {
   std::size_t combinations_applied = 0;
   std::size_t cycles_before = 0;
   std::size_t cycles_after = 0;
-  /// Faults detected before and after (coverage is preserved by
-  /// construction; both counts are reported for the record).
+  /// Faults detected before and after (per-fault coverage is preserved by
+  /// construction — every fault detected before is detected after, not
+  /// merely the same count; both totals are reported for the record).
   std::size_t detected_before = 0;
   std::size_t detected_after = 0;
 };
 
 /// Greedy combining: repeatedly append an unmerged test whose initial
 /// state equals the current test's final state, accepting the merge only
-/// if a fault simulation confirms no coverage loss. Quadratic in the
-/// number of tests with a fault simulation per accepted/rejected merge —
-/// intended for the compacted (effective) test sets, which are small.
+/// if no individual fault loses detection. Acceptance compares per-fault
+/// detection bitmaps against the baseline using cached single-test
+/// signatures (a merge candidate costs one single-test fault simulation,
+/// not a full re-simulation of the whole candidate set), so coverage can
+/// never be silently swapped between faults while the total stays equal.
 StaticCompactionResult static_compact(const ScanCircuit& circuit,
                                       const TestSet& tests,
                                       const std::vector<FaultSpec>& faults);

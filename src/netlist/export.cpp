@@ -1,5 +1,6 @@
 #include "netlist/export.h"
 
+#include <bit>
 #include <sstream>
 
 #include "base/error.h"
@@ -79,8 +80,22 @@ std::string to_blif(const ScanCircuit& circuit,
         os << std::string(n, '0') << " 1\n";
         break;
       case GateType::kXor:
-        os << "10 1\n01 1\n";
+      case GateType::kXnor: {
+        // Parity function: one on-set row per input combination of the
+        // right parity (odd for XOR, even for XNOR). n is small by
+        // construction; 2^(n-1) rows is the exact two-level form.
+        const bool odd = g.type == GateType::kXor;
+        require(n <= 16, "to_blif: XOR/XNOR fanin too wide for parity cover");
+        for (std::uint32_t m = 0; m < (1u << n); ++m) {
+          const bool parity = (std::popcount(m) & 1) != 0;
+          if (parity != odd) continue;
+          std::string row(n, '0');
+          for (std::size_t p = 0; p < n; ++p)
+            if ((m >> p) & 1u) row[p] = '1';
+          os << row << " 1\n";
+        }
         break;
+      }
       case GateType::kInput:
         break;  // unreachable
     }
@@ -119,6 +134,7 @@ std::string to_bench(const ScanCircuit& circuit) {
       case GateType::kNand: op = "NAND"; break;
       case GateType::kNor: op = "NOR"; break;
       case GateType::kXor: op = "XOR"; break;
+      case GateType::kXnor: op = "XNOR"; break;
       case GateType::kConst0: op = nullptr; break;
       case GateType::kConst1: op = nullptr; break;
       case GateType::kInput: op = nullptr; break;

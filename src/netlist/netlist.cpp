@@ -18,6 +18,7 @@ const char* gate_type_name(GateType type) {
     case GateType::kNand: return "NAND";
     case GateType::kNor: return "NOR";
     case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
   }
   return "?";
 }
@@ -45,7 +46,8 @@ int Netlist::add_gate(GateType type, std::vector<int> fanins,
       require(fanins.size() == 1, "BUF/NOT take exactly one fanin");
       break;
     case GateType::kXor:
-      require(fanins.size() == 2, "XOR takes exactly two fanins");
+    case GateType::kXnor:
+      require(fanins.size() >= 2, "XOR/XNOR take at least two fanins");
       break;
     default:
       require(!fanins.empty(), "AND/OR/NAND/NOR need at least one fanin");
@@ -91,7 +93,7 @@ int Netlist::depth() const {
 }
 
 std::vector<int> Netlist::type_histogram() const {
-  std::vector<int> hist(static_cast<std::size_t>(GateType::kXor) + 1, 0);
+  std::vector<int> hist(static_cast<std::size_t>(GateType::kXnor) + 1, 0);
   for (const Gate& g : gates_) ++hist[static_cast<std::size_t>(g.type)];
   return hist;
 }
@@ -126,9 +128,15 @@ std::vector<bool> Netlist::evaluate(std::uint64_t input_bits) const {
         break;
       }
       case GateType::kXor:
-        v = value[static_cast<std::size_t>(g.fanins[0])] !=
-            value[static_cast<std::size_t>(g.fanins[1])];
+      case GateType::kXnor: {
+        // Parity over *all* fanins. (This evaluator used to read only the
+        // first two, silently truncating n-ary XOR — difftest corpus case
+        // xor_nary_parity pins the fix.)
+        v = false;
+        for (int f : g.fanins) v = v != value[static_cast<std::size_t>(f)];
+        if (g.type == GateType::kXnor) v = !v;
         break;
+      }
     }
     value[static_cast<std::size_t>(id)] = v;
   }

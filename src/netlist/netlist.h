@@ -17,6 +17,7 @@ enum class GateType : std::uint8_t {
   kNand,
   kNor,
   kXor,
+  kXnor,
 };
 
 const char* gate_type_name(GateType type);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -46,6 +47,15 @@ struct FaultSpec {
 /// topological storage order makes evaluation a single linear sweep;
 /// bridging faults take a second partial sweep (see the .cpp for why this
 /// is exact for non-feedback bridges).
+///
+/// --- Three-valued (0/1/X) lanes -------------------------------------------
+///
+/// Every signal carries a value word plus an X-mask word (canonical form:
+/// `value & xmask == 0`; an X lane reads as value 0, xmask 1). The X plane
+/// is evaluated pessimistically (an AND with a definite-0 input is 0 even
+/// if other inputs are X; an XOR/XNOR with any X input is X). Patterns
+/// without X bits pay nothing: the X plane is skipped entirely while every
+/// input X word is zero, which is detected per run.
 class LogicSim {
  public:
   explicit LogicSim(const Netlist& nl);
@@ -57,6 +67,15 @@ class LogicSim {
   Word input(int input_index) const {
     return input_words_[static_cast<std::size_t>(input_index)];
   }
+  /// Lanes of primary input `input_index` that carry X. Value bits under an
+  /// X bit are ignored (canonicalized to 0 at evaluation time). Cleared for
+  /// all inputs by clear_input_x().
+  void set_input_x(int input_index, Word w) {
+    input_x_[static_cast<std::size_t>(input_index)] = w;
+    input_x_set_ = input_x_set_ || w != 0;
+  }
+  /// Reset every input X word to zero (cheap no-op when none was ever set).
+  void clear_input_x();
 
   /// Evaluate all gates under `fault` (kNone = fault-free).
   void run(const FaultSpec& fault = FaultSpec::none());
@@ -64,15 +83,29 @@ class LogicSim {
   Word value(int gate_id) const {
     return values_[static_cast<std::size_t>(gate_id)];
   }
+  /// X-mask of `gate_id` after the last evaluation (all zero when the last
+  /// evaluation was two-valued).
+  Word xval(int gate_id) const {
+    return x_clean_ ? Word{0} : xvals_[static_cast<std::size_t>(gate_id)];
+  }
   Word output(int output_index) const {
     return values_[static_cast<std::size_t>(
         nl_->outputs()[static_cast<std::size_t>(output_index)])];
   }
+  Word output_x(int output_index) const {
+    return xval(nl_->outputs()[static_cast<std::size_t>(output_index)]);
+  }
   const std::vector<Word>& values() const { return values_; }
+  /// X plane of the last evaluation. Always sized num_gates; all-zero after
+  /// a two-valued run.
+  const std::vector<Word>& xvals() const { return xvals_; }
 
   /// Overwrite all gate values (used to seed a known-good evaluation
   /// before a cone-restricted faulty re-evaluation).
   void seed_values(const std::vector<Word>& values) { values_ = values; }
+  /// Seed the X plane alongside seed_values; pass nullptr for an all-defined
+  /// trace (cheap: only zeroes the plane if a previous run dirtied it).
+  void seed_xvals(const std::vector<Word>* x);
 
   /// Re-evaluate only the gates in `cone` (sorted ascending; the fault
   /// site's transitive fanout) on top of seeded values. All other gates —
@@ -101,11 +134,18 @@ class LogicSim {
   /// touched gate is exact. (`cone` is unused by this path and kept for
   /// signature parity with run_cone.)
   ///
-  /// Returns the number of gates whose value differs from `base` (0 = the
-  /// fault is not excited this cycle — the whole cycle can be skipped: every
-  /// output and the next state equal the fault-free reference).
+  /// `base_x` is the matching fault-free X plane, or nullptr for an
+  /// all-defined trace. With a non-null `base_x` the overlay tracks
+  /// (value, xmask) pairs and a gate counts as changed when *either* plane
+  /// differs from the base — comparing only the value plane would silently
+  /// drop defined->X transitions (difftest corpus case xprop_xor_overlay).
+  ///
+  /// Returns the number of gates whose (value, xmask) differs from the
+  /// base (0 = the fault is not excited this cycle — the whole cycle can be
+  /// skipped: every output and the next state equal the fault-free
+  /// reference).
   int run_cone_overlay(const FaultSpec& fault, const std::vector<int>& cone,
-                       const Word* base);
+                       const Word* base, const Word* base_x = nullptr);
 
   /// Faulty value of `gate` after run_cone_overlay (base value if unchanged).
   Word overlay_value(int gate, const Word* base) const {
@@ -113,18 +153,45 @@ class LogicSim {
                ? overlay_[static_cast<std::size_t>(gate)]
                : base[gate];
   }
+  /// Faulty X-mask of `gate` after run_cone_overlay.
+  Word overlay_xval(int gate, const Word* base_x) const {
+    return overlay_stamp_[static_cast<std::size_t>(gate)] == overlay_epoch_
+               ? overlay_x_[static_cast<std::size_t>(gate)]
+               : (base_x == nullptr ? Word{0} : base_x[gate]);
+  }
   /// Faulty value of output `output_index` after run_cone_overlay.
   Word overlay_output(int output_index, const Word* base) const {
     return overlay_value(
         nl_->outputs()[static_cast<std::size_t>(output_index)], base);
   }
-  /// Lanes where output `output_index` differs from the fault-free base
-  /// after run_cone_overlay (0 for unstamped gates, without touching base).
-  Word overlay_output_diff(int output_index, const Word* base) const {
+  Word overlay_output_xval(int output_index, const Word* base_x) const {
+    return overlay_xval(
+        nl_->outputs()[static_cast<std::size_t>(output_index)], base_x);
+  }
+  /// Lanes where output `output_index` *detectably* differs from the
+  /// fault-free base after run_cone_overlay: both sides defined and values
+  /// opposite. X lanes on either side never count as a detection.
+  Word overlay_output_det_diff(int output_index, const Word* base,
+                               const Word* base_x) const {
     const std::size_t g = static_cast<std::size_t>(
         nl_->outputs()[static_cast<std::size_t>(output_index)]);
-    return overlay_stamp_[g] == overlay_epoch_ ? overlay_[g] ^ base[g]
-                                               : Word{0};
+    if (overlay_stamp_[g] != overlay_epoch_) return 0;
+    const Word diff = overlay_[g] ^ base[g];
+    if (base_x == nullptr) return diff;
+    return diff & ~overlay_x_[g] & ~base_x[g];
+  }
+  /// Lanes where output `output_index` differs from the base in *any* way
+  /// (value or X-ness). This is what next-state divergence tracking needs:
+  /// a state bit that turns X must make the lane dirty even though it is
+  /// not (yet) a detection.
+  Word overlay_output_any_diff(int output_index, const Word* base,
+                               const Word* base_x) const {
+    const std::size_t g = static_cast<std::size_t>(
+        nl_->outputs()[static_cast<std::size_t>(output_index)]);
+    if (overlay_stamp_[g] != overlay_epoch_) return 0;
+    Word diff = overlay_[g] ^ base[g];
+    if (base_x != nullptr) diff |= overlay_x_[g] ^ base_x[g];
+    return diff;
   }
 
   const Netlist& netlist() const { return *nl_; }
@@ -153,9 +220,13 @@ class LogicSim {
   const Stats& stats() const { return stats_; }
 
  private:
-  /// Evaluate gate `id` reading fanin values through `value_of(fanin_id)`.
-  /// The direct path binds it to `values_`; the overlay path maps fanins
-  /// through the epoch-stamped overlay.
+  /// Evaluate gate `id` reading fanin values through `value_of(pin, fanin)`
+  /// where `pin` is the fanin position within the gate. The direct path
+  /// binds it to `values_`; the overlay path maps fanins through the
+  /// epoch-stamped overlay; stuck-pin injection forces exactly the faulted
+  /// position (a branch fault on a gate with duplicated fanins must not
+  /// force the siblings — that matches PODEM's per-pin semantics; difftest
+  /// corpus case stuck_pin_dup_fanin).
   template <typename ValueOf>
   Word eval_gate_with(int id, ValueOf&& value_of) const {
     const int begin = fanin_begin_[static_cast<std::size_t>(id)];
@@ -169,51 +240,144 @@ class LogicSim {
       case GateType::kConst1:
         return ~Word{0};
       case GateType::kBuf:
-        return value_of(fanins_[static_cast<std::size_t>(begin)]);
+        return value_of(0, fanins_[static_cast<std::size_t>(begin)]);
       case GateType::kNot:
-        return ~value_of(fanins_[static_cast<std::size_t>(begin)]);
+        return ~value_of(0, fanins_[static_cast<std::size_t>(begin)]);
       case GateType::kAnd: {
         Word v = ~Word{0};
         for (int p = begin; p < end; ++p)
-          v &= value_of(fanins_[static_cast<std::size_t>(p)]);
+          v &= value_of(p - begin, fanins_[static_cast<std::size_t>(p)]);
         return v;
       }
       case GateType::kNand: {
         Word v = ~Word{0};
         for (int p = begin; p < end; ++p)
-          v &= value_of(fanins_[static_cast<std::size_t>(p)]);
+          v &= value_of(p - begin, fanins_[static_cast<std::size_t>(p)]);
         return ~v;
       }
       case GateType::kOr: {
         Word v = 0;
         for (int p = begin; p < end; ++p)
-          v |= value_of(fanins_[static_cast<std::size_t>(p)]);
+          v |= value_of(p - begin, fanins_[static_cast<std::size_t>(p)]);
         return v;
       }
       case GateType::kNor: {
         Word v = 0;
         for (int p = begin; p < end; ++p)
-          v |= value_of(fanins_[static_cast<std::size_t>(p)]);
+          v |= value_of(p - begin, fanins_[static_cast<std::size_t>(p)]);
         return ~v;
       }
       case GateType::kXor:
-        return value_of(fanins_[static_cast<std::size_t>(begin)]) ^
-               value_of(fanins_[static_cast<std::size_t>(begin + 1)]);
+      case GateType::kXnor: {
+        // Parity over all fanins (n-ary; reading only the first two was the
+        // xor_nary_parity difftest bug).
+        Word v = 0;
+        for (int p = begin; p < end; ++p)
+          v ^= value_of(p - begin, fanins_[static_cast<std::size_t>(p)]);
+        return type_[static_cast<std::size_t>(id)] == GateType::kXor ? v : ~v;
+      }
     }
     return 0;
   }
 
+  /// Three-valued twin of eval_gate_with: `vx_of(pin, fanin)` returns the
+  /// (value, xmask) pair of a fanin; the result is the pessimistic 0/1/X
+  /// evaluation in canonical form (value bit 0 wherever the X bit is set).
+  template <typename VxOf>
+  std::pair<Word, Word> eval_gate_x_with(int id, VxOf&& vx_of) const {
+    const int begin = fanin_begin_[static_cast<std::size_t>(id)];
+    const int end = fanin_begin_[static_cast<std::size_t>(id) + 1];
+    const GateType type = type_[static_cast<std::size_t>(id)];
+    switch (type) {
+      case GateType::kInput: {
+        const std::size_t ii = static_cast<std::size_t>(
+            input_index_[static_cast<std::size_t>(id)]);
+        const Word x = input_x_[ii];
+        return {input_words_[ii] & ~x, x};
+      }
+      case GateType::kConst0:
+        return {0, 0};
+      case GateType::kConst1:
+        return {~Word{0}, 0};
+      case GateType::kBuf:
+        return vx_of(0, fanins_[static_cast<std::size_t>(begin)]);
+      case GateType::kNot: {
+        const auto [v, x] = vx_of(0, fanins_[static_cast<std::size_t>(begin)]);
+        return {~v & ~x, x};
+      }
+      case GateType::kAnd:
+      case GateType::kNand: {
+        Word all1 = ~Word{0};  // lanes where every fanin is definite 1
+        Word any0 = 0;         // lanes where some fanin is definite 0
+        for (int p = begin; p < end; ++p) {
+          const auto [v, x] =
+              vx_of(p - begin, fanins_[static_cast<std::size_t>(p)]);
+          all1 &= v;
+          any0 |= ~(v | x);
+        }
+        const Word x = ~(all1 | any0);
+        return type == GateType::kAnd ? std::pair<Word, Word>{all1, x}
+                                      : std::pair<Word, Word>{any0, x};
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        Word any1 = 0;
+        Word all0 = ~Word{0};
+        for (int p = begin; p < end; ++p) {
+          const auto [v, x] =
+              vx_of(p - begin, fanins_[static_cast<std::size_t>(p)]);
+          any1 |= v;
+          all0 &= ~(v | x);
+        }
+        const Word x = ~(any1 | all0);
+        return type == GateType::kOr ? std::pair<Word, Word>{any1, x}
+                                     : std::pair<Word, Word>{all0, x};
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        Word parity = 0;
+        Word anyx = 0;
+        for (int p = begin; p < end; ++p) {
+          const auto [v, x] =
+              vx_of(p - begin, fanins_[static_cast<std::size_t>(p)]);
+          parity ^= v;
+          anyx |= x;
+        }
+        if (type == GateType::kXnor) parity = ~parity;
+        return {parity & ~anyx, anyx};
+      }
+    }
+    return {0, 0};
+  }
+
   Word eval_gate(int id) const;
+  std::pair<Word, Word> eval_gate_x(int id) const;
   void eval_span(int first_gate, int skip_a, int skip_b);
+  void eval_span_x(int first_gate, int skip_a, int skip_b);
+  /// True when any input X word is nonzero; resets input_x_set_ when the
+  /// flag was conservative (set then overwritten with zeros).
+  bool inputs_have_x();
+  /// Two- and three-valued bodies of run(); the latter maintains xvals_.
+  void run2(const FaultSpec& fault);
+  void run3(const FaultSpec& fault);
   /// Record `value` for `gate` in the current overlay epoch.
-  void overlay_stamp(int gate, Word value) {
+  void overlay_stamp(int gate, Word value, Word xmask) {
     overlay_[static_cast<std::size_t>(gate)] = value;
+    overlay_x_[static_cast<std::size_t>(gate)] = xmask;
     overlay_stamp_[static_cast<std::size_t>(gate)] = overlay_epoch_;
   }
+  void overlay_prepare();
 
   const Netlist* nl_;
   std::vector<Word> input_words_;
+  std::vector<Word> input_x_;
   std::vector<Word> values_;
+  std::vector<Word> xvals_;
+  /// xvals_ is known all-zero and the last evaluation was two-valued.
+  bool x_clean_ = true;
+  /// Some set_input_x call since the last clear passed a nonzero word
+  /// (conservative; verified against the actual words once per run).
+  bool input_x_set_ = false;
   // CSR-flattened netlist for the hot loop.
   std::vector<GateType> type_;
   std::vector<int> fanin_begin_;
@@ -228,6 +392,7 @@ class LogicSim {
   // dedups event-queue pushes within one epoch; heap_ is a min-heap on gate
   // id, so gates pop in topological order and one evaluation each is exact.
   std::vector<Word> overlay_;
+  std::vector<Word> overlay_x_;
   std::vector<std::uint32_t> overlay_stamp_;
   std::vector<std::uint32_t> queue_stamp_;
   std::vector<int> heap_;

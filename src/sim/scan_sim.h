@@ -12,15 +12,33 @@ namespace fstg {
 /// One full-scan functional test as applied to hardware: scan in
 /// `init_state`, apply `inputs` one per clock (observing the primary
 /// outputs each clock), scan out the final state.
+///
+/// `input_x`, when non-empty, is a per-cycle X mask over the primary-input
+/// bits (same length as `inputs`): a set bit marks that input as unknown
+/// that cycle. The scanned-in state is always fully defined (the scan chain
+/// loads definite values), but X inputs can drive state bits to X in later
+/// cycles.
 struct ScanPattern {
   std::uint32_t init_state = 0;
   std::vector<std::uint32_t> inputs;
+  std::vector<std::uint32_t> input_x;
+
+  bool has_x() const {
+    for (std::uint32_t m : input_x)
+      if (m != 0) return true;
+    return false;
+  }
 };
 
 /// Fault-free reference of a batch of up to 64 scan patterns (one lane per
 /// pattern). `po[c][k]` holds the lane values of primary output k at cycle
 /// c; `active[c]` masks lanes whose pattern is at least c+1 vectors long;
 /// `final_state[l]` is lane l's scanned-out state.
+///
+/// When any pattern in the batch carries X bits, `has_x` is set and the
+/// parallel *_x structures hold the X planes (canonical: a value bit under
+/// a set X bit is 0). When `has_x` is false they stay empty and the
+/// simulation is exactly the two-valued one.
 struct GoodTrace {
   std::vector<std::vector<Word>> po;
   std::vector<Word> active;
@@ -33,6 +51,12 @@ struct GoodTrace {
   /// output cone needs re-evaluation.
   std::vector<std::vector<Word>> gate_values;
   std::vector<std::vector<std::uint32_t>> state_at;
+
+  bool has_x = false;
+  std::vector<std::vector<Word>> po_x;
+  std::vector<std::vector<Word>> gate_x;
+  std::vector<std::vector<std::uint32_t>> state_x_at;
+  std::vector<std::uint32_t> final_state_x;
 };
 
 /// How run_faulty evaluates cycles whose faulty state still matches the
@@ -50,6 +74,13 @@ enum class FaultyEval : std::uint8_t {
 /// Applies batches of scan patterns to a full-scan circuit, fault-free or
 /// with one injected fault. Each lane tracks its own (possibly faulty)
 /// state feedback, exactly as the physical scan test would.
+///
+/// Detection is three-valued exact: a lane detects only where the faulty
+/// and fault-free responses are *both defined* and differ (an X on either
+/// side can never be claimed as a detection), while state-divergence
+/// tracking uses any-difference including X-ness, so a fault that turns a
+/// defined state bit into X is followed correctly even before (or without
+/// ever) becoming observable.
 ///
 /// Instances are not thread-safe (mutable simulator state); the parallel
 /// fault-simulation engine keeps one ScanBatchSim per worker slot and
@@ -99,14 +130,14 @@ class ScanBatchSim {
   const LogicSim::Stats& sim_stats() const { return sim_.stats(); }
 
  private:
-  /// Load per-lane inputs/state into the simulator for cycle `c`.
+  /// Load per-lane inputs/state (values and X masks) into the simulator for
+  /// cycle `c`.
   void load_cycle(std::span<const ScanPattern> batch,
-                  const std::vector<std::uint32_t>& state, std::size_t c);
-  /// Extract per-lane next states from the simulator outputs.
-  void extract_next_state(std::vector<std::uint32_t>& state, Word active);
-  /// Same, reading through the event-driven overlay instead of values().
-  void extract_next_state_overlay(std::vector<std::uint32_t>& state,
-                                  Word active, const Word* base);
+                  const std::vector<std::uint32_t>& state,
+                  const std::vector<std::uint32_t>& state_x, std::size_t c);
+  /// Extract per-lane next states (and their X masks) from the simulator.
+  void extract_next_state(std::vector<std::uint32_t>& state,
+                          std::vector<std::uint32_t>& state_x, Word active);
 
   const ScanCircuit* circuit_;
   LogicSim sim_;

@@ -44,13 +44,80 @@ TEST(TestIo, FieldsAreMsbFirstBinary) {
 }
 
 TEST(TestIo, ParserRejectsMalformedInput) {
-  EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n00 0x 01\n"), ParseError);
+  EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n00 0z 01\n"), ParseError);
   EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n00 000 01\n"), ParseError);
   EXPECT_THROW(parse_test_file("00 00 01\n"), ParseError);  // before .inputs
   EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n00 00\n"), ParseError);
   EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n.tests 5\n00 00 01\n"),
                ParseError);
   EXPECT_THROW(parse_test_file(".bogus 1\n"), ParseError);
+  // X is only meaningful on inputs: state codes stay strictly binary.
+  EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n0x 00 01\n"), ParseError);
+  EXPECT_THROW(parse_test_file(".inputs 2\n.sv 2\n00 00 0x\n"), ParseError);
+}
+
+TEST(TestIo, XInputsRoundTrip) {
+  TestFile f = parse_test_file(".inputs 3\n.sv 2\n00 1x0,xxx,001 10\n");
+  ASSERT_EQ(f.tests.size(), 1u);
+  const FunctionalTest& t = f.tests.tests[0];
+  // 'x' reads as value 0 with the X bit set (canonical form).
+  EXPECT_EQ(t.inputs, (std::vector<std::uint32_t>{4, 0, 1}));
+  EXPECT_EQ(t.input_x, (std::vector<std::uint32_t>{2, 7, 0}));
+  EXPECT_TRUE(t.has_x());
+  const std::string text = write_test_file(f);
+  EXPECT_NE(text.find("00 1x0,xxx,001 10"), std::string::npos) << text;
+  EXPECT_EQ(parse_test_file(text).tests.tests, f.tests.tests);
+}
+
+TEST(TestIo, EmptyInputSequenceRoundTrips) {
+  TestFile f = parse_test_file(".inputs 2\n.sv 2\n01 - 01\n");
+  ASSERT_EQ(f.tests.size(), 1u);
+  EXPECT_TRUE(f.tests.tests[0].inputs.empty());
+  EXPECT_EQ(f.tests.tests[0].init_state, 1);
+  EXPECT_EQ(f.tests.tests[0].final_state, 1);
+  const std::string text = write_test_file(f);
+  EXPECT_NE(text.find("01 - 01"), std::string::npos) << text;
+  EXPECT_EQ(parse_test_file(text).tests.tests, f.tests.tests);
+}
+
+// Property: write -> parse -> write is byte-identical for random test sets
+// mixing defined bits, X bits, degenerate widths, and empty sequences.
+TEST(TestIo, WriteParseWriteIsByteIdentical) {
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  const auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    TestFile file;
+    file.input_bits = 1 + static_cast<int>(next() % 8);
+    file.state_bits = 1 + static_cast<int>(next() % 5);
+    const std::uint32_t in_mask = (1u << file.input_bits) - 1;
+    const std::uint32_t st_mask = (1u << file.state_bits) - 1;
+    const std::size_t num_tests = next() % 6;
+    for (std::size_t t = 0; t < num_tests; ++t) {
+      FunctionalTest ft;
+      ft.init_state = static_cast<int>(next() & st_mask);
+      ft.final_state = static_cast<int>(next() & st_mask);
+      const std::size_t len = next() % 4;  // 0 = empty sequence
+      bool any_x = false;
+      for (std::size_t c = 0; c < len; ++c) {
+        std::uint32_t x = 0;
+        if (next() % 3 == 0) x = static_cast<std::uint32_t>(next()) & in_mask;
+        // Canonical: value bits under X are zero.
+        ft.inputs.push_back(static_cast<std::uint32_t>(next()) & in_mask & ~x);
+        ft.input_x.push_back(x);
+        any_x = any_x || x != 0;
+      }
+      if (!any_x) ft.input_x.clear();
+      file.tests.tests.push_back(std::move(ft));
+    }
+    const std::string once = write_test_file(file);
+    const std::string twice = write_test_file(parse_test_file(once));
+    EXPECT_EQ(once, twice) << "iteration " << iter;
+  }
 }
 
 TEST(TestIo, CommentsAndBlanksIgnored) {
