@@ -248,6 +248,73 @@ bool validate_metrics_json(const std::string& text, std::string* error) {
                           error);
 }
 
+bool validate_lint_json(const std::string& text, std::string* error) {
+  std::vector<JsonField> top;
+  std::vector<std::pair<std::string, std::string>> arrays;
+  if (!json_parse_object(text, &top, &arrays, error)) return false;
+
+  const JsonField* schema = json_find_field(top, "schema");
+  if (schema == nullptr || schema->kind != 's' ||
+      schema->sval != "fstg.lint.v1") {
+    *error = "missing or wrong schema tag (want fstg.lint.v1)";
+    return false;
+  }
+  if (!json_has_field(top, "source", 's')) {
+    *error = "missing or mistyped source string";
+    return false;
+  }
+  for (const char* key : {"errors", "warnings", "infos"}) {
+    if (!json_has_field(top, key, 'n')) {
+      *error = std::string("missing or mistyped total ") + key;
+      return false;
+    }
+  }
+  if (!json_has_field(top, "truncated", 'b')) {
+    *error = "missing or mistyped truncated flag";
+    return false;
+  }
+  if (!json_has_field(top, "findings", 'a')) {
+    *error = "missing or mistyped findings array";
+    return false;
+  }
+
+  // Per-finding structure, plus a severity tally cross-checked against the
+  // header totals (a writer that miscounts fails its own validation).
+  double errors = 0, warnings = 0, infos = 0;
+  const std::vector<std::string> findings = bodies_of(arrays, "findings");
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    std::vector<JsonField> fields;
+    if (!json_parse_object(findings[i], &fields, nullptr, error)) {
+      *error = "findings[" + std::to_string(i) + "]: " + *error;
+      return false;
+    }
+    for (const auto& [key, kind] : std::vector<std::pair<const char*, char>>{
+             {"rule", 's'}, {"severity", 's'}, {"message", 's'},
+             {"hint", 's'}, {"file", 's'}, {"line", 'n'}}) {
+      if (!json_has_field(fields, key, kind)) {
+        *error = "findings[" + std::to_string(i) +
+                 "]: missing or mistyped field " + key;
+        return false;
+      }
+    }
+    const std::string& sev = json_find_field(fields, "severity")->sval;
+    if (sev == "error") ++errors;
+    else if (sev == "warn") ++warnings;
+    else if (sev == "info") ++infos;
+    else {
+      *error = "findings[" + std::to_string(i) + "]: bad severity " + sev;
+      return false;
+    }
+  }
+  if (json_find_field(top, "errors")->nval != errors ||
+      json_find_field(top, "warnings")->nval != warnings ||
+      json_find_field(top, "infos")->nval != infos) {
+    *error = "severity totals disagree with the findings array";
+    return false;
+  }
+  return true;
+}
+
 bool validate_trace_json(const std::string& text, std::string* error) {
   std::vector<JsonField> top;
   std::vector<std::pair<std::string, std::string>> arrays;

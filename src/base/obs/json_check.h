@@ -55,4 +55,10 @@ bool validate_metrics_json(const std::string& text, std::string* error);
 /// every event carries name/ph/ts/pid/tid, with dur required on "X" events.
 bool validate_trace_json(const std::string& text, std::string* error);
 
+/// Validate a lint report (schema fstg.lint.v1): top-level schema tag,
+/// source string, error/warning/info totals, truncated flag, and a findings
+/// array of {rule, severity in {info,warn,error}, message, hint, file,
+/// line} records whose severity totals match the header.
+bool validate_lint_json(const std::string& text, std::string* error);
+
 }  // namespace fstg::obs

@@ -1,0 +1,172 @@
+#include "fault/fault_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/string_util.h"
+
+namespace fstg {
+
+namespace {
+
+bool parse_stuck_value(const std::string& tok, bool* value) {
+  if (tok == "0") {
+    *value = false;
+    return true;
+  }
+  if (tok == "1") {
+    *value = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultListFile parse_fault_list(std::string_view text) {
+  FaultListFile file;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view raw = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+
+    // Comments are whole-line only: "#12" is a valid net reference, so an
+    // inline '#' cannot unambiguously start a comment.
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') {
+      if (pos > text.size()) break;
+      continue;
+    }
+
+    const std::vector<std::string> tok = split_ws(line);
+    if (tok[0] == ".circuit") {
+      if (tok.size() != 2)
+        throw ParseError(".circuit needs exactly one name", line_no);
+      file.circuit = tok[1];
+      file.circuit_line = line_no;
+    } else if (tok[0] == "sa0" || tok[0] == "sa1") {
+      if (tok.size() != 2)
+        throw ParseError(tok[0] + " needs exactly one net", line_no);
+      file.entries.push_back({FaultEntry::Kind::kStuck, tok[1], "", -1,
+                              tok[0] == "sa1", line_no});
+    } else if (tok[0] == "pin") {
+      if (tok.size() != 4)
+        throw ParseError("pin needs: pin <net> <index> <0|1>", line_no);
+      int pin = 0;
+      const char* begin = tok[2].data();
+      const char* end = begin + tok[2].size();
+      const auto [p, ec] = std::from_chars(begin, end, pin);
+      if (ec != std::errc() || p != end || pin < 0)
+        throw ParseError("bad pin index " + tok[2], line_no);
+      bool value = false;
+      if (!parse_stuck_value(tok[3], &value))
+        throw ParseError("pin value must be 0 or 1", line_no);
+      file.entries.push_back(
+          {FaultEntry::Kind::kPin, tok[1], "", pin, value, line_no});
+    } else if (tok[0] == "bridge") {
+      if (tok.size() != 4 || (tok[1] != "and" && tok[1] != "or"))
+        throw ParseError("bridge needs: bridge and|or <netA> <netB>", line_no);
+      file.entries.push_back({FaultEntry::Kind::kBridge, tok[2], tok[3], -1,
+                              tok[1] == "or", line_no});
+    } else {
+      throw ParseError("unknown fault-list keyword " + tok[0], line_no);
+    }
+    if (pos > text.size()) break;
+  }
+  return file;
+}
+
+FaultListFile parse_fault_list_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open fault list: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_fault_list(ss.str());
+}
+
+std::string write_fault_list(const FaultListFile& file) {
+  std::ostringstream out;
+  if (!file.circuit.empty()) out << ".circuit " << file.circuit << "\n";
+  for (const FaultEntry& entry : file.entries) {
+    switch (entry.kind) {
+      case FaultEntry::Kind::kStuck:
+        out << (entry.value ? "sa1 " : "sa0 ") << entry.net << "\n";
+        break;
+      case FaultEntry::Kind::kPin:
+        out << "pin " << entry.net << " " << entry.pin << " "
+            << (entry.value ? "1" : "0") << "\n";
+        break;
+      case FaultEntry::Kind::kBridge:
+        out << "bridge " << (entry.value ? "or " : "and ") << entry.net << " "
+            << entry.net2 << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+NetIndex::NetIndex(const Netlist& nl) : nl_(&nl) {
+  for (int g = 0; g < nl.num_gates(); ++g)
+    if (!nl.gate(g).name.empty()) by_name_.emplace(nl.gate(g).name, g);
+}
+
+int NetIndex::resolve(const std::string& net) const {
+  const auto it = by_name_.find(net);
+  if (it != by_name_.end()) return it->second;
+  std::string_view digits = net;
+  if (!digits.empty() && digits.front() == '#') digits.remove_prefix(1);
+  if (digits.empty()) return -1;
+  int id = 0;
+  const char* begin = digits.data();
+  const char* end = begin + digits.size();
+  const auto [p, ec] = std::from_chars(begin, end, id);
+  if (ec != std::errc() || p != end) return -1;
+  return id >= 0 && id < nl_->num_gates() ? id : -1;
+}
+
+std::vector<FaultSpec> resolve_fault_list(const FaultListFile& file,
+                                          const Netlist& nl) {
+  const NetIndex index(nl);
+  std::vector<FaultSpec> specs;
+  specs.reserve(file.entries.size());
+  for (const FaultEntry& entry : file.entries) {
+    const int g = index.resolve(entry.net);
+    if (g < 0)
+      throw ParseError("unknown net " + entry.net, entry.line);
+    switch (entry.kind) {
+      case FaultEntry::Kind::kStuck:
+        specs.push_back(FaultSpec::stuck_gate(g, entry.value));
+        break;
+      case FaultEntry::Kind::kPin: {
+        const std::size_t fanins = nl.gate(g).fanins.size();
+        if (entry.pin < 0 || static_cast<std::size_t>(entry.pin) >= fanins)
+          throw ParseError("gate " + entry.net + " has " +
+                               std::to_string(fanins) + " pins, pin " +
+                               std::to_string(entry.pin) + " requested",
+                           entry.line);
+        specs.push_back(FaultSpec::stuck_pin(g, entry.pin, entry.value));
+        break;
+      }
+      case FaultEntry::Kind::kBridge: {
+        const int g2 = index.resolve(entry.net2);
+        if (g2 < 0)
+          throw ParseError("unknown net " + entry.net2, entry.line);
+        if (g2 == g)
+          throw ParseError("bridge endpoints are the same net " + entry.net,
+                           entry.line);
+        specs.push_back(entry.value ? FaultSpec::bridge_or(g, g2)
+                                    : FaultSpec::bridge_and(g, g2));
+        break;
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace fstg

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+
+namespace fstg {
+
+/// --- Text fault-list format ----------------------------------------------
+///
+///   # comment (whole-line only: "#12" is a valid net reference)
+///   .circuit <name>          (optional; checked against the target circuit)
+///   sa0 <net>                stem stuck-at-0
+///   sa1 <net>                stem stuck-at-1
+///   pin <net> <k> <0|1>      input pin k of gate <net> stuck at the value
+///   bridge and <netA> <netB> AND-type non-feedback bridge
+///   bridge or <netA> <netB>  OR-type non-feedback bridge
+///
+/// A <net> is a gate name (as in the netlist) or a decimal gate id,
+/// optionally prefixed with '#' (the "AND#12" display form's id part).
+/// Parsing is purely symbolic — net references are only resolved against a
+/// netlist by `resolve_fault_list` (strict) or the fault lint (diagnostic).
+
+struct FaultEntry {
+  enum class Kind : std::uint8_t { kStuck, kPin, kBridge };
+  Kind kind = Kind::kStuck;
+  std::string net;     ///< stuck: the line; pin: the gate; bridge: first net
+  std::string net2;    ///< bridge only
+  int pin = -1;        ///< pin only
+  bool value = false;  ///< stuck/pin: the stuck value; bridge: true = OR-type
+  int line = 0;        ///< 1-based source line
+};
+
+struct FaultListFile {
+  std::string circuit;  ///< .circuit argument, empty if absent
+  int circuit_line = 0;
+  std::vector<FaultEntry> entries;
+};
+
+/// Throws ParseError (with the offending line) on syntax problems only;
+/// whether the named nets exist is a resolution/lint question.
+FaultListFile parse_fault_list(std::string_view text);
+FaultListFile parse_fault_list_file(const std::string& path);
+
+std::string write_fault_list(const FaultListFile& file);
+
+/// Net-name resolution against one netlist: gate names first (first gate
+/// wins on a duplicate name), then "<id>" / "#<id>" decimal forms.
+class NetIndex {
+ public:
+  explicit NetIndex(const Netlist& nl);
+  /// Gate id, or -1 if the reference matches nothing.
+  int resolve(const std::string& net) const;
+
+ private:
+  const Netlist* nl_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+/// Resolve every entry to an injectable FaultSpec. Throws ParseError naming
+/// the offending line on unknown nets or out-of-range pins — the fault lint
+/// reports the same conditions as findings instead of throwing.
+std::vector<FaultSpec> resolve_fault_list(const FaultListFile& file,
+                                          const Netlist& nl);
+
+}  // namespace fstg

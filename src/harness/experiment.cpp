@@ -7,9 +7,38 @@
 #include "base/parallel/thread_pool.h"
 #include "base/robust/budget.h"
 #include "base/timer.h"
+#include "lint/fsm_lint.h"
 #include "netlist/reach.h"
 
 namespace fstg {
+
+namespace {
+
+/// The pre-flight gate (see LintPreflightOptions). Throws ParseError with
+/// the first error finding; warnings and budget exhaustion pass through.
+void lint_preflight(const Kiss2Fsm& fsm, const LintPreflightOptions& options) {
+  if (!options.enabled) return;
+  obs::Span span("lint.preflight", fsm.name);
+  lint::LintReport report;
+  report.source = fsm.name;
+  {
+    robust::RunGuard guard(options.budget, "lint.preflight");
+    lint::lint_fsm_symbolic(fsm, guard, report);
+  }
+  lint::record_lint_metrics(report);
+  if (!report.has_errors()) return;
+  for (const lint::Finding& f : report.findings()) {
+    if (f.severity == lint::Severity::kError)
+      throw ParseError("lint: [" + f.rule + "] " + f.message +
+                           (report.errors() > 1
+                                ? " (+" + std::to_string(report.errors() - 1) +
+                                      " more error finding(s))"
+                                : ""),
+                       f.loc.line);
+  }
+}
+
+}  // namespace
 
 CircuitExperiment run_circuit(const std::string& name,
                               const ExperimentOptions& options) {
@@ -24,6 +53,8 @@ CircuitExperiment run_fsm(const Kiss2Fsm& fsm,
                           const ExperimentOptions& options) {
   CircuitExperiment exp;
   exp.fsm = fsm;
+
+  lint_preflight(fsm, options.lint);
 
   {
     obs::Span span("synth", fsm.name);
@@ -176,6 +207,12 @@ robust::Result<CircuitExperiment> try_run_fsm(const Kiss2Fsm& fsm,
                                               const ExperimentOptions& options) {
   CircuitExperiment exp;
   exp.fsm = fsm;
+
+  try {
+    lint_preflight(fsm, options.lint);
+  } catch (...) {
+    return stage_status("lint", fsm.name);
+  }
 
   try {
     obs::Span span("synth", fsm.name);

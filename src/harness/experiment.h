@@ -3,6 +3,7 @@
 #include <string>
 
 #include "atpg/generator.h"
+#include "base/robust/budget.h"
 #include "base/robust/status.h"
 #include "fault/bridging.h"
 #include "fault/compaction.h"
@@ -14,10 +15,23 @@
 
 namespace fstg {
 
+/// Budgeted pre-flight static analysis, run before synthesis. Only the
+/// cheap symbolic FSM analyses run here — the table-based and netlist
+/// ones are `fstg lint`'s job. Error-severity findings abort the pipeline
+/// with a parse-category failure ("stage lint" in the context chain, exit
+/// code 2 at the CLI); warnings only bump `lint.findings.<rule>` counters.
+/// Budget exhaustion skips the remaining checks and lets the pipeline
+/// continue: a slow lint must never cost a circuit its run.
+struct LintPreflightOptions {
+  bool enabled = true;
+  robust::Budget budget;
+};
+
 /// Options shared by every experiment (paper defaults).
 struct ExperimentOptions {
   SynthesisOptions synth;
   GeneratorOptions gen;  ///< uio_max_length = 0 (=> N_SV), transfer <= 1
+  LintPreflightOptions lint;
 };
 
 /// Everything the functional part of the paper needs for one circuit:

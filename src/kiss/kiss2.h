@@ -13,6 +13,9 @@ struct Kiss2Row {
   std::string present;
   std::string next;
   std::string output;
+  /// 1-based line in the source text (0 for rows built in memory). Carried
+  /// so lint findings can point back at the offending KISS2 line.
+  int line = 0;
 };
 
 /// An FSM as read from (or written to) a KISS2 file. This is the *symbolic*

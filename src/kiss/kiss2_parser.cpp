@@ -3,6 +3,7 @@
 #include <charconv>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "base/error.h"
 #include "base/obs/metrics.h"
@@ -48,9 +49,18 @@ void parse_directive(const std::vector<std::string>& tok, int line_no,
   if (d == ".i") {
     // Input combinations are enumerated as 1u << num_inputs; anything past
     // ~24 inputs is beyond what the algorithms can enumerate anyway.
-    fsm.num_inputs = int_arg(".i", 1, 31);
+    const int v = int_arg(".i", 1, 31);
+    // A mid-file redeclaration with a different width would let rows of
+    // mixed widths through (each row is checked against the width current
+    // at its line), and a mixed-width machine mis-simulates downstream.
+    if (fsm.num_inputs != 0 && fsm.num_inputs != v)
+      throw ParseError(".i redeclared with a different value", line_no);
+    fsm.num_inputs = v;
   } else if (d == ".o") {
-    fsm.num_outputs = int_arg(".o", 1, 4096);
+    const int v = int_arg(".o", 1, 4096);
+    if (fsm.num_outputs != 0 && fsm.num_outputs != v)
+      throw ParseError(".o redeclared with a different value", line_no);
+    fsm.num_outputs = v;
   } else if (d == ".p") {
     decls.p = int_arg(".p", 0, 100'000'000);
   } else if (d == ".s") {
@@ -75,6 +85,7 @@ Kiss2Fsm parse_kiss2(std::string_view text, std::string name) {
   Kiss2Fsm fsm;
   fsm.name = std::move(name);
   Decls decls;
+  std::unordered_map<std::string, int> seen_rows;  // row key -> first line
 
   int line_no = 0;
   std::size_t pos = 0;
@@ -106,7 +117,7 @@ Kiss2Fsm parse_kiss2(std::string_view text, std::string name) {
     if (fsm.num_inputs == 0 || fsm.num_outputs == 0)
       throw ParseError("row before .i/.o declarations", line_no);
 
-    Kiss2Row row{tok[0], tok[1], tok[2], tok[3]};
+    Kiss2Row row{tok[0], tok[1], tok[2], tok[3], line_no};
     if (static_cast<int>(row.input.size()) != fsm.num_inputs)
       throw ParseError("input field width " + std::to_string(row.input.size()) +
                            " != .i " + std::to_string(fsm.num_inputs),
@@ -122,6 +133,18 @@ Kiss2Fsm parse_kiss2(std::string_view text, std::string name) {
       throw ParseError("output field must be over {0,1,-}", line_no);
     if (row.present == "*" || row.next == "*")
       throw ParseError("`*` (any state) rows are not supported", line_no);
+
+    // An exact duplicate of an earlier row is always a mistake (typically a
+    // copy-paste or a concatenated file): it silently skews the .p count
+    // and row-derived statistics while changing nothing about the machine.
+    const std::string row_key =
+        row.input + '\x01' + row.present + '\x01' + row.next + '\x01' +
+        row.output;
+    auto [dup_it, inserted] = seen_rows.emplace(row_key, line_no);
+    if (!inserted)
+      throw ParseError("duplicate transition row (first at line " +
+                           std::to_string(dup_it->second) + ")",
+                       line_no);
 
     fsm.rows.push_back(std::move(row));
     if (pos > text.size()) break;

@@ -1,0 +1,261 @@
+#include "lint/fault_lint.h"
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "base/bitvec.h"
+#include "fault/fault.h"
+#include "netlist/reach.h"
+
+namespace fstg::lint {
+
+namespace {
+
+/// Root of a gate's fanout-free region: follow the single-fanout chain
+/// toward the outputs until a stem (fanout > 1), a primary output, or a
+/// sink. Two lines with the same root lie in the same FFR.
+int ffr_root(int g, const std::vector<std::vector<int>>& fanouts,
+             const BitVec& is_output, std::vector<int>& memo) {
+  std::vector<int> path;
+  while (memo[static_cast<std::size_t>(g)] < 0) {
+    if (is_output.test(static_cast<std::size_t>(g)) ||
+        fanouts[static_cast<std::size_t>(g)].size() != 1) {
+      memo[static_cast<std::size_t>(g)] = g;
+      break;
+    }
+    path.push_back(g);
+    g = fanouts[static_cast<std::size_t>(g)][0];
+  }
+  const int root = memo[static_cast<std::size_t>(g)];
+  for (int p : path) memo[static_cast<std::size_t>(p)] = root;
+  return root;
+}
+
+/// Canonical duplicate-detection key; bridge endpoints are unordered.
+std::tuple<int, int, int, int> fault_key(const FaultSpec& spec) {
+  int a = spec.gate;
+  int b = spec.gate2_or_pin;
+  if (spec.kind == FaultSpec::Kind::kBridge && b < a) std::swap(a, b);
+  return {static_cast<int>(spec.kind), a, b, spec.value ? 1 : 0};
+}
+
+/// The stem fault a pin fault collapses onto under the gate-local
+/// equivalence rules of enumerate_stuck_at, if any: a controlling-value
+/// pin (AND/NAND s-a-0, OR/NOR s-a-1) forces the output, and unary gates
+/// propagate the pin fault directly. Returns kNone if the pin fault does
+/// not collapse.
+FaultSpec collapsed_stem(const Netlist& nl, const FaultSpec& pin_fault,
+                         const std::vector<std::vector<int>>& fanouts) {
+  const Gate& gate = nl.gate(pin_fault.gate);
+  const bool value = pin_fault.value;
+  switch (gate.type) {
+    case GateType::kAnd:
+      if (!value) return FaultSpec::stuck_gate(pin_fault.gate, false);
+      break;
+    case GateType::kNand:
+      if (!value) return FaultSpec::stuck_gate(pin_fault.gate, true);
+      break;
+    case GateType::kOr:
+      if (value) return FaultSpec::stuck_gate(pin_fault.gate, true);
+      break;
+    case GateType::kNor:
+      if (value) return FaultSpec::stuck_gate(pin_fault.gate, false);
+      break;
+    case GateType::kBuf:
+      return FaultSpec::stuck_gate(pin_fault.gate, value);
+    case GateType::kNot:
+      return FaultSpec::stuck_gate(pin_fault.gate, !value);
+    default:
+      break;
+  }
+  // A branch on a single-fanout line is the same fault as its stem.
+  const int driver = gate.fanins[static_cast<std::size_t>(pin_fault.gate2_or_pin)];
+  if (fanouts[static_cast<std::size_t>(driver)].size() <= 1)
+    return FaultSpec::stuck_gate(driver, value);
+  return FaultSpec::none();
+}
+
+}  // namespace
+
+void lint_fault_list(const FaultListFile& file, const ScanCircuit& circuit,
+                     robust::RunGuard& guard, LintReport& report) {
+  const Netlist& nl = circuit.comb;
+  const NetIndex index(nl);
+
+  if (!file.circuit.empty() && !circuit.name.empty() &&
+      file.circuit != circuit.name) {
+    report.add("fault-circuit-mismatch",
+               ".circuit names " + file.circuit +
+                   " but the target circuit is " + circuit.name,
+               "regenerate the fault list for this circuit",
+               {report.source, file.circuit_line});
+  }
+
+  const std::vector<std::vector<int>> fanouts = nl.fanouts();
+  BitVec is_output(static_cast<std::size_t>(nl.num_gates()));
+  for (int out : nl.outputs()) is_output.set(static_cast<std::size_t>(out));
+
+  // Bridges need the structural-path oracle; skip those checks (and mark
+  // the report truncated) if the budget cannot afford the matrix.
+  bool has_bridge = false;
+  for (const FaultEntry& entry : file.entries)
+    if (entry.kind == FaultEntry::Kind::kBridge) has_bridge = true;
+  std::vector<BitVec> reach;
+  bool reach_ok = false;
+  if (has_bridge) {
+    robust::Result<std::vector<BitVec>> result =
+        forward_reachability_guarded(nl, guard);
+    if (result.is_ok()) {
+      reach = result.take();
+      reach_ok = true;
+    } else {
+      report.truncated = true;
+    }
+  }
+  std::vector<int> ffr_memo(static_cast<std::size_t>(nl.num_gates()), -1);
+
+  struct Resolved {
+    FaultSpec spec;
+    int line;
+  };
+  std::vector<Resolved> resolved;
+  std::map<std::tuple<int, int, int, int>, int> first_line;
+
+  for (const FaultEntry& entry : file.entries) {
+    if (!guard.tick()) {
+      report.truncated = true;
+      return;
+    }
+    const int g = index.resolve(entry.net);
+    if (g < 0) {
+      report.add("fault-unknown-net",
+                 "net " + entry.net + " matches no gate in " +
+                     (circuit.name.empty() ? "the circuit" : circuit.name),
+                 "use a gate name or a decimal gate id 0.." +
+                     std::to_string(nl.num_gates() - 1),
+                 {report.source, entry.line});
+      continue;
+    }
+    FaultSpec spec = FaultSpec::none();
+    switch (entry.kind) {
+      case FaultEntry::Kind::kStuck: {
+        spec = FaultSpec::stuck_gate(g, entry.value);
+        const GateType type = nl.gate(g).type;
+        if (type == GateType::kConst0 || type == GateType::kConst1) {
+          report.add("fault-on-const",
+                     describe_fault(nl, spec) +
+                         " targets a constant line; the fault is either "
+                         "undetectable or the constant itself",
+                     "drop it — enumerate_stuck_at never emits it",
+                     {report.source, entry.line});
+        }
+        break;
+      }
+      case FaultEntry::Kind::kPin: {
+        const std::size_t fanins = nl.gate(g).fanins.size();
+        if (entry.pin < 0 || static_cast<std::size_t>(entry.pin) >= fanins) {
+          report.add("fault-bad-pin",
+                     "gate " + entry.net + " has " + std::to_string(fanins) +
+                         " input pin(s), pin " + std::to_string(entry.pin) +
+                         " requested",
+                     fanins == 0 ? "the gate is an input or constant; use a "
+                                   "stem fault (sa0/sa1) instead"
+                                 : "pin indices are 0-based",
+                     {report.source, entry.line});
+          continue;
+        }
+        spec = FaultSpec::stuck_pin(g, entry.pin, entry.value);
+        break;
+      }
+      case FaultEntry::Kind::kBridge: {
+        const int g2 = index.resolve(entry.net2);
+        if (g2 < 0) {
+          report.add("fault-unknown-net",
+                     "net " + entry.net2 + " matches no gate in " +
+                         (circuit.name.empty() ? "the circuit" : circuit.name),
+                     "use a gate name or a decimal gate id 0.." +
+                         std::to_string(nl.num_gates() - 1),
+                     {report.source, entry.line});
+          continue;
+        }
+        spec = entry.value ? FaultSpec::bridge_or(g, g2)
+                           : FaultSpec::bridge_and(g, g2);
+        if (g == g2) {
+          report.add("fault-bridge-feedback",
+                     "net " + entry.net + " is bridged with itself",
+                     "a bridge needs two distinct lines",
+                     {report.source, entry.line});
+          continue;
+        }
+        if (reach_ok &&
+            (reach[static_cast<std::size_t>(g)].test(
+                 static_cast<std::size_t>(g2)) ||
+             reach[static_cast<std::size_t>(g2)].test(
+                 static_cast<std::size_t>(g)))) {
+          report.add("fault-bridge-feedback",
+                     describe_fault(nl, spec) +
+                         ": a structural path connects the bridged lines, so "
+                         "the bridge would create a feedback loop",
+                     "the non-feedback bridge model cannot simulate it; "
+                     "drop the pair (paper condition 3)",
+                     {report.source, entry.line});
+          continue;
+        }
+        if (ffr_root(g, fanouts, is_output, ffr_memo) ==
+            ffr_root(g2, fanouts, is_output, ffr_memo)) {
+          report.add("fault-bridge-same-ffr",
+                     describe_fault(nl, spec) +
+                         ": both lines lie in the same fanout-free region",
+                     "the bridge is dominated by faults at the region's "
+                     "stem; it adds no coverage information",
+                     {report.source, entry.line});
+        }
+        for (int consumer : fanouts[static_cast<std::size_t>(g)]) {
+          bool shared = false;
+          for (int other : fanouts[static_cast<std::size_t>(g2)])
+            if (other == consumer) shared = true;
+          if (shared) {
+            report.add("fault-bridge-shared-gate",
+                       describe_fault(nl, spec) +
+                           ": both lines feed gate " +
+                           std::to_string(consumer) + " (paper condition 2)",
+                       "pick lines that are inputs of different gates");
+            break;
+          }
+        }
+        break;
+      }
+    }
+    const auto [it, inserted] = first_line.emplace(fault_key(spec), entry.line);
+    if (!inserted) {
+      report.add("fault-duplicate",
+                 describe_fault(nl, spec) + " duplicates the entry at line " +
+                     std::to_string(it->second),
+                 "remove the duplicate; it would double-count in coverage",
+                 {report.source, entry.line});
+      continue;
+    }
+    resolved.push_back({spec, entry.line});
+  }
+
+  // fault-equivalent: a pin fault whose gate-local collapse target is also
+  // in the list tests the same defect twice.
+  for (const Resolved& r : resolved) {
+    if (r.spec.kind != FaultSpec::Kind::kStuckPin) continue;
+    const FaultSpec stem = collapsed_stem(nl, r.spec, fanouts);
+    if (stem.kind == FaultSpec::Kind::kNone) continue;
+    const auto it = first_line.find(fault_key(stem));
+    if (it == first_line.end()) continue;
+    report.add("fault-equivalent",
+               describe_fault(nl, r.spec) + " is equivalent to " +
+                   describe_fault(nl, stem) + " (line " +
+                   std::to_string(it->second) + ")",
+               "keep one of the two; collapsing would merge them",
+               {report.source, r.line});
+  }
+}
+
+}  // namespace fstg::lint

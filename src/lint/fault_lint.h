@@ -1,0 +1,28 @@
+#pragma once
+
+#include "base/robust/budget.h"
+#include "fault/fault_io.h"
+#include "lint/diagnostic.h"
+#include "netlist/netlist.h"
+
+namespace fstg::lint {
+
+/// Analyses of a symbolic fault list against the circuit it targets:
+///   fault-circuit-mismatch   .circuit disagrees with the circuit's name
+///   fault-unknown-net        net reference resolves to no gate
+///   fault-bad-pin            pin index out of range for the gate
+///   fault-on-const           stuck-at on a constant line (untestable)
+///   fault-duplicate          entry resolves to an already-listed fault
+///   fault-equivalent         entry gate-locally equivalent to another entry
+///   fault-bridge-feedback    bridged lines lie on a structural path
+///   fault-bridge-same-ffr    bridged lines share a fanout-free region
+///   fault-bridge-shared-gate bridged lines feed the same gate
+/// Error findings are the conditions `resolve_fault_list` throws on, plus
+/// feedback bridges (the non-feedback bridge simulator would silently
+/// produce invalid results for them); warnings are faults the simulator
+/// accepts but that skew coverage statistics (duplicates) or violate the
+/// paper's bridging conditions.
+void lint_fault_list(const FaultListFile& file, const ScanCircuit& circuit,
+                     robust::RunGuard& guard, LintReport& report);
+
+}  // namespace fstg::lint

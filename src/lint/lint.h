@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "base/robust/budget.h"
+#include "fault/fault_io.h"
+#include "kiss/kiss2.h"
+#include "lint/diagnostic.h"
+#include "lint/fault_lint.h"
+#include "lint/fsm_lint.h"
+#include "lint/netlist_lint.h"
+
+namespace fstg::lint {
+
+/// Options for one whole lint run (`fstg lint`, tests).
+struct LintOptions {
+  robust::Budget budget;  ///< envelope for the whole run (default unlimited)
+  /// Run the table-based FSM analyses (equivalence, UIO existence). They
+  /// need a completed table, so they are skipped for machines the checks
+  /// below rule out or that have nondeterminism errors.
+  bool check_table = true;
+  int uio_max_length = 0;  ///< 0 = the machine's state_bits() (N_SV)
+};
+
+/// Lint a symbolic KISS2 machine: always the symbolic analyses; the
+/// table-based ones on `expand_fsm(kSelfLoop)` when the machine is
+/// deterministic and small enough to expand (inputs <= 20, outputs <= 32).
+/// With `faults`, the machine is synthesized (the fault list refers to the
+/// implementation's nets) and the fault analyses run against it.
+LintReport run_lint_kiss2(const Kiss2Fsm& fsm, const FaultListFile* faults,
+                          const LintOptions& options = {});
+
+/// Lint a BLIF model: structural analyses first; if they found no errors
+/// the strict parser is guaranteed to accept, and the circuit-level (and,
+/// for small circuits, table-based) analyses run on the built circuit.
+LintReport run_lint_blif(const BlifModel& model, const std::string& source,
+                         const FaultListFile* faults,
+                         const LintOptions& options = {});
+
+}  // namespace fstg::lint

@@ -1,0 +1,365 @@
+#include "lint/netlist_lint.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/bitvec.h"
+#include "base/error.h"
+#include "base/string_util.h"
+#include "netlist/reach.h"
+
+namespace fstg::lint {
+
+namespace {
+
+std::string gate_label(const Netlist& nl, int id) {
+  const Gate& g = nl.gate(id);
+  return g.name.empty() ? strf("%s#%d", gate_type_name(g.type), id) : g.name;
+}
+
+/// Consumer -> producer edges among .names blocks (through block-output
+/// nets only; latch outputs break combinational paths by construction).
+std::vector<std::vector<int>> block_graph(const BlifModel& model) {
+  std::unordered_map<std::string, int> producer;
+  for (std::size_t b = 0; b < model.blocks.size(); ++b)
+    producer.emplace(model.blocks[b].output, static_cast<int>(b));
+  std::vector<std::vector<int>> adj(model.blocks.size());
+  for (std::size_t b = 0; b < model.blocks.size(); ++b) {
+    for (const std::string& in : model.blocks[b].inputs) {
+      const auto it = producer.find(in);
+      if (it != producer.end()) adj[b].push_back(it->second);
+    }
+  }
+  return adj;
+}
+
+/// Iterative Tarjan SCC; returns components in discovery order. A cycle is
+/// a component of size >= 2, or a single block that feeds itself.
+std::vector<std::vector<int>> strongly_connected_components(
+    const std::vector<std::vector<int>>& adj, robust::RunGuard& guard,
+    bool* cut_short) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> components;
+  int counter = 0;
+
+  struct Frame {
+    int v;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames;
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t v = static_cast<std::size_t>(f.v);
+      if (f.edge == 0) {
+        index[v] = low[v] = counter++;
+        stack.push_back(f.v);
+        on_stack[v] = true;
+      }
+      if (!guard.tick()) {
+        *cut_short = true;
+        return components;
+      }
+      if (f.edge < adj[v].size()) {
+        const int w = adj[v][f.edge++];
+        const std::size_t wu = static_cast<std::size_t>(w);
+        if (index[wu] == -1) {
+          frames.push_back({w, 0});
+        } else if (on_stack[wu]) {
+          if (index[wu] < low[v]) low[v] = index[wu];
+        }
+        continue;
+      }
+      if (low[v] == index[v]) {
+        std::vector<int> component;
+        int w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          component.push_back(w);
+        } while (w != f.v);
+        components.push_back(std::move(component));
+      }
+      const int done = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::size_t p = static_cast<std::size_t>(frames.back().v);
+        if (low[static_cast<std::size_t>(done)] < low[p])
+          low[p] = low[static_cast<std::size_t>(done)];
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+void lint_blif_model(const BlifModel& model, robust::RunGuard& guard,
+                     LintReport& report) {
+  // The strict parser (`parse_blif`) must reject exactly the models this
+  // function reports errors for — the fuzz harness enforces it. Keep the
+  // two in sync when adding checks.
+  if (model.inputs.empty() && model.latches.empty())
+    report.add("scan-chain-broken",
+               "model declares no .inputs and no .latch lines",
+               "a circuit needs at least one input or state variable",
+               {report.source, 1});
+  if (model.outputs.empty())
+    report.add("scan-chain-broken", "model declares no .outputs",
+               "declare the observable nets with .outputs",
+               {report.source, 1});
+
+  // Driver and consumer tables, in declaration order.
+  struct Driver {
+    std::string what;
+    int line;
+  };
+  std::vector<std::pair<std::string, Driver>> drivers;
+  for (const BlifNetDecl& in : model.inputs)
+    drivers.push_back({in.net, {"primary input", in.line}});
+  for (const BlifLatch& latch : model.latches)
+    drivers.push_back({latch.state_out, {"latch output", latch.line}});
+  for (const BlifNames& block : model.blocks)
+    drivers.push_back({block.output, {".names output", block.line}});
+
+  struct Use {
+    std::string what;
+    int line;
+  };
+  std::vector<std::pair<std::string, Use>> uses;
+  for (const BlifNames& block : model.blocks)
+    for (const std::string& in : block.inputs)
+      uses.push_back({in, {".names input", block.line}});
+  for (const BlifLatch& latch : model.latches)
+    uses.push_back({latch.data_in, {"latch input", latch.line}});
+  for (const BlifNetDecl& out : model.outputs)
+    uses.push_back({out.net, {"primary output", out.line}});
+
+  // net-multiple-drivers: one finding per over-driven net.
+  std::unordered_map<std::string, const Driver*> first_driver;
+  std::unordered_set<std::string> reported_multi;
+  for (const auto& [net, driver] : drivers) {
+    if (!guard.tick()) {
+      report.truncated = true;
+      return;
+    }
+    const auto [it, inserted] = first_driver.emplace(net, &driver);
+    if (!inserted && reported_multi.insert(net).second) {
+      report.add("net-multiple-drivers",
+                 "net " + net + " has multiple drivers: " + it->second->what +
+                     " at line " + std::to_string(it->second->line) +
+                     " and " + driver.what + " at line " +
+                     std::to_string(driver.line),
+                 "rename one of the drivers or delete the duplicate",
+                 {report.source, driver.line});
+    }
+  }
+
+  // net-undriven: one finding per missing net, at its first use.
+  std::unordered_set<std::string> reported_undriven;
+  std::unordered_set<std::string> used;
+  for (const auto& [net, use] : uses) {
+    if (!guard.tick()) {
+      report.truncated = true;
+      return;
+    }
+    used.insert(net);
+    if (first_driver.count(net) == 0 && reported_undriven.insert(net).second) {
+      report.add("net-undriven",
+                 "net " + net + " is used as " + use.what +
+                     " but nothing drives it",
+                 "declare it in .inputs or drive it with a .names block",
+                 {report.source, use.line});
+    }
+  }
+
+  // net-dangling: driven but consumed nowhere.
+  std::unordered_set<std::string> reported_dangling;
+  for (const auto& [net, driver] : drivers) {
+    if (used.count(net) > 0) continue;
+    if (!reported_dangling.insert(net).second) continue;
+    report.add("net-dangling",
+               "net " + net + " (" + driver.what +
+                   ") is never used by any block, latch, or output",
+               "delete it or connect it",
+               {report.source, driver.line});
+  }
+
+  // net-comb-cycle: SCCs of the block dependency graph.
+  bool cut_short = false;
+  const std::vector<std::vector<int>> adj = block_graph(model);
+  for (const std::vector<int>& component :
+       strongly_connected_components(adj, guard, &cut_short)) {
+    bool cyclic = component.size() >= 2;
+    if (!cyclic) {
+      const std::size_t v = static_cast<std::size_t>(component[0]);
+      for (int w : adj[v])
+        if (w == component[0]) cyclic = true;
+    }
+    if (!cyclic) continue;
+    std::string nets;
+    constexpr std::size_t kMaxListed = 8;
+    for (std::size_t i = 0; i < component.size() && i < kMaxListed; ++i) {
+      if (i > 0) nets += " -> ";
+      nets += model.blocks[static_cast<std::size_t>(component[i])].output;
+    }
+    if (component.size() > kMaxListed)
+      nets += " -> ... (+" + std::to_string(component.size() - kMaxListed) +
+              " more)";
+    int line = model.blocks[static_cast<std::size_t>(component[0])].line;
+    for (int b : component)
+      if (model.blocks[static_cast<std::size_t>(b)].line < line)
+        line = model.blocks[static_cast<std::size_t>(b)].line;
+    report.add("net-comb-cycle",
+               "combinational cycle among .names blocks: " + nets,
+               "break the loop with a .latch or restructure the logic",
+               {report.source, line});
+  }
+  if (cut_short) report.truncated = true;
+}
+
+void lint_scan_circuit(const ScanCircuit& circuit, robust::RunGuard& guard,
+                       LintReport& report) {
+  const Netlist& nl = circuit.comb;
+
+  // scan-chain-broken: the full-scan port contract.
+  if (circuit.num_pi < 0 || circuit.num_po < 0 || circuit.num_sv < 0 ||
+      nl.num_inputs() != circuit.comb_inputs() ||
+      nl.num_outputs() != circuit.comb_outputs()) {
+    report.add("scan-chain-broken",
+               "combinational core has " + std::to_string(nl.num_inputs()) +
+                   " inputs / " + std::to_string(nl.num_outputs()) +
+                   " outputs but the scan bookkeeping declares " +
+                   std::to_string(circuit.num_pi) + " PI + " +
+                   std::to_string(circuit.num_sv) + " SV and " +
+                   std::to_string(circuit.num_po) + " PO + " +
+                   std::to_string(circuit.num_sv) + " SV",
+               "the core's ports must be [PI][SV] -> [PO][next SV]");
+    return;  // the index arithmetic below would be meaningless
+  }
+
+  // Observability: backward BFS from the outputs over fanins.
+  BitVec observable(static_cast<std::size_t>(nl.num_gates()));
+  {
+    std::vector<int> stack;
+    for (int out : nl.outputs()) {
+      if (!observable.test(static_cast<std::size_t>(out))) {
+        observable.set(static_cast<std::size_t>(out));
+        stack.push_back(out);
+      }
+    }
+    while (!stack.empty()) {
+      const int g = stack.back();
+      stack.pop_back();
+      if (!guard.tick()) {
+        report.truncated = true;
+        return;
+      }
+      for (int fi : nl.gate(g).fanins) {
+        if (observable.test(static_cast<std::size_t>(fi))) continue;
+        observable.set(static_cast<std::size_t>(fi));
+        stack.push_back(fi);
+      }
+    }
+  }
+
+  // Cross-check against the independent forward-reachability oracle
+  // (netlist/reach.cpp): a gate is observable iff it is an output or some
+  // output lies strictly downstream of it. Budget exhaustion skips the
+  // cross-check (the BFS result stands), it never fabricates findings.
+  {
+    robust::Result<std::vector<BitVec>> reach =
+        forward_reachability_guarded(nl, guard);
+    if (reach.is_ok()) {
+      BitVec is_output(static_cast<std::size_t>(nl.num_gates()));
+      for (int out : nl.outputs()) is_output.set(static_cast<std::size_t>(out));
+      for (int g = 0; g < nl.num_gates(); ++g) {
+        bool reaches_output = is_output.test(static_cast<std::size_t>(g));
+        for (int out : nl.outputs())
+          if (reach.value()[static_cast<std::size_t>(g)].test(
+                  static_cast<std::size_t>(out)))
+            reaches_output = true;
+        require(reaches_output == observable.test(static_cast<std::size_t>(g)),
+                "lint: observability BFS disagrees with forward_reachability "
+                "for gate " +
+                    gate_label(nl, g));
+      }
+    } else {
+      report.truncated = true;
+    }
+  }
+
+  // net-dangling / scan-sv-unused: unobservable primary inputs and state
+  // variables (distinct rules — a dead SV means the machine has fewer
+  // reachable states than its encoding suggests).
+  for (int i = 0; i < nl.num_inputs(); ++i) {
+    const int g = nl.inputs()[static_cast<std::size_t>(i)];
+    if (observable.test(static_cast<std::size_t>(g))) continue;
+    if (i < circuit.num_pi) {
+      report.add("net-dangling",
+                 "primary input " + gate_label(nl, g) +
+                     " affects no output or next-state function",
+                 "remove the input or connect it");
+    } else {
+      report.add("scan-sv-unused",
+                 "state variable " + std::to_string(i - circuit.num_pi) +
+                     " (" + gate_label(nl, g) +
+                     ") affects no output or next-state function",
+                 "the encoding wastes a scan cell; re-encode with fewer "
+                 "state variables");
+    }
+  }
+
+  // net-dead-cone: unobservable logic gates, summarized in one finding.
+  {
+    int dead = 0;
+    std::string examples;
+    constexpr int kMaxListed = 8;
+    for (int g = 0; g < nl.num_gates(); ++g) {
+      if (nl.gate(g).type == GateType::kInput) continue;
+      if (observable.test(static_cast<std::size_t>(g))) continue;
+      ++dead;
+      if (dead <= kMaxListed) {
+        if (!examples.empty()) examples += ", ";
+        examples += gate_label(nl, g);
+      }
+    }
+    if (dead > 0) {
+      if (dead > kMaxListed)
+        examples += ", ... (+" + std::to_string(dead - kMaxListed) + " more)";
+      report.add("net-dead-cone",
+                 std::to_string(dead) +
+                     " gate(s) drive no primary or next-state output: " +
+                     examples,
+                 "dead logic inflates the fault list with undetectable "
+                 "faults; remove it");
+    }
+  }
+
+  // scan-sv-constant: next-state function that is a constant (through any
+  // buffer chain).
+  for (int k = 0; k < circuit.num_sv; ++k) {
+    int g = nl.outputs()[static_cast<std::size_t>(circuit.num_po + k)];
+    while (nl.gate(g).type == GateType::kBuf) g = nl.gate(g).fanins[0];
+    const GateType type = nl.gate(g).type;
+    if (type != GateType::kConst0 && type != GateType::kConst1) continue;
+    report.add("scan-sv-constant",
+               "state variable " + std::to_string(k) +
+                   " is always loaded with constant " +
+                   (type == GateType::kConst1 ? "1" : "0"),
+               "the variable never toggles functionally; it only moves "
+               "during scan");
+  }
+}
+
+}  // namespace fstg::lint

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "base/robust/budget.h"
+#include "lint/diagnostic.h"
+#include "netlist/blif_reader.h"
+#include "netlist/netlist.h"
+
+namespace fstg::lint {
+
+/// Structural analyses on the declaration-level BLIF model (the tolerant
+/// `parse_blif_model` output, so malformed graphs can still be diagnosed):
+///   net-comb-cycle        cyclic .names dependencies (SCC over blocks)
+///   net-undriven          net consumed but never driven
+///   net-multiple-drivers  net driven by more than one declaration
+///   net-dangling          net driven but never consumed
+/// These are exactly the malformations the strict `parse_blif` rejects;
+/// the fuzz harness enforces that equivalence (no error finding <=> the
+/// strict parser accepts).
+void lint_blif_model(const BlifModel& model, robust::RunGuard& guard,
+                     LintReport& report);
+
+/// Analyses on a built full-scan circuit:
+///   scan-chain-broken   comb port counts disagree with num_pi/po/sv
+///   net-dead-cone       logic observable at no output (cross-checked
+///                       against netlist/reach.cpp's forward reachability)
+///   net-dangling        primary input that drives no output
+///   scan-sv-unused      present-state variable that affects no output
+///   scan-sv-constant    next-state function is a constant
+void lint_scan_circuit(const ScanCircuit& circuit, robust::RunGuard& guard,
+                       LintReport& report);
+
+}  // namespace fstg::lint

@@ -1,6 +1,5 @@
 #include "netlist/blif_reader.h"
 
-#include <deque>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -11,24 +10,6 @@
 namespace fstg {
 
 namespace {
-
-struct NamesBlock {
-  std::vector<std::string> inputs;
-  std::string output;
-  std::vector<std::string> rows;  ///< input part only
-  bool on_set = true;             ///< false: rows describe the off-set
-  bool has_rows = false;
-  int line = 0;
-};
-
-struct BlifModel {
-  std::string name;
-  std::vector<std::string> inputs;
-  std::vector<std::string> outputs;
-  /// latch: data input net -> output (present-state) net.
-  std::vector<std::pair<std::string, std::string>> latches;
-  std::vector<NamesBlock> blocks;
-};
 
 /// Split the text into logical lines: strip comments, join continuations.
 std::vector<std::pair<int, std::string>> logical_lines(std::string_view text) {
@@ -64,9 +45,11 @@ std::vector<std::pair<int, std::string>> logical_lines(std::string_view text) {
   return out;
 }
 
-BlifModel parse_model(std::string_view text) {
+}  // namespace
+
+BlifModel parse_blif_model(std::string_view text) {
   BlifModel model;
-  NamesBlock* current = nullptr;
+  BlifNames* current = nullptr;
   for (const auto& [line_no, line] : logical_lines(text)) {
     const std::vector<std::string> tok = split_ws(line);
     if (tok.empty()) continue;
@@ -75,15 +58,17 @@ BlifModel parse_model(std::string_view text) {
       if (tok[0] == ".model") {
         if (tok.size() >= 2) model.name = tok[1];
       } else if (tok[0] == ".inputs") {
-        model.inputs.insert(model.inputs.end(), tok.begin() + 1, tok.end());
+        for (std::size_t i = 1; i < tok.size(); ++i)
+          model.inputs.push_back({tok[i], line_no});
       } else if (tok[0] == ".outputs") {
-        model.outputs.insert(model.outputs.end(), tok.begin() + 1, tok.end());
+        for (std::size_t i = 1; i < tok.size(); ++i)
+          model.outputs.push_back({tok[i], line_no});
       } else if (tok[0] == ".latch") {
         if (tok.size() < 3) throw ParseError(".latch needs input and output", line_no);
-        model.latches.emplace_back(tok[1], tok[2]);
+        model.latches.push_back({tok[1], tok[2], line_no});
       } else if (tok[0] == ".names") {
         if (tok.size() < 2) throw ParseError(".names needs at least an output", line_no);
-        NamesBlock block;
+        BlifNames block;
         block.inputs.assign(tok.begin() + 1, tok.end() - 1);
         block.output = tok.back();
         block.line = line_no;
@@ -125,29 +110,39 @@ BlifModel parse_model(std::string_view text) {
   return model;
 }
 
+namespace {
+
 /// Builds gates for the blocks in dependency order.
 class BlifBuilder {
  public:
   explicit BlifBuilder(Netlist& nl) : nl_(nl) {}
 
-  void define(const std::string& net, int gate) { net_gate_[net] = gate; }
+  /// Register `net` as driven by `gate`; a second driver for the same net
+  /// is a malformed file (two .names blocks, a block colliding with an
+  /// input, a duplicated input name, ...), not an internal invariant.
+  void define(const std::string& net, int gate, int line) {
+    auto [it, inserted] = net_gate_.emplace(net, gate);
+    if (!inserted)
+      throw ParseError("BLIF: net " + net + " has multiple drivers", line);
+  }
   bool defined(const std::string& net) const { return net_gate_.count(net) > 0; }
-  int gate_of(const std::string& net) const {
+  int gate_of(const std::string& net, int line) const {
     auto it = net_gate_.find(net);
-    require(it != net_gate_.end(), "BLIF: undefined net " + net);
+    if (it == net_gate_.end())
+      throw ParseError("BLIF: undefined net " + net, line);
     return it->second;
   }
 
-  int inverter(const std::string& net) {
+  int inverter(const std::string& net, int line) {
     auto it = inverter_of_.find(net);
     if (it != inverter_of_.end()) return it->second;
-    const int inv = nl_.add_gate(GateType::kNot, {gate_of(net)});
+    const int inv = nl_.add_gate(GateType::kNot, {gate_of(net, line)});
     inverter_of_.emplace(net, inv);
     return inv;
   }
 
   /// Emit the gates of one block; returns the gate driving its output net.
-  int emit(const NamesBlock& block) {
+  int emit(const BlifNames& block) {
     // Constant blocks.
     if (block.inputs.empty()) {
       const bool value = block.has_rows && block.on_set;
@@ -161,8 +156,9 @@ class BlifBuilder {
       std::vector<int> literals;
       for (std::size_t i = 0; i < row.size(); ++i) {
         if (row[i] == '-') continue;
-        literals.push_back(row[i] == '1' ? gate_of(block.inputs[i])
-                                         : inverter(block.inputs[i]));
+        literals.push_back(row[i] == '1'
+                               ? gate_of(block.inputs[i], block.line)
+                               : inverter(block.inputs[i], block.line));
       }
       if (literals.empty()) {
         // Universal row: function is constant (1 for on-set, 0 otherwise).
@@ -188,8 +184,7 @@ class BlifBuilder {
 
 }  // namespace
 
-ScanCircuit parse_blif(std::string_view text) {
-  BlifModel model = parse_model(text);
+ScanCircuit parse_blif(const BlifModel& model) {
   // Empty or directive-only input is a malformed *file*, not an internal
   // invariant: keep it in the ParseError category so callers that map
   // parse failures to a distinct exit code / Status see it as one.
@@ -204,26 +199,40 @@ ScanCircuit parse_blif(std::string_view text) {
   circuit.num_sv = static_cast<int>(model.latches.size());
 
   BlifBuilder builder(circuit.comb);
-  for (const std::string& in : model.inputs)
-    builder.define(in, circuit.comb.add_input(in));
-  for (const auto& [data_in, state_out] : model.latches)
-    builder.define(state_out, circuit.comb.add_input(state_out));
+  for (const BlifNetDecl& in : model.inputs)
+    builder.define(in.net, circuit.comb.add_input(in.net), in.line);
+  for (const BlifLatch& latch : model.latches)
+    builder.define(latch.state_out, circuit.comb.add_input(latch.state_out),
+                   latch.line);
 
   // Topological emission of the names blocks (Kahn over net dependencies).
   std::vector<bool> emitted(model.blocks.size(), false);
   std::size_t done = 0;
+  // Drivers are claimed up front so a block output colliding with another
+  // block (or an input) is reported as the multiple-driver error it is,
+  // not as the "cycle or undefined nets" leftover of the Kahn loop.
+  {
+    std::map<std::string, int> block_output_line;
+    for (const BlifNames& block : model.blocks) {
+      if (builder.defined(block.output))
+        throw ParseError("BLIF: net " + block.output + " has multiple drivers",
+                         block.line);
+      auto [it, inserted] = block_output_line.emplace(block.output, block.line);
+      if (!inserted)
+        throw ParseError("BLIF: net " + block.output + " has multiple drivers",
+                         block.line);
+    }
+  }
   while (done < model.blocks.size()) {
     bool progress = false;
     for (std::size_t b = 0; b < model.blocks.size(); ++b) {
       if (emitted[b]) continue;
-      const NamesBlock& block = model.blocks[b];
+      const BlifNames& block = model.blocks[b];
       bool ready = true;
       for (const std::string& in : block.inputs)
         if (!builder.defined(in)) ready = false;
       if (!ready) continue;
-      require(!builder.defined(block.output),
-              "BLIF: net " + block.output + " defined twice");
-      builder.define(block.output, builder.emit(block));
+      builder.define(block.output, builder.emit(block), block.line);
       emitted[b] = true;
       ++done;
       progress = true;
@@ -239,11 +248,15 @@ ScanCircuit parse_blif(std::string_view text) {
     }
   }
 
-  for (const std::string& out : model.outputs)
-    circuit.comb.add_output(builder.gate_of(out));
-  for (const auto& [data_in, state_out] : model.latches)
-    circuit.comb.add_output(builder.gate_of(data_in));
+  for (const BlifNetDecl& out : model.outputs)
+    circuit.comb.add_output(builder.gate_of(out.net, out.line));
+  for (const BlifLatch& latch : model.latches)
+    circuit.comb.add_output(builder.gate_of(latch.data_in, latch.line));
   return circuit;
+}
+
+ScanCircuit parse_blif(std::string_view text) {
+  return parse_blif(parse_blif_model(text));
 }
 
 ScanCircuit parse_blif_file(const std::string& path) {

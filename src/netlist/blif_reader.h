@@ -2,21 +2,70 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "netlist/netlist.h"
 
 namespace fstg {
+
+/// --- Structural BLIF model -----------------------------------------------
+///
+/// The declaration-level view of a BLIF file, with source line numbers:
+/// what `.inputs`/`.outputs`/`.latch`/`.names` say, before any gate is
+/// built. `parse_blif_model` validates only *local* syntax (directive
+/// shapes, cover-row widths and characters) and deliberately tolerates the
+/// graph-level malformations the lint analyzers diagnose — combinational
+/// cycles, undriven nets, multiple drivers, dangling nets. `parse_blif`
+/// builds a circuit from this model and rejects those malformations with
+/// `ParseError`s that carry the offending line.
+
+/// One single-output `.names` block.
+struct BlifNames {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::string> rows;  ///< input parts only; empty for constants
+  bool on_set = true;             ///< false: rows describe the off-set
+  bool has_rows = false;
+  int line = 0;
+};
+
+/// One `.latch data_in state_out` declaration.
+struct BlifLatch {
+  std::string data_in;
+  std::string state_out;
+  int line = 0;
+};
+
+/// A net named in `.inputs` or `.outputs`, with the declaring line.
+struct BlifNetDecl {
+  std::string net;
+  int line = 0;
+};
+
+struct BlifModel {
+  std::string name;
+  std::vector<BlifNetDecl> inputs;
+  std::vector<BlifNetDecl> outputs;
+  std::vector<BlifLatch> latches;
+  std::vector<BlifNames> blocks;
+};
+
+/// Parse the declaration structure only (see above). Throws ParseError on
+/// local syntax problems; never on graph-level ones.
+BlifModel parse_blif_model(std::string_view text);
 
 /// Parse a BLIF model into a full-scan circuit. Supported subset (what
 /// to_blif emits, plus the common hand-written forms): `.model`,
 /// `.inputs`/`.outputs` (with `\` line continuations), `.latch in out
 /// [type clock] [init]`, single-output `.names` blocks whose output column
 /// is all-1 (on-set) or all-0 (off-set rows define the complement), and
-/// `.end`. Blocks may appear in any order; combinational cycles are
+/// `.end`. Blocks may appear in any order; combinational cycles, undriven
+/// or multiply-driven nets, and duplicate input/latch declarations are
 /// rejected. The resulting circuit's inputs are [.inputs][latch outputs]
 /// and its outputs [.outputs][latch inputs], matching the library's
 /// full-scan convention.
 ScanCircuit parse_blif(std::string_view text);
+ScanCircuit parse_blif(const BlifModel& model);
 
 ScanCircuit parse_blif_file(const std::string& path);
 

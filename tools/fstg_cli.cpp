@@ -30,12 +30,16 @@
 #include "atpg/test_io.h"
 #include "base/error.h"
 #include "base/log.h"
+#include "base/obs/json_check.h"
 #include "base/obs/metrics.h"
 #include "base/obs/trace.h"
 #include "base/parallel/thread_pool.h"
 #include "base/robust/budget.h"
+#include "fault/fault_io.h"
 #include "harness/experiment.h"
 #include "kiss/kiss2_parser.h"
+#include "lint/lint.h"
+#include "netlist/blif_reader.h"
 #include "netlist/export.h"
 #include "netlist/verilog.h"
 
@@ -263,11 +267,69 @@ int cmd_export(const std::string& target, const std::string& format,
   return kExitOk;
 }
 
+int cmd_lint(const std::string& target, const std::string& faults_path,
+             bool json, const std::string& out, int uio_bound, bool no_table,
+             const robust::Budget& budget) {
+  lint::LintOptions options;
+  options.budget = budget;
+  options.uio_max_length = uio_bound;
+  options.check_table = !no_table;
+
+  FaultListFile faults;
+  const FaultListFile* faults_ptr = nullptr;
+  if (!faults_path.empty()) {
+    faults = parse_fault_list_file(faults_path);
+    faults_ptr = &faults;
+  }
+
+  lint::LintReport report;
+  if (target.ends_with(".blif")) {
+    std::ifstream in(target);
+    require(in.good(), "cannot open BLIF file: " + target);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    report =
+        lint::run_lint_blif(parse_blif_model(ss.str()), target, faults_ptr,
+                            options);
+  } else {
+    report = lint::run_lint_kiss2(load_machine(target), faults_ptr, options);
+  }
+
+  // The JSON view validates itself against the schema mirror before it is
+  // emitted, like the metrics/trace writers: an invalid document must
+  // never reach a consumer.
+  const std::string text =
+      json ? lint::report_to_json(report) : lint::report_to_text(report);
+  if (json) {
+    std::string error;
+    require(obs::validate_lint_json(text, &error),
+            "lint JSON failed self-validation: " + error);
+  }
+  if (out.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream f(out);
+    require(f.good(), "cannot write " + out);
+    f << text;
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+  }
+
+  if (report.has_errors()) return kExitParse;
+  if (report.truncated) return kExitBudget;
+  return kExitOk;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: fstg <list|info|gen|sim|verilog|export> [args]\n"
+               "usage: fstg <list|info|gen|sim|lint|verilog|export> [args]\n"
                "  fstg list\n"
                "  fstg info <circuit|file.kiss>\n"
+               "  fstg lint <circuit|file.kiss|file.blif> [--faults f.flt]\n"
+               "           [--json] [-o out] [--uio L] [--no-table]\n"
+               "           [--time-budget-ms N] [--max-expansions N]\n"
+               "           static analysis (docs/LINTING.md): exit 2 if any\n"
+               "           error-severity finding, 3 if the budget cut the\n"
+               "           run short, 0 otherwise (warnings don't fail)\n"
                "  fstg gen <circuit|file.kiss> [-o tests.txt] [--uio L] "
                "[--xfer L]\n"
                "           [--time-budget-ms N] [--max-expansions N]\n"
@@ -325,6 +387,25 @@ int run_command(int argc, char** argv) {
         else return usage();
       }
       return cmd_gen(argv[2], out, uio, xfer, budget.budget);
+    }
+    if (cmd == "lint" && argc >= 3) {
+      std::string faults_path, out;
+      bool json = false, no_table = false;
+      int uio = 0;
+      BudgetFlags budget;
+      for (int i = 3; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--faults") && i + 1 < argc)
+          faults_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--json")) json = true;
+        else if (!std::strcmp(argv[i], "--no-table")) no_table = true;
+        else if (!std::strcmp(argv[i], "-o") && i + 1 < argc) out = argv[++i];
+        else if (!std::strcmp(argv[i], "--uio") && i + 1 < argc)
+          uio = parse_int_flag("--uio", argv[++i], 0, 64);
+        else if (budget.consume(argc, argv, i)) continue;
+        else return usage();
+      }
+      return cmd_lint(argv[2], faults_path, json, out, uio, no_table,
+                      budget.budget);
     }
     if (cmd == "sim" && argc >= 4) {
       BudgetFlags budget;

@@ -13,6 +13,15 @@
 //     pipeline always terminates and never misreports a cut run as
 //     complete.
 //
+//   lint: the static analyzer and the strict parsers must agree on what a
+//     malformed input is. For any mutated BLIF text whose declaration
+//     structure parses, `lint_blif_model` reports an error finding iff
+//     `parse_blif` rejects the model; for any mutated KISS2 text that
+//     parses, lint reports fsm-nondeterministic iff `expand_fsm` rejects
+//     the machine. An input that crashes the pipeline but lints clean — or
+//     that lint rejects while the pipeline accepts — is a bug in one of
+//     the two.
+//
 // Everything is seeded (xoshiro256**), so a failing iteration is
 // reproducible from the printed seed.
 
@@ -28,10 +37,13 @@
 #include "base/error.h"
 #include "base/robust/budget.h"
 #include "base/rng.h"
+#include "fsm/state_table.h"
 #include "harness/experiment.h"
 #include "kiss/benchmarks.h"
 #include "kiss/kiss2_parser.h"
 #include "kiss/kiss2_writer.h"
+#include "lint/fsm_lint.h"
+#include "lint/netlist_lint.h"
 #include "netlist/blif_reader.h"
 #include "netlist/export.h"
 
@@ -40,9 +52,13 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fstg_fuzz <parsers|budget|all> [--iters N] [--seed S]\n"
+               "usage: fstg_fuzz <parsers|lint|budget|all> [--iters N] "
+               "[--seed S]\n"
                "  parsers  mutate KISS2/BLIF/test-file corpora; only typed\n"
                "           Errors may escape the parsers\n"
+               "  lint     two-way oracle: the static analyzer must report\n"
+               "           an error exactly when the strict parser/expander\n"
+               "           rejects the same input\n"
                "  budget   inject budget exhaustion at every guard site;\n"
                "           the pipeline must return a valid or typed-partial\n"
                "           result, or a structured error\n");
@@ -159,6 +175,136 @@ int run_parsers(std::uint64_t iters, std::uint64_t seed) {
   return 0;
 }
 
+/// BLIF side of the lint oracle. Returns false on a contract violation.
+bool check_blif_lint_oracle(const std::string& text, std::uint64_t iter) {
+  BlifModel model;
+  try {
+    model = parse_blif_model(text);
+  } catch (const Error&) {
+    return true;  // locally malformed: neither side gets to judge the graph
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "FUZZ FAILURE iter %llu: parse_blif_model let %s escape\n",
+                 static_cast<unsigned long long>(iter), e.what());
+    return false;
+  }
+
+  lint::LintReport report;
+  report.source = "fuzz";
+  {
+    robust::RunGuard guard(robust::Budget{}, "fuzz.lint");
+    lint::lint_blif_model(model, guard, report);
+  }
+
+  bool parser_accepts = false;
+  std::string parser_error;
+  try {
+    parse_blif(model);
+    parser_accepts = true;
+  } catch (const Error& e) {
+    parser_error = e.what();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FUZZ FAILURE iter %llu: parse_blif let %s escape\n",
+                 static_cast<unsigned long long>(iter), e.what());
+    return false;
+  }
+
+  const bool lint_clean = !report.has_errors();
+  if (lint_clean == parser_accepts) return true;
+  std::string first_error;
+  for (const lint::Finding& f : report.findings())
+    if (f.severity == lint::Severity::kError && first_error.empty())
+      first_error = "[" + f.rule + "] " + f.message;
+  std::fprintf(stderr,
+               "FUZZ FAILURE iter %llu: lint/parser divergence on BLIF: "
+               "lint %s but parse_blif %s\n  lint: %s\n  parser: %s\n",
+               static_cast<unsigned long long>(iter),
+               lint_clean ? "is clean" : "reports an error",
+               parser_accepts ? "accepts" : "rejects",
+               first_error.empty() ? "(no error finding)" : first_error.c_str(),
+               parser_error.empty() ? "(accepted)" : parser_error.c_str());
+  return false;
+}
+
+/// KISS2 side of the lint oracle: lint's nondeterminism rule mirrors the
+/// determinism gate every expansion/synthesis runs through.
+bool check_kiss_lint_oracle(const std::string& text, std::uint64_t iter) {
+  Kiss2Fsm fsm;
+  try {
+    fsm = parse_kiss2(text, "fuzz");
+  } catch (const Error&) {
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FUZZ FAILURE iter %llu: parse_kiss2 let %s escape\n",
+                 static_cast<unsigned long long>(iter), e.what());
+    return false;
+  }
+  // Expansion is exponential in inputs and linear in states; mutations can
+  // legitimately produce machines too big to expand, and those are outside
+  // the oracle (expand_fsm would also refuse >32 outputs structurally).
+  if (fsm.num_inputs > 16 || fsm.num_outputs > 32 ||
+      fsm.rows.size() > 4096 || fsm.num_states() > 4096)
+    return true;
+
+  lint::LintReport report;
+  report.source = "fuzz";
+  {
+    robust::RunGuard guard(robust::Budget{}, "fuzz.lint");
+    lint::lint_fsm_symbolic(fsm, guard, report);
+  }
+  const bool lint_nondet = report.count_rule("fsm-nondeterministic") > 0;
+
+  bool expand_ok = false;
+  std::string expand_error;
+  try {
+    expand_fsm(fsm, FillPolicy::kSelfLoop);
+    expand_ok = true;
+  } catch (const Error& e) {
+    expand_error = e.what();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FUZZ FAILURE iter %llu: expand_fsm let %s escape\n",
+                 static_cast<unsigned long long>(iter), e.what());
+    return false;
+  }
+
+  // Agreement: lint flags nondeterminism exactly when expansion rejects.
+  if (lint_nondet != expand_ok) return true;
+  std::fprintf(stderr,
+               "FUZZ FAILURE iter %llu: lint/expansion divergence on KISS2: "
+               "lint %s fsm-nondeterministic but expand_fsm %s (%s)\n",
+               static_cast<unsigned long long>(iter),
+               lint_nondet ? "reports" : "does not report",
+               expand_ok ? "accepts" : "rejects",
+               expand_error.empty() ? "accepted" : expand_error.c_str());
+  return false;
+}
+
+int run_lint_oracle(std::uint64_t iters, std::uint64_t seed) {
+  std::vector<std::string> kiss_corpus, blif_corpus;
+  for (const std::string& name : {std::string("lion"), std::string("dk27"),
+                                  std::string("shiftreg")}) {
+    CircuitExperiment exp = run_circuit(name);
+    kiss_corpus.push_back(write_kiss2(exp.fsm));
+    blif_corpus.push_back(to_blif(exp.synth.circuit, name));
+  }
+
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t depth = 1 + rng.below(3);
+    auto corrupted = [&](const std::vector<std::string>& corpus) {
+      std::string text = corpus[rng.below(corpus.size())];
+      for (std::uint64_t d = 0; d < depth; ++d) text = mutate(text, rng);
+      return text;
+    };
+    if (!check_kiss_lint_oracle(corrupted(kiss_corpus), i)) return 1;
+    if (!check_blif_lint_oracle(corrupted(blif_corpus), i)) return 1;
+  }
+  std::printf("fuzz lint: %llu iterations, seed %llu: ok\n",
+              static_cast<unsigned long long>(iters),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
 int run_budget(std::uint64_t iters) {
   using robust::clear_budget_injections;
   using robust::clear_guard_site_log;
@@ -242,10 +388,13 @@ int fuzz_main(int argc, char** argv) {
     }
   }
   if (mode == "parsers") return run_parsers(iters, seed);
+  if (mode == "lint") return run_lint_oracle(iters, seed);
   if (mode == "budget") return run_budget(iters);
   if (mode == "all") {
     const int p = run_parsers(iters == 3 ? 200 : iters, seed);
     if (p != 0) return p;
+    const int l = run_lint_oracle(iters == 3 ? 200 : iters, seed);
+    if (l != 0) return l;
     return run_budget(3);
   }
   return usage();
