@@ -6,11 +6,21 @@
 #include <utility>
 
 #include "base/error.h"
+#include "base/store/fs_util.h"
+#include "base/store/serial.h"
 #include "base/string_util.h"
 
 namespace fstg {
 
 namespace {
+
+/// Input-hardening bounds: test files are external input, so a pathological
+/// or hostile file fails with a typed ParseError naming the line instead of
+/// exhausting memory tokenizing it. The line bound still fits a maximum-
+/// length input sequence at full input width.
+constexpr std::size_t kMaxLineLength = 64u << 20;
+constexpr std::size_t kMaxSequenceLength = 1'000'000;
+constexpr std::size_t kMaxTests = 100'000'000;
 
 /// Range-checked integer directive argument (see kiss2_parser.cpp for why
 /// from_chars instead of stoi: full-token parse, typed overflow).
@@ -123,6 +133,10 @@ TestFile parse_test_file(const std::string& text) {
   std::string raw;
   while (std::getline(in, raw)) {
     ++line_no;
+    if (raw.size() > kMaxLineLength)
+      throw ParseError("line exceeds " + std::to_string(kMaxLineLength) +
+                           " characters",
+                       line_no);
     std::size_t hash = raw.find('#');
     if (hash != std::string::npos) raw = raw.substr(0, hash);
     const std::string line{trim(raw)};
@@ -155,7 +169,12 @@ TestFile parse_test_file(const std::string& text) {
         static_cast<int>(parse_binary(tok[0], file.state_bits, line_no));
     bool any_x = false;
     if (tok[1] != "-") {  // `-` marks an empty input sequence
-      for (const std::string& field : split_char(tok[1], ',')) {
+      const std::vector<std::string> fields = split_char(tok[1], ',');
+      if (fields.size() > kMaxSequenceLength)
+        throw ParseError("input sequence exceeds " +
+                             std::to_string(kMaxSequenceLength) + " cycles",
+                         line_no);
+      for (const std::string& field : fields) {
         const auto [v, x] = parse_ternary(field, file.input_bits, line_no);
         t.inputs.push_back(v);
         t.input_x.push_back(x);
@@ -167,6 +186,10 @@ TestFile parse_test_file(const std::string& text) {
     if (!any_x) t.input_x.clear();
     t.final_state =
         static_cast<int>(parse_binary(tok[2], file.state_bits, line_no));
+    if (file.tests.size() >= kMaxTests)
+      throw ParseError(
+          "test file exceeds " + std::to_string(kMaxTests) + " tests",
+          line_no);
     file.tests.tests.push_back(std::move(t));
   }
 
@@ -186,10 +209,11 @@ TestFile parse_test_file(const std::string& text) {
 }
 
 void save_test_file(const TestFile& file, const std::string& path) {
-  std::ofstream out(path);
-  require(out.good(), "cannot open for writing: " + path);
-  out << write_test_file(file);
-  require(out.good(), "write failed: " + path);
+  // Atomic temp+rename write: a crash or ENOSPC mid-save can never leave a
+  // truncated test file where a complete one (or nothing) was expected.
+  std::string error;
+  if (!store::atomic_write_file(path, write_test_file(file), &error))
+    throw Error("cannot write test file " + path + ": " + error);
 }
 
 TestFile load_test_file(const std::string& path) {
@@ -198,6 +222,37 @@ TestFile load_test_file(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return parse_test_file(ss.str());
+}
+
+void serialize_test_set(const TestSet& tests, store::BlobWriter& w) {
+  w.u64(tests.size());
+  for (const FunctionalTest& t : tests.tests) {
+    w.i32(t.init_state);
+    w.i32(t.final_state);
+    w.vec_u32(t.inputs);
+    w.vec_u32(t.input_x);
+  }
+}
+
+bool deserialize_test_set(store::BlobReader& r, TestSet* out) {
+  const std::uint64_t n = r.u64();
+  // Each test record is at least two i32 + two 8-byte vector lengths.
+  if (!r.ok() || n * 24 > r.remaining()) return false;
+  TestSet tests;
+  tests.tests.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    FunctionalTest t;
+    t.init_state = r.i32();
+    t.final_state = r.i32();
+    t.inputs = r.vec_u32();
+    t.input_x = r.vec_u32();
+    if (!r.ok() || t.init_state < 0 || t.final_state < 0) return false;
+    if (!t.input_x.empty() && t.input_x.size() != t.inputs.size())
+      return false;
+    tests.tests.push_back(std::move(t));
+  }
+  *out = std::move(tests);
+  return true;
 }
 
 }  // namespace fstg

@@ -4,6 +4,11 @@
 
 #include "atpg/test.h"
 
+namespace fstg::store {
+class BlobWriter;
+class BlobReader;
+}  // namespace fstg::store
+
 namespace fstg {
 
 /// Plain-text interchange format for functional scan test sets:
@@ -32,8 +37,15 @@ struct TestFile {
 std::string write_test_file(const TestFile& file);
 TestFile parse_test_file(const std::string& text);
 
-/// Disk helpers.
+/// Disk helpers. save_test_file writes atomically (temp + rename) and
+/// throws Error on any filesystem failure, including short writes.
 void save_test_file(const TestFile& file, const std::string& path);
 TestFile load_test_file(const std::string& path);
+
+/// Artifact-store codec (base/store/serial.h). The deserializer validates
+/// shape (negative states, mismatched X-mask length) and returns false —
+/// never throws — so a bad payload reads as a cache miss.
+void serialize_test_set(const TestSet& tests, store::BlobWriter& w);
+bool deserialize_test_set(store::BlobReader& r, TestSet* out);
 
 }  // namespace fstg

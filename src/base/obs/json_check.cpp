@@ -351,4 +351,33 @@ bool validate_trace_json(const std::string& text, std::string* error) {
   return true;
 }
 
+bool validate_cache_meta_json(const std::string& text, std::string* error) {
+  std::vector<JsonField> top;
+  std::vector<std::pair<std::string, std::string>> arrays;
+  if (!json_parse_object(text, &top, &arrays, error)) return false;
+
+  const JsonField* schema = json_find_field(top, "schema");
+  if (schema == nullptr || schema->kind != 's' ||
+      schema->sval != "fstg.cache_meta.v1") {
+    *error = "missing or wrong schema tag (want fstg.cache_meta.v1)";
+    return false;
+  }
+  for (const char* key :
+       {"store_version", "blobs", "bytes", "corrupt", "tmp_files",
+        "checkpoints"}) {
+    if (!json_has_field(top, key, 'n')) {
+      *error = std::string("missing or mistyped total ") + key;
+      return false;
+    }
+  }
+  if (!json_has_field(top, "types", 'a')) {
+    *error = "missing or mistyped types array";
+    return false;
+  }
+  const std::vector<std::pair<const char*, char>> type_rec = {
+      {"tag", 's'}, {"blobs", 'n'}, {"bytes", 'n'}};
+  return validate_records(bodies_of(arrays, "types"), type_rec, "types",
+                          error);
+}
+
 }  // namespace fstg::obs

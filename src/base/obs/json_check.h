@@ -61,4 +61,9 @@ bool validate_trace_json(const std::string& text, std::string* error);
 /// line} records whose severity totals match the header.
 bool validate_lint_json(const std::string& text, std::string* error);
 
+/// Validate an artifact-store meta/stats document (schema
+/// fstg.cache_meta.v1): store_version plus blob/byte/corrupt/tmp/checkpoint
+/// totals and a types array of {tag, blobs, bytes} records.
+bool validate_cache_meta_json(const std::string& text, std::string* error);
+
 }  // namespace fstg::obs

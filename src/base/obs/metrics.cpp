@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "base/obs/json_check.h"
+#include "base/store/fs_util.h"
 
 namespace fstg::obs {
 
@@ -304,21 +305,17 @@ std::string metrics_to_json(const MetricsSnapshot& snap) {
 }
 
 bool write_metrics_json(const std::string& path, std::string* error) {
+  // Schema-validate BEFORE the write, then write atomically (temp + fsync +
+  // rename): a crash, ENOSPC short write, or invalid document can never
+  // leave a torn or malformed file at `path`.
   const std::string json = metrics_to_json(snapshot_metrics());
-  {
-    std::ofstream f(path);
-    if (!f.good()) {
-      if (error) *error = "cannot write " + path;
-      return false;
-    }
-    f << json;
-  }
-  std::ifstream f(path);
-  std::stringstream buf;
-  buf << f.rdbuf();
   std::string verr;
-  if (!validate_metrics_json(buf.str(), &verr)) {
+  if (!validate_metrics_json(json, &verr)) {
     if (error) *error = path + " failed schema validation: " + verr;
+    return false;
+  }
+  if (!store::atomic_write_file(path, json, &verr)) {
+    if (error) *error = "cannot write " + path + ": " + verr;
     return false;
   }
   return true;

@@ -11,6 +11,7 @@
 
 #include "base/obs/json_check.h"
 #include "base/obs/metrics.h"
+#include "base/store/fs_util.h"
 
 namespace fstg::obs {
 
@@ -146,21 +147,17 @@ std::string stop_tracing_to_json() {
 }
 
 bool write_trace_json(const std::string& path, std::string* error) {
+  // Schema-validate BEFORE the write, then write atomically (temp + fsync +
+  // rename): a crash, ENOSPC short write, or invalid document can never
+  // leave a torn or malformed file at `path`.
   const std::string json = stop_tracing_to_json();
-  {
-    std::ofstream f(path);
-    if (!f.good()) {
-      if (error) *error = "cannot write " + path;
-      return false;
-    }
-    f << json;
-  }
-  std::ifstream f(path);
-  std::stringstream buf;
-  buf << f.rdbuf();
   std::string verr;
-  if (!validate_trace_json(buf.str(), &verr)) {
+  if (!validate_trace_json(json, &verr)) {
     if (error) *error = path + " failed schema validation: " + verr;
+    return false;
+  }
+  if (!store::atomic_write_file(path, json, &verr)) {
+    if (error) *error = "cannot write " + path + ": " + verr;
     return false;
   }
   return true;

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fstg::store {
+
+/// XXH64 (Yann Collet's xxHash, 64-bit variant): the checksum the artifact
+/// store uses for both blob payload integrity and content-addressed cache
+/// keys. Not cryptographic — the threat model is torn writes, bit rot, and
+/// version skew, not an adversary forging collisions against its own cache.
+std::uint64_t xxh64(const void* data, std::size_t len, std::uint64_t seed = 0);
+
+inline std::uint64_t xxh64(std::string_view s, std::uint64_t seed = 0) {
+  return xxh64(s.data(), s.size(), seed);
+}
+
+/// Incremental builder for cache keys: feed in the canonical text of each
+/// input plus every option that changes the derived artifact, in a fixed
+/// order, and take the final 64-bit digest. Each field is length-prefixed
+/// before hashing so ("ab","c") and ("a","bc") cannot collide.
+class KeyBuilder {
+ public:
+  KeyBuilder& add(std::string_view bytes);
+  KeyBuilder& add_u64(std::uint64_t v);
+  KeyBuilder& add_i64(std::int64_t v) {
+    return add_u64(static_cast<std::uint64_t>(v));
+  }
+  KeyBuilder& add_bool(bool v) { return add_u64(v ? 1 : 0); }
+
+  std::uint64_t digest() const { return xxh64(buf_.data(), buf_.size()); }
+
+ private:
+  std::string buf_;
+};
+
+/// 16 lowercase hex digits of a 64-bit hash (the object file-name stem).
+std::string hash_hex(std::uint64_t h);
+
+}  // namespace fstg::store

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fstg::store {
+
+/// --- Bounded binary (de)serialization ------------------------------------
+///
+/// The artifact store's payload codec. Little-endian, length-prefixed,
+/// no pointers, no seeking. The writer is infallible; the reader is the
+/// strict load path's workhorse: every read is bounds-checked against the
+/// payload, any overrun or leftover trailing bytes sets a sticky fail bit,
+/// and all values read after a failure are zero. Deserializers check
+/// `ok()` (and their own semantic invariants) and treat failure as blob
+/// corruption — never as an error to surface.
+
+class BlobWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void f64(double v) { raw(&v, 8); }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+  void vec_u32(const std::vector<std::uint32_t>& v) {
+    u64(v.size());
+    for (std::uint32_t x : v) u32(x);
+  }
+  void vec_i32(const std::vector<std::int32_t>& v) {
+    u64(v.size());
+    for (std::int32_t x : v) i32(x);
+  }
+  void vec_u64(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    for (std::uint64_t x : v) u64(x);
+  }
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + n);
+    std::memcpy(buf_.data() + at, p, n);
+  }
+
+  std::string buf_;
+};
+
+class BlobReader {
+ public:
+  explicit BlobReader(std::string_view bytes) : bytes_(bytes) {}
+  // The reader only views the bytes; a temporary would dangle immediately.
+  explicit BlobReader(std::string&&) = delete;
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, 1);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, 8);
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v = 0;
+    raw(&v, 4);
+    return v;
+  }
+  double f64() {
+    double v = 0;
+    raw(&v, 8);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (n > remaining()) {
+      fail_ = true;
+      return {};
+    }
+    std::string s(bytes_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::uint32_t> vec_u32() { return vec<std::uint32_t, 4>(); }
+  std::vector<std::int32_t> vec_i32() { return vec<std::int32_t, 4>(); }
+  std::vector<std::uint64_t> vec_u64() { return vec<std::uint64_t, 8>(); }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  /// A clean parse consumed every byte and never overran.
+  bool ok() const { return !fail_; }
+  bool done() const { return !fail_ && pos_ == bytes_.size(); }
+  /// Deserializers call this on a violated semantic invariant (range,
+  /// cross-field consistency): same verdict as a structural overrun.
+  void fail() { fail_ = true; }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    if (fail_ || n > remaining()) {
+      fail_ = true;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T, std::size_t kWidth>
+  std::vector<T> vec() {
+    const std::uint64_t n = u64();
+    // The length prefix cannot promise more elements than bytes remain:
+    // rejecting here keeps a corrupt length from driving a huge allocation.
+    if (fail_ || n * kWidth > remaining()) {
+      fail_ = true;
+      return {};
+    }
+    std::vector<T> v(n);
+    if (n) raw(v.data(), n * kWidth);
+    return v;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+}  // namespace fstg::store

@@ -3,13 +3,21 @@
 #include <charconv>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "base/error.h"
+#include "base/store/serial.h"
 #include "base/string_util.h"
 
 namespace fstg {
 
 namespace {
+
+/// Input-hardening bounds: a text fault list is external input, so a
+/// pathological or hostile file fails with a typed ParseError naming the
+/// line instead of exhausting memory tokenizing it.
+constexpr std::size_t kMaxLineLength = 65536;
+constexpr std::size_t kMaxEntries = 10'000'000;
 
 bool parse_stuck_value(const std::string& tok, bool* value) {
   if (tok == "0") {
@@ -35,6 +43,14 @@ FaultListFile parse_fault_list(std::string_view text) {
     std::string_view raw = text.substr(pos, eol - pos);
     pos = eol + 1;
     ++line_no;
+    if (raw.size() > kMaxLineLength)
+      throw ParseError("line exceeds " + std::to_string(kMaxLineLength) +
+                           " characters",
+                       line_no);
+    if (file.entries.size() >= kMaxEntries)
+      throw ParseError(
+          "fault list exceeds " + std::to_string(kMaxEntries) + " entries",
+          line_no);
 
     // Comments are whole-line only: "#12" is a valid net reference, so an
     // inline '#' cannot unambiguously start a comment.
@@ -167,6 +183,58 @@ std::vector<FaultSpec> resolve_fault_list(const FaultListFile& file,
     }
   }
   return specs;
+}
+
+void serialize_fault_specs(const std::vector<FaultSpec>& faults,
+                           store::BlobWriter& w) {
+  w.u64(faults.size());
+  for (const FaultSpec& f : faults) {
+    w.u8(static_cast<std::uint8_t>(f.kind));
+    w.i32(f.gate);
+    w.i32(f.gate2_or_pin);
+    w.u8(f.value ? 1 : 0);
+  }
+}
+
+bool deserialize_fault_specs(store::BlobReader& r, int num_gates,
+                             std::vector<FaultSpec>* out) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n * 10 > r.remaining()) return false;
+  std::vector<FaultSpec> faults;
+  faults.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint8_t kind = r.u8();
+    const std::int32_t gate = r.i32();
+    const std::int32_t gate2_or_pin = r.i32();
+    const std::uint8_t value = r.u8();
+    if (!r.ok() || value > 1) return false;
+    if (kind > static_cast<std::uint8_t>(FaultSpec::Kind::kBridge))
+      return false;
+    FaultSpec f;
+    f.kind = static_cast<FaultSpec::Kind>(kind);
+    f.gate = gate;
+    f.gate2_or_pin = gate2_or_pin;
+    f.value = value != 0;
+    switch (f.kind) {
+      case FaultSpec::Kind::kNone:
+        if (gate != -1 || gate2_or_pin != -1) return false;
+        break;
+      case FaultSpec::Kind::kStuckGate:
+        if (gate < 0 || gate >= num_gates || gate2_or_pin != -1) return false;
+        break;
+      case FaultSpec::Kind::kStuckPin:
+        if (gate < 0 || gate >= num_gates || gate2_or_pin < 0) return false;
+        break;
+      case FaultSpec::Kind::kBridge:
+        if (gate < 0 || gate >= num_gates || gate2_or_pin < 0 ||
+            gate2_or_pin >= num_gates || gate2_or_pin == gate)
+          return false;
+        break;
+    }
+    faults.push_back(f);
+  }
+  *out = std::move(faults);
+  return true;
 }
 
 }  // namespace fstg

@@ -8,6 +8,11 @@
 #include "netlist/netlist.h"
 #include "sim/logic_sim.h"
 
+namespace fstg::store {
+class BlobWriter;
+class BlobReader;
+}  // namespace fstg::store
+
 namespace fstg {
 
 /// --- Text fault-list format ----------------------------------------------
@@ -66,5 +71,14 @@ class NetIndex {
 /// reports the same conditions as findings instead of throwing.
 std::vector<FaultSpec> resolve_fault_list(const FaultListFile& file,
                                           const Netlist& nl);
+
+/// Artifact-store codec for resolved (collapsed) fault lists
+/// (base/store/serial.h). The deserializer validates the fault kind and the
+/// per-kind field shape and returns false — never throws — on damage; gate
+/// ids are range-checked against `num_gates`.
+void serialize_fault_specs(const std::vector<FaultSpec>& faults,
+                           store::BlobWriter& w);
+bool deserialize_fault_specs(store::BlobReader& r, int num_gates,
+                             std::vector<FaultSpec>* out);
 
 }  // namespace fstg

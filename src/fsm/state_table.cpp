@@ -1,6 +1,7 @@
 #include "fsm/state_table.h"
 
 #include "base/error.h"
+#include "base/store/serial.h"
 
 namespace fstg {
 
@@ -101,6 +102,53 @@ StateTable expand_fsm(const Kiss2Fsm& fsm, FillPolicy policy) {
     }
   }
   return table;
+}
+
+void serialize_state_table(const StateTable& table, store::BlobWriter& w) {
+  w.i32(table.input_bits());
+  w.i32(table.output_bits());
+  w.i32(table.num_states());
+  for (int s = 0; s < table.num_states(); ++s) {
+    for (std::uint32_t ic = 0; ic < table.num_input_combos(); ++ic) {
+      w.i32(table.next(s, ic));
+      w.u32(table.output(s, ic));
+    }
+  }
+  w.str(table.name);
+  w.u64(table.state_names.size());
+  for (const std::string& n : table.state_names) w.str(n);
+}
+
+bool deserialize_state_table(store::BlobReader& r, StateTable* out) {
+  const std::int32_t ib = r.i32();
+  const std::int32_t ob = r.i32();
+  const std::int32_t ns = r.i32();
+  if (!r.ok() || ib < 1 || ib > 20 || ob < 1 || ob > 32 || ns < 1) return false;
+  const std::uint64_t transitions = std::uint64_t{1} << ib;
+  // 8 bytes per transition must still fit in the payload: a corrupt count
+  // cannot drive a huge allocation past the bounded reader.
+  if (static_cast<std::uint64_t>(ns) * transitions * 8 > r.remaining())
+    return false;
+  StateTable table(ib, ob, ns);
+  for (std::int32_t s = 0; s < ns; ++s) {
+    for (std::uint32_t ic = 0; ic < table.num_input_combos(); ++ic) {
+      const std::int32_t next = r.i32();
+      const std::uint32_t o = r.u32();
+      if (!r.ok() || next < 0 || next >= ns) return false;
+      if (ob < 32 && (o >> ob) != 0) return false;
+      table.set(s, ic, next, o);
+    }
+  }
+  table.name = r.str();
+  const std::uint64_t num_names = r.u64();
+  if (!r.ok() || (num_names != 0 && num_names != static_cast<std::uint64_t>(ns)))
+    return false;
+  table.state_names.reserve(num_names);
+  for (std::uint64_t i = 0; i < num_names; ++i)
+    table.state_names.push_back(r.str());
+  if (!r.ok()) return false;
+  *out = std::move(table);
+  return true;
 }
 
 }  // namespace fstg

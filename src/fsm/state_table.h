@@ -6,6 +6,11 @@
 
 #include "kiss/kiss2.h"
 
+namespace fstg::store {
+class BlobWriter;
+class BlobReader;
+}  // namespace fstg::store
+
 namespace fstg {
 
 /// A completely specified, binary-encoded state table: the functional model
@@ -75,5 +80,12 @@ enum class FillPolicy {
 /// *specified* states only (no completion to 2^sv). Unspecified output bits
 /// ('-') are filled with 0. Throws on nondeterminism.
 StateTable expand_fsm(const Kiss2Fsm& fsm, FillPolicy policy);
+
+/// Artifact-store codec (base/store/serial.h). The deserializer validates
+/// every dimension and transition target and returns false — never throws —
+/// on any violation, so the cache layer can treat a bad payload exactly
+/// like a corrupt blob: a miss.
+void serialize_state_table(const StateTable& table, store::BlobWriter& w);
+bool deserialize_state_table(store::BlobReader& r, StateTable* out);
 
 }  // namespace fstg

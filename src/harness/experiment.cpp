@@ -6,8 +6,11 @@
 #include "base/obs/trace.h"
 #include "base/parallel/thread_pool.h"
 #include "base/robust/budget.h"
+#include "base/store/store.h"
 #include "base/timer.h"
+#include "harness/cache.h"
 #include "lint/fsm_lint.h"
+#include "netlist/export.h"
 #include "netlist/reach.h"
 
 namespace fstg {
@@ -56,32 +59,42 @@ CircuitExperiment run_fsm(const Kiss2Fsm& fsm,
 
   lint_preflight(fsm, options.lint);
 
-  {
-    obs::Span span("synth", fsm.name);
-    Timer timer;
-    exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
-    exp.synth_seconds = timer.seconds();
-  }
+  store::Store* cache = store::resolve(options.cache);
+  const std::uint64_t skey =
+      cache ? harness::synth_key(fsm, options.synth) : 0;
+  if (!harness::load_synth(cache, skey, &exp.synth, &exp.table,
+                           &exp.synth_seconds)) {
+    {
+      obs::Span span("synth", fsm.name);
+      Timer timer;
+      exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
+      exp.synth_seconds = timer.seconds();
+    }
 
-  {
-    obs::Span span("verify.readback", fsm.name);
-    std::string message;
-    const bool matches =
-        circuit_matches_fsm(exp.synth.circuit, exp.fsm, exp.synth.encoding,
-                            &message);
-    require(matches,
-            "synthesis self-check failed for " + fsm.name + ": " + message);
-    exp.table =
-        read_back_table(exp.synth.circuit, &exp.fsm, &exp.synth.encoding);
+    {
+      obs::Span span("verify.readback", fsm.name);
+      std::string message;
+      const bool matches =
+          circuit_matches_fsm(exp.synth.circuit, exp.fsm, exp.synth.encoding,
+                              &message);
+      require(matches,
+              "synthesis self-check failed for " + fsm.name + ": " + message);
+      exp.table =
+          read_back_table(exp.synth.circuit, &exp.fsm, &exp.synth.encoding);
+    }
+    harness::save_synth(cache, skey, exp.synth, exp.table, exp.synth_seconds);
   }
 
   log_info("circuit " + fsm.name + ": " +
            std::to_string(exp.synth.circuit.comb.num_gates()) + " gates, " +
            std::to_string(exp.table.num_states()) + " states");
 
-  {
+  const std::uint64_t gkey =
+      cache ? harness::gen_key(exp.table, options.gen) : 0;
+  if (!harness::load_gen(cache, gkey, &exp.gen)) {
     obs::Span span("generate", fsm.name);
     exp.gen = generate_functional_tests(exp.table, options.gen);
+    harness::save_gen(cache, gkey, exp.gen);
   }
   return exp;
 }
@@ -127,31 +140,48 @@ GateLevelResult run_gate_level(const CircuitExperiment& exp,
   const bool classify_redundancy = options.classify_redundancy;
   GateLevelResult result;
   const ScanCircuit& circuit = exp.synth.circuit;
-  result.sa_faults = enumerate_stuck_at(circuit.comb);
-  result.br_faults = enumerate_bridging(circuit.comb);
-  result.br_enumerated = result.br_faults.size();
-  if (options.max_bridging_faults > 0 &&
-      result.br_faults.size() > options.max_bridging_faults) {
-    // Deterministic stride sampling over AND/OR *pairs* (adjacent in the
-    // enumeration) so both polarities of a kept bridge survive.
-    const std::size_t pairs = result.br_faults.size() / 2;
-    const std::size_t want_pairs = options.max_bridging_faults / 2;
-    const std::size_t stride = (pairs + want_pairs - 1) / want_pairs;
-    std::vector<FaultSpec> sampled;
-    sampled.reserve(2 * (pairs / stride + 1));
-    for (std::size_t p = 0; p < pairs; p += stride) {
-      sampled.push_back(result.br_faults[2 * p]);
-      sampled.push_back(result.br_faults[2 * p + 1]);
+  store::Store* cache = store::resolve(options.cache);
+  const std::string blif = cache ? to_blif(circuit, exp.fsm.name) : "";
+  const std::uint64_t fkey =
+      cache ? harness::faults_key(blif, options.max_bridging_faults) : 0;
+  if (!harness::load_faults(cache, fkey, circuit.comb.num_gates(),
+                            &result.sa_faults, &result.br_faults,
+                            &result.br_enumerated)) {
+    result.sa_faults = enumerate_stuck_at(circuit.comb);
+    result.br_faults = enumerate_bridging(circuit.comb);
+    result.br_enumerated = result.br_faults.size();
+    if (options.max_bridging_faults > 0 &&
+        result.br_faults.size() > options.max_bridging_faults) {
+      // Deterministic stride sampling over AND/OR *pairs* (adjacent in the
+      // enumeration) so both polarities of a kept bridge survive.
+      const std::size_t pairs = result.br_faults.size() / 2;
+      const std::size_t want_pairs = options.max_bridging_faults / 2;
+      const std::size_t stride = (pairs + want_pairs - 1) / want_pairs;
+      std::vector<FaultSpec> sampled;
+      sampled.reserve(2 * (pairs / stride + 1));
+      for (std::size_t p = 0; p < pairs; p += stride) {
+        sampled.push_back(result.br_faults[2 * p]);
+        sampled.push_back(result.br_faults[2 * p + 1]);
+      }
+      log_info("circuit " + exp.fsm.name + ": sampled " +
+               std::to_string(sampled.size()) + " of " +
+               std::to_string(result.br_faults.size()) + " bridging faults");
+      result.br_faults = std::move(sampled);
     }
-    log_info("circuit " + exp.fsm.name + ": sampled " +
-             std::to_string(sampled.size()) + " of " +
-             std::to_string(result.br_faults.size()) + " bridging faults");
-    result.br_faults = std::move(sampled);
+    harness::save_faults(cache, fkey, result.sa_faults, result.br_faults,
+                         result.br_enumerated);
   }
 
   // One reachability matrix serves every fault set over this netlist:
   // stuck-at, bridging, and the redundancy re-checks.
-  const std::vector<BitVec> reach = forward_reachability(circuit.comb);
+  std::vector<BitVec> reach;
+  const std::uint64_t rkey = cache ? harness::reach_key(blif) : 0;
+  if (!harness::load_reach(cache, rkey,
+                           static_cast<std::size_t>(circuit.comb.num_gates()),
+                           &reach)) {
+    reach = forward_reachability(circuit.comb);
+    harness::save_reach(cache, rkey, reach);
+  }
   FaultSimOptions sim_options;
   sim_options.threads = options.threads;
   sim_options.reachability = &reach;
@@ -214,39 +244,52 @@ robust::Result<CircuitExperiment> try_run_fsm(const Kiss2Fsm& fsm,
     return stage_status("lint", fsm.name);
   }
 
-  try {
-    obs::Span span("synth", fsm.name);
-    Timer timer;
-    exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
-    exp.synth_seconds = timer.seconds();
-  } catch (...) {
-    return stage_status("synth", fsm.name);
-  }
+  store::Store* cache = store::resolve(options.cache);
+  const std::uint64_t skey =
+      cache ? harness::synth_key(fsm, options.synth) : 0;
+  if (!harness::load_synth(cache, skey, &exp.synth, &exp.table,
+                           &exp.synth_seconds)) {
+    try {
+      obs::Span span("synth", fsm.name);
+      Timer timer;
+      exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
+      exp.synth_seconds = timer.seconds();
+    } catch (...) {
+      return stage_status("synth", fsm.name);
+    }
 
-  try {
-    obs::Span span("verify.readback", fsm.name);
-    std::string message;
-    const bool matches = circuit_matches_fsm(exp.synth.circuit, exp.fsm,
-                                             exp.synth.encoding, &message);
-    if (!matches)
-      return robust::Status::error(robust::Code::kInternal,
-                                   "synthesis self-check failed: " + message)
-          .with_context("stage verify")
-          .with_context("circuit " + fsm.name);
-    exp.table =
-        read_back_table(exp.synth.circuit, &exp.fsm, &exp.synth.encoding);
-  } catch (...) {
-    return stage_status("verify", fsm.name);
+    try {
+      obs::Span span("verify.readback", fsm.name);
+      std::string message;
+      const bool matches = circuit_matches_fsm(exp.synth.circuit, exp.fsm,
+                                               exp.synth.encoding, &message);
+      if (!matches)
+        return robust::Status::error(robust::Code::kInternal,
+                                     "synthesis self-check failed: " + message)
+            .with_context("stage verify")
+            .with_context("circuit " + fsm.name);
+      exp.table =
+          read_back_table(exp.synth.circuit, &exp.fsm, &exp.synth.encoding);
+    } catch (...) {
+      return stage_status("verify", fsm.name);
+    }
+    harness::save_synth(cache, skey, exp.synth, exp.table, exp.synth_seconds);
   }
 
   obs::Span gen_span("generate", fsm.name);
-  robust::Result<GeneratorResult> gen =
-      try_generate_functional_tests(exp.table, options.gen);
-  if (!gen.is_ok()) {
-    robust::Status s = gen.status();
-    return s.with_context("stage generate").with_context("circuit " + fsm.name);
+  const std::uint64_t gkey =
+      cache ? harness::gen_key(exp.table, options.gen) : 0;
+  if (!harness::load_gen(cache, gkey, &exp.gen)) {
+    robust::Result<GeneratorResult> gen =
+        try_generate_functional_tests(exp.table, options.gen);
+    if (!gen.is_ok()) {
+      robust::Status s = gen.status();
+      return s.with_context("stage generate")
+          .with_context("circuit " + fsm.name);
+    }
+    exp.gen = gen.take();
+    harness::save_gen(cache, gkey, exp.gen);
   }
-  exp.gen = gen.take();
   if (exp.gen.degraded)
     log_warn("circuit " + fsm.name + ": generation degraded by budget (" +
              std::to_string(exp.gen.uio_aborted_states()) +
@@ -278,6 +321,20 @@ CircuitRun run_one_circuit(const std::string& name,
   obs::Span span("suite.circuit", name);
   CircuitRun run;
   run.name = name;
+  store::Store* cache = store::resolve(options.experiment.cache);
+  if (cache && !options.checkpoint.empty()) {
+    // A record from an earlier (killed or budget-tripped) sweep means this
+    // circuit's stages are already durable: the re-run below restarts from
+    // the warm store instead of recomputing.
+    static const obs::Counter c_resumed =
+        obs::counter("harness.checkpoint.resumed");
+    static const obs::Counter c_fresh =
+        obs::counter("harness.checkpoint.fresh");
+    if (harness::checkpoint_done(cache, options.checkpoint, name))
+      c_resumed.inc();
+    else
+      c_fresh.inc();
+  }
   robust::Result<CircuitExperiment> r =
       try_run_circuit(name, options.experiment);
   if (r.is_ok() && options.gate_level) {
@@ -303,6 +360,11 @@ CircuitRun run_one_circuit(const std::string& name,
     log_warn("suite: circuit " + name + " failed (" + run.status.to_string() +
              "); continuing with the rest");
   }
+  if (cache && !options.checkpoint.empty())
+    harness::checkpoint_mark(cache, options.checkpoint, name,
+                             run.status.is_ok()
+                                 ? "ok"
+                                 : "failed " + run.failed_stage);
   return run;
 }
 

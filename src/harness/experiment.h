@@ -13,6 +13,10 @@
 #include "netlist/synth.h"
 #include "netlist/verify.h"
 
+namespace fstg::store {
+class Store;
+}  // namespace fstg::store
+
 namespace fstg {
 
 /// Budgeted pre-flight static analysis, run before synthesis. Only the
@@ -32,6 +36,11 @@ struct ExperimentOptions {
   SynthesisOptions synth;
   GeneratorOptions gen;  ///< uio_max_length = 0 (=> N_SV), transfer <= 1
   LintPreflightOptions lint;
+  /// Artifact cache for the synth and generate stages (harness/cache.h).
+  /// nullptr falls back to the process-global store (the --cache-dir flag);
+  /// with neither, every stage recomputes. A hit restores byte-equivalent
+  /// results; corruption degrades to recompute, never to an error.
+  store::Store* cache = nullptr;
 };
 
 /// Everything the functional part of the paper needs for one circuit:
@@ -71,6 +80,9 @@ struct GateLevelOptions {
   /// deterministically strided down to ~this many faults, keeping AND/OR
   /// pairs together; 0 = no cap. The full enumerated count is reported.
   std::size_t max_bridging_faults = 4096;
+  /// Artifact cache for fault lists and reachability matrices (same
+  /// resolution rule as ExperimentOptions::cache).
+  store::Store* cache = nullptr;
 };
 
 struct GateLevelResult {
@@ -123,6 +135,13 @@ struct SuiteOptions {
   /// serial). `runs` keeps the input order regardless of scheduling, and
   /// budget injections armed on the calling thread apply inside workers.
   int threads = -1;
+  /// Campaign name for durable checkpoint/resume records (harness/cache.h).
+  /// Empty disables checkpointing; requires a usable artifact cache. Each
+  /// completed circuit writes an atomic completion record; a killed or
+  /// budget-tripped sweep re-run under the same campaign restarts from the
+  /// last durable stage (completed circuits' stages all hit the warm
+  /// store), with resumed/fresh circuits counted under harness.checkpoint.*.
+  std::string checkpoint;
 };
 
 struct SuiteResult {

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "base/error.h"
+#include "base/store/serial.h"
 
 namespace fstg {
 
@@ -172,6 +173,46 @@ bool verify_uio(const StateTable& table, int state,
     if (t == state) continue;
     if (table.trace(t, seq) == ref) return false;
   }
+  return true;
+}
+
+void serialize_uio_set(const UioSet& uios, store::BlobWriter& w) {
+  w.u8(static_cast<std::uint8_t>(uios.trip));
+  w.u64(uios.per_state.size());
+  for (const UioSequence& u : uios.per_state) {
+    w.u8(u.exists ? 1 : 0);
+    w.u8(u.aborted ? 1 : 0);
+    w.i32(u.final_state);
+    w.vec_u32(u.inputs);
+  }
+}
+
+bool deserialize_uio_set(store::BlobReader& r, UioSet* out) {
+  UioSet uios;
+  const std::uint8_t trip = r.u8();
+  if (trip > static_cast<std::uint8_t>(robust::BudgetTrip::kInjected))
+    return false;
+  uios.trip = static_cast<robust::BudgetTrip>(trip);
+  const std::uint64_t n = r.u64();
+  // Each state record is at least 6 bytes + an 8-byte vector length.
+  if (!r.ok() || n * 14 > r.remaining()) return false;
+  const int num_states = static_cast<int>(n);
+  uios.per_state.resize(n);
+  for (UioSequence& u : uios.per_state) {
+    const std::uint8_t exists = r.u8();
+    const std::uint8_t aborted = r.u8();
+    if (exists > 1 || aborted > 1) return false;
+    u.exists = exists != 0;
+    u.aborted = aborted != 0;
+    u.final_state = r.i32();
+    u.inputs = r.vec_u32();
+    if (!r.ok()) return false;
+    if (u.exists && (u.final_state < 0 || u.final_state >= num_states ||
+                     u.inputs.empty()))
+      return false;
+    if (!u.exists && (u.final_state != -1 || !u.inputs.empty())) return false;
+  }
+  *out = std::move(uios);
   return true;
 }
 

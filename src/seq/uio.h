@@ -6,6 +6,11 @@
 #include "base/robust/budget.h"
 #include "fsm/state_table.h"
 
+namespace fstg::store {
+class BlobWriter;
+class BlobReader;
+}  // namespace fstg::store
+
 namespace fstg {
 
 /// Limits for UIO derivation. The paper bounds sequence length by L
@@ -74,5 +79,11 @@ UioSet derive_uio_sequences(const StateTable& table,
 /// state by its output trace.
 bool verify_uio(const StateTable& table, int state,
                 const std::vector<std::uint32_t>& seq);
+
+/// Artifact-store codec (base/store/serial.h). The deserializer returns
+/// false — never throws — on structural damage or an out-of-range trip /
+/// final state, so a bad payload reads as a cache miss.
+void serialize_uio_set(const UioSet& uios, store::BlobWriter& w);
+bool deserialize_uio_set(store::BlobReader& r, UioSet* out);
 
 }  // namespace fstg

@@ -35,6 +35,8 @@
 #include "base/obs/trace.h"
 #include "base/parallel/thread_pool.h"
 #include "base/robust/budget.h"
+#include "base/store/fs_util.h"
+#include "base/store/store.h"
 #include "fault/fault_io.h"
 #include "harness/experiment.h"
 #include "kiss/kiss2_parser.h"
@@ -109,6 +111,20 @@ Kiss2Fsm load_machine(const std::string& arg) {
   } catch (const Error&) {
     return parse_kiss2_file(arg);
   }
+}
+
+/// Write `text` to `path` atomically (temp + rename), or to stdout when
+/// `path` is empty. A short write (ENOSPC) or rename failure is reported as
+/// an input/output error — never a torn file.
+void write_output(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::cout << text;
+    return;
+  }
+  std::string error;
+  require(store::atomic_write_file(path, text, &error),
+          "cannot write " + path + ": " + error);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
 int cmd_list() {
@@ -225,23 +241,14 @@ int cmd_sim(const std::string& target, const std::string& tests_path,
 int cmd_verilog(const std::string& target, const std::string& out,
                 const std::string& tb_out) {
   CircuitExperiment exp = run_fsm(load_machine(target));
-  const std::string verilog = to_verilog(exp.synth.circuit);
-  if (out.empty()) {
-    std::cout << verilog;
-  } else {
-    std::ofstream f(out);
-    require(f.good(), "cannot write " + out);
-    f << verilog;
-    std::fprintf(stderr, "wrote %s\n", out.c_str());
-  }
+  write_output(out, to_verilog(exp.synth.circuit));
   if (!tb_out.empty()) {
     std::vector<std::vector<std::uint32_t>> expected;
     for (const FunctionalTest& t : exp.gen.tests.tests)
       expected.push_back(exp.table.trace(t.init_state, t.inputs));
-    std::ofstream f(tb_out);
-    require(f.good(), "cannot write " + tb_out);
-    f << to_verilog_testbench(exp.synth.circuit, exp.gen.tests, expected);
-    std::fprintf(stderr, "wrote %s\n", tb_out.c_str());
+    write_output(tb_out,
+                 to_verilog_testbench(exp.synth.circuit, exp.gen.tests,
+                                      expected));
   }
   return kExitOk;
 }
@@ -256,15 +263,69 @@ int cmd_export(const std::string& target, const std::string& format,
     text = to_bench(exp.synth.circuit);
   else
     throw Error("unknown export format (use blif or bench): " + format);
-  if (out.empty()) {
-    std::cout << text;
-  } else {
-    std::ofstream f(out);
-    require(f.good(), "cannot write " + out);
-    f << text;
-    std::fprintf(stderr, "wrote %s\n", out.c_str());
-  }
+  write_output(out, text);
   return kExitOk;
+}
+
+int cmd_cache(const std::string& action, bool json, long long max_bytes) {
+  store::Store* s = store::global_store();
+  if (!s) {
+    std::fprintf(stderr, "error: fstg cache requires --cache-dir DIR\n");
+    return kExitUsage;
+  }
+  if (action == "stats") {
+    const store::StoreStats stats = s->stats();
+    if (json) {
+      // Self-checking writer: the document is validated against the
+      // fstg.cache_meta.v1 schema mirror before it is emitted.
+      const std::string text = store::cache_meta_json(stats);
+      std::string error;
+      require(obs::validate_cache_meta_json(text, &error),
+              "cache meta JSON failed self-validation: " + error);
+      std::cout << text;
+    } else {
+      std::printf("cache directory : %s\n", s->dir().c_str());
+      std::printf("blobs           : %llu (%llu bytes)\n",
+                  static_cast<unsigned long long>(stats.blobs),
+                  static_cast<unsigned long long>(stats.bytes));
+      std::printf("corrupt         : %llu\n",
+                  static_cast<unsigned long long>(stats.corrupt));
+      std::printf("orphaned temps  : %llu\n",
+                  static_cast<unsigned long long>(stats.tmp_files));
+      std::printf("checkpoints     : %llu\n",
+                  static_cast<unsigned long long>(stats.checkpoints));
+      for (const auto& t : stats.types)
+        std::printf("  %-8s %llu blobs, %llu bytes\n", t.tag.c_str(),
+                    static_cast<unsigned long long>(t.blobs),
+                    static_cast<unsigned long long>(t.bytes));
+    }
+    return kExitOk;
+  }
+  if (action == "verify") {
+    const store::VerifyOutcome v = s->verify();
+    std::printf("verified %llu blobs: %llu valid, %llu corrupt\n",
+                static_cast<unsigned long long>(v.total),
+                static_cast<unsigned long long>(v.valid),
+                static_cast<unsigned long long>(v.corrupt));
+    for (const std::string& f : v.corrupt_files)
+      std::printf("corrupt: %s\n", f.c_str());
+    // Corruption is an input problem with the cache directory (exit 2);
+    // pipeline commands would degrade to recompute instead.
+    return v.corrupt == 0 ? kExitOk : kExitParse;
+  }
+  if (action == "gc") {
+    const store::GcOutcome g = s->gc(max_bytes);
+    std::printf(
+        "gc: removed %llu corrupt, %llu temps; evicted %llu blobs; "
+        "%llu bytes freed\n",
+        static_cast<unsigned long long>(g.removed_corrupt),
+        static_cast<unsigned long long>(g.removed_tmp),
+        static_cast<unsigned long long>(g.evicted),
+        static_cast<unsigned long long>(g.bytes_freed));
+    return kExitOk;
+  }
+  std::fprintf(stderr, "error: fstg cache expects stats|verify|gc\n");
+  return kExitUsage;
 }
 
 int cmd_lint(const std::string& target, const std::string& faults_path,
@@ -305,14 +366,7 @@ int cmd_lint(const std::string& target, const std::string& faults_path,
     require(obs::validate_lint_json(text, &error),
             "lint JSON failed self-validation: " + error);
   }
-  if (out.empty()) {
-    std::cout << text;
-  } else {
-    std::ofstream f(out);
-    require(f.good(), "cannot write " + out);
-    f << text;
-    std::fprintf(stderr, "wrote %s\n", out.c_str());
-  }
+  write_output(out, text);
 
   if (report.has_errors()) return kExitParse;
   if (report.truncated) return kExitBudget;
@@ -321,7 +375,7 @@ int cmd_lint(const std::string& target, const std::string& faults_path,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fstg <list|info|gen|sim|lint|verilog|export> [args]\n"
+               "usage: fstg <list|info|gen|sim|lint|verilog|export|cache> [args]\n"
                "  fstg list\n"
                "  fstg info <circuit|file.kiss>\n"
                "  fstg lint <circuit|file.kiss|file.blif> [--faults f.flt]\n"
@@ -337,6 +391,12 @@ int usage() {
                "           [--time-budget-ms N] [--max-expansions N]\n"
                "  fstg verilog <circuit|file.kiss> [-o out.v] [--tb tb.v]\n"
                "  fstg export <circuit|file.kiss> <blif|bench> [-o out]\n"
+               "  fstg cache <stats|verify|gc> --cache-dir DIR [--json]\n"
+               "           [--max-bytes N]\n"
+               "           inspect/repair the artifact store: stats prints\n"
+               "           totals (--json: fstg.cache_meta.v1), verify\n"
+               "           re-hashes every blob (exit 2 if any corrupt), gc\n"
+               "           removes damage and evicts to --max-bytes\n"
                "\n"
                "global flags (any command):\n"
                "  --threads N          worker threads for fault simulation\n"
@@ -345,6 +405,12 @@ int usage() {
                "                       are identical for every value\n"
                "  --log-level LEVEL    stderr log threshold:\n"
                "                       debug|info|warn|error (default info)\n"
+               "  --cache-dir DIR      persistent artifact cache: synthesis,\n"
+               "                       generation, fault lists, and\n"
+               "                       reachability warm-start from DIR;\n"
+               "                       corruption degrades to recompute\n"
+               "                       (docs/ROBUSTNESS.md). An unusable DIR\n"
+               "                       warns and runs uncached\n"
                "  --metrics-out FILE   write the merged metrics registry as\n"
                "                       schema-validated JSON (fstg.metrics.v1)\n"
                "  --trace-out FILE     capture pipeline spans as Chrome\n"
@@ -432,6 +498,25 @@ int run_command(int argc, char** argv) {
       }
       return cmd_verilog(argv[2], out, tb);
     }
+    if (cmd == "cache" && argc >= 3) {
+      bool json = false;
+      long long max_bytes = -1;
+      for (int i = 3; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json")) json = true;
+        else if (!std::strcmp(argv[i], "--max-bytes") && i + 1 < argc) {
+          const char* text = argv[++i];
+          const char* end = text + std::strlen(text);
+          auto [p, ec] = std::from_chars(text, end, max_bytes);
+          if (ec != std::errc() || p != end || max_bytes < 0) {
+            std::fprintf(stderr,
+                         "error: --max-bytes expects a non-negative byte "
+                         "count\n");
+            return kExitUsage;
+          }
+        } else return usage();
+      }
+      return cmd_cache(argv[2], json, max_bytes);
+    }
   } catch (const UsageError&) {
     return kExitUsage;
   } catch (const fstg::BudgetError& e) {
@@ -471,6 +556,14 @@ int main(int argc, char** argv) {
         metrics_out = argv[++i];
       } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
         trace_out = argv[++i];
+      } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc) {
+        // Graceful degrade: an unusable cache directory costs the warm
+        // start, never the run.
+        std::string error;
+        if (!fstg::store::open_global_store(argv[++i], &error))
+          std::fprintf(stderr,
+                       "warning: --cache-dir: %s; continuing without cache\n",
+                       error.c_str());
       } else {
         args.push_back(argv[i]);
       }

@@ -17,8 +17,8 @@
 //       a fixed engine bug; any divergence is a regression.
 //
 // Accepts the same global flags as fstg: --threads N, --log-level L,
-// --metrics-out FILE, --trace-out FILE, and the budget flags
-// --time-budget-ms / --max-expansions (charged once per workload).
+// --metrics-out FILE, --trace-out FILE, --cache-dir DIR, and the budget
+// flags --time-budget-ms / --max-expansions (charged once per workload).
 //
 // Exit codes (stable, scriptable, same contract as fstg):
 //   0  success — no divergence
@@ -41,6 +41,7 @@
 #include "base/obs/trace.h"
 #include "base/parallel/thread_pool.h"
 #include "base/robust/budget.h"
+#include "base/store/store.h"
 #include "difftest/case_io.h"
 #include "difftest/oracle.h"
 #include "difftest/shrink.h"
@@ -96,7 +97,7 @@ int usage() {
       "  replay  <file.case ...> | --corpus-dir DIR\n"
       "          re-run saved divergence cases (regression gate)\n"
       "global flags: --threads N, --log-level L, --metrics-out FILE,\n"
-      "              --trace-out FILE, --time-budget-ms MS,\n"
+      "              --trace-out FILE, --cache-dir DIR, --time-budget-ms MS,\n"
       "              --max-expansions N\n"
       "exit codes: 0 ok, 1 usage, 2 input error, 3 budget exhausted,\n"
       "            4 divergence found\n");
@@ -279,6 +280,14 @@ int main(int argc, char** argv) {
         metrics_out = argv[++i];
       } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
         trace_out = argv[++i];
+      } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc) {
+        // Graceful degrade: an unusable cache directory costs the warm
+        // start, never the run.
+        std::string error;
+        if (!fstg::store::open_global_store(argv[++i], &error))
+          std::fprintf(stderr,
+                       "warning: --cache-dir: %s; continuing without cache\n",
+                       error.c_str());
       } else {
         args.push_back(argv[i]);
       }

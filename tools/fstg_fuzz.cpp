@@ -22,21 +22,40 @@
 //     that lint rejects while the pipeline accepts — is a bug in one of
 //     the two.
 //
+//   store: for any corruption of an artifact-store cache directory
+//     (payload bit-flips, truncation, smashed magic/header bytes, forged
+//     container versions, deleted blobs, foreign garbage, orphaned write
+//     temporaries), a warm pipeline run produces byte-identical results to
+//     the cold run, never throws, counts the damage under store.corrupt.*
+//     or store.miss, and self-repairs the store (a post-run verify is
+//     clean). Scenarios are one op per line (`<tag> <op> [arg]`); the
+//     checked-in corpus under tests/store_corpus replays as a regression
+//     gate, and failing random iterations print their ops in corpus form.
+//
 // Everything is seeded (xoshiro256**), so a failing iteration is
 // reproducible from the printed seed.
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "atpg/generator.h"
 #include "atpg/test_io.h"
 #include "base/error.h"
+#include "base/obs/metrics.h"
 #include "base/robust/budget.h"
 #include "base/rng.h"
+#include "base/store/fs_util.h"
+#include "base/store/hash.h"
+#include "base/store/serial.h"
+#include "base/store/store.h"
 #include "fsm/state_table.h"
 #include "harness/experiment.h"
 #include "kiss/benchmarks.h"
@@ -46,14 +65,17 @@
 #include "lint/netlist_lint.h"
 #include "netlist/blif_reader.h"
 #include "netlist/export.h"
+#include "netlist/snapshot.h"
+#include "seq/uio.h"
 
 namespace fstg {
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fstg_fuzz <parsers|lint|budget|all> [--iters N] "
+               "usage: fstg_fuzz <parsers|lint|budget|store|all> [--iters N] "
                "[--seed S]\n"
+               "                 [--corpus-dir DIR] [--dir DIR]\n"
                "  parsers  mutate KISS2/BLIF/test-file corpora; only typed\n"
                "           Errors may escape the parsers\n"
                "  lint     two-way oracle: the static analyzer must report\n"
@@ -61,7 +83,14 @@ int usage() {
                "           rejects the same input\n"
                "  budget   inject budget exhaustion at every guard site;\n"
                "           the pipeline must return a valid or typed-partial\n"
-               "           result, or a structured error\n");
+               "           result, or a structured error\n"
+               "  store    corrupt a --cache-dir artifact store every way a\n"
+               "           disk can (bit-flips, truncation, version skew,\n"
+               "           deletion, garbage, torn temps); warm runs must be\n"
+               "           byte-identical to cold, count the damage, and\n"
+               "           self-repair. --corpus-dir replays checked-in\n"
+               "           scenarios (tests/store_corpus); --dir sets the\n"
+               "           scratch cache directory\n");
   return 1;
 }
 
@@ -370,11 +399,286 @@ int run_budget(std::uint64_t iters) {
   return 0;
 }
 
+/// --- store mode -----------------------------------------------------------
+
+/// Canonical bytes of everything a pipeline run derives: any corruption
+/// that changed a result changes these bytes.
+std::string artifact_bytes(const CircuitExperiment& exp) {
+  store::BlobWriter w;
+  serialize_state_table(exp.table, w);
+  serialize_synthesis_result(exp.synth, w);
+  serialize_test_set(exp.gen.tests, w);
+  serialize_uio_set(exp.gen.uios, w);
+  w.vec_i32(std::vector<std::int32_t>(exp.gen.tested_by.begin(),
+                                      exp.gen.tested_by.end()));
+  w.u64(exp.gen.transitions_in_length_one);
+  return w.take();
+}
+
+/// Sum of every damage-visibility counter: any corruption op the load path
+/// encounters must move this.
+std::uint64_t damage_counters() {
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : obs::snapshot_metrics().counters)
+    if (name.rfind("store.corrupt.", 0) == 0 || name == "store.miss")
+      total += value;
+  return total;
+}
+
+std::vector<std::string> store_blob_paths(const std::string& dir) {
+  std::vector<std::string> paths;
+  const std::string objects = dir + "/objects";
+  for (const std::string& sub : store::list_dir(objects))
+    for (const std::string& name : store::list_dir(objects + "/" + sub))
+      if (name.size() > 5 && name.rfind(".blob") == name.size() - 5 &&
+          name.find(".tmp.") == std::string::npos)
+        paths.push_back(objects + "/" + sub + "/" + name);
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+/// Apply one corruption op (`<tag> <op> [arg]`, corpus-file line format) to
+/// the store at `dir`. Ops: flip N (payload/any byte), truncate N,
+/// magic (smash the magic), header N (flip a hashed header byte),
+/// version (forge a future container version, checksum fixed), delete,
+/// garbage N (replace the file with N foreign bytes), tmp (orphan a write
+/// temporary, as a crash between write and rename would).
+bool apply_store_op(const std::string& dir, const std::string& line,
+                    std::string* error) {
+  std::istringstream is(line);
+  std::string tag, op;
+  std::uint64_t arg = 0;
+  is >> tag >> op >> arg;
+  if (tag.empty() || op.empty()) {
+    *error = "malformed op line: " + line;
+    return false;
+  }
+
+  if (op == "tmp") {
+    std::string mkerr;
+    if (!store::make_dirs(dir + "/objects/zz", &mkerr) ||
+        !store::atomic_write_file(dir + "/objects/zz/orphan.tmp.1.1",
+                                  "torn rename leftovers", &mkerr)) {
+      *error = mkerr;
+      return false;
+    }
+    return true;
+  }
+
+  if (tag != "synth" && tag != "gen" && tag != "faults" && tag != "reach") {
+    *error = "unknown stage tag: " + tag;
+    return false;
+  }
+  std::string target;
+  for (const std::string& path : store_blob_paths(dir))
+    if (path.find("." + tag + ".blob") != std::string::npos) {
+      target = path;
+      break;
+    }
+  // An earlier op in the same scenario may have deleted this tag's blob;
+  // that is a valid store state (maximal damage already), so the op is a
+  // no-op rather than a scenario error.
+  if (target.empty()) return true;
+  if (op == "delete") {
+    if (!store::remove_file(target)) {
+      *error = "cannot delete " + target;
+      return false;
+    }
+    return true;
+  }
+
+  std::string data;
+  if (!store::read_file(target, &data, error)) return false;
+  if (op == "flip") {
+    data[arg % data.size()] ^= 0x40;
+  } else if (op == "truncate") {
+    data.resize(arg % data.size());
+  } else if (op == "magic") {
+    std::memset(data.data(), 'X', std::min<std::size_t>(8, data.size()));
+  } else if (op == "header") {
+    if (data.size() < store::kBlobHeaderSize) {
+      *error = "blob too small for header op";
+      return false;
+    }
+    data[8 + (arg % 48)] ^= 0x01;
+  } else if (op == "version") {
+    if (data.size() < store::kBlobHeaderSize) {
+      *error = "blob too small for version op";
+      return false;
+    }
+    const std::uint32_t future = store::kStoreFormatVersion + 1;
+    std::memcpy(data.data() + 8, &future, 4);
+    const std::uint64_t hhash = store::xxh64(data.data(), 48);
+    std::memcpy(data.data() + 48, &hhash, 8);
+  } else if (op == "garbage") {
+    const std::size_t n = arg ? arg : 64;
+    data.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = static_cast<char>((i * 131 + 7) & 0xFF);
+  } else {
+    *error = "unknown op: " + op;
+    return false;
+  }
+  return store::atomic_write_file(target, data, error);
+}
+
+/// One scenario: warm the store (checking the warm run against the cold
+/// baseline on the way), apply the ops, then require the next run to be
+/// byte-identical, exception-free, damage-counted, and self-repairing.
+bool store_fuzz_case(const std::string& dir, const Kiss2Fsm& fsm,
+                     const std::string& baseline,
+                     const std::vector<std::string>& ops, const char* label) {
+  {
+    store::Store s(dir);
+    ExperimentOptions options;
+    options.cache = &s;
+    if (artifact_bytes(run_fsm(fsm, options)) != baseline) {
+      std::fprintf(stderr, "FUZZ FAILURE %s: warm run diverged from the cold "
+                           "baseline before any corruption\n", label);
+      return false;
+    }
+  }
+
+  bool damaging = false;
+  for (const std::string& op : ops) {
+    std::string error;
+    if (!apply_store_op(dir, op, &error)) {
+      std::fprintf(stderr, "FUZZ FAILURE %s: cannot apply op \"%s\": %s\n",
+                   label, op.c_str(), error.c_str());
+      return false;
+    }
+    if (op.find(" tmp") == std::string::npos) damaging = true;
+  }
+
+  const std::uint64_t damaged0 = damage_counters();
+  store::Store s(dir);
+  ExperimentOptions options;
+  options.cache = &s;
+  CircuitExperiment exp;
+  try {
+    exp = run_fsm(fsm, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "FUZZ FAILURE %s: cache corruption escaped the pipeline as "
+                 "an exception: %s\n", label, e.what());
+    return false;
+  }
+  if (artifact_bytes(exp) != baseline) {
+    std::fprintf(stderr,
+                 "FUZZ FAILURE %s: cache corruption CHANGED pipeline "
+                 "results\n", label);
+    return false;
+  }
+  if (damaging && damage_counters() == damaged0) {
+    std::fprintf(stderr,
+                 "FUZZ FAILURE %s: damage was consumed without a "
+                 "store.corrupt.*/store.miss count\n", label);
+    return false;
+  }
+  const store::VerifyOutcome v = s.verify();
+  if (v.corrupt != 0) {
+    std::fprintf(stderr,
+                 "FUZZ FAILURE %s: store not self-repaired (%llu corrupt "
+                 "blob(s) after the warm run)\n", label,
+                 static_cast<unsigned long long>(v.corrupt));
+    return false;
+  }
+  return true;
+}
+
+std::string random_store_op(Rng& rng) {
+  const std::string tag = rng.below(2) ? "synth" : "gen";
+  switch (rng.below(8)) {
+    case 0: return tag + " flip " + std::to_string(rng.below(1 << 20));
+    case 1: return tag + " truncate " + std::to_string(rng.below(1 << 20));
+    case 2: return tag + " magic";
+    case 3: return tag + " header " + std::to_string(rng.below(48));
+    case 4: return tag + " version";
+    case 5: return tag + " delete";
+    case 6: return tag + " garbage " + std::to_string(rng.below(8192));
+    default: return tag + " tmp";
+  }
+}
+
+int run_store(std::uint64_t iters, std::uint64_t seed,
+              const std::string& corpus_dir, const std::string& cache_dir) {
+  const std::string dir =
+      cache_dir.empty() ? std::string("fuzz_store_cache") : cache_dir;
+  std::filesystem::remove_all(dir);
+  const Kiss2Fsm fsm = make_synthetic_fsm("store-fuzz", 2, 6, 3);
+
+  std::string baseline;
+  {
+    store::Store s(dir);
+    if (!s.usable()) {
+      std::fprintf(stderr, "error: cannot create cache directory %s\n",
+                   dir.c_str());
+      return 1;
+    }
+    ExperimentOptions options;
+    options.cache = &s;
+    baseline = artifact_bytes(run_fsm(fsm, options));
+  }
+
+  std::size_t cases = 0;
+  if (!corpus_dir.empty()) {
+    std::vector<std::string> files;
+    for (const std::string& name : store::list_dir(corpus_dir))
+      if (name.size() > 5 && name.rfind(".case") == name.size() - 5)
+        files.push_back(corpus_dir + "/" + name);
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::fprintf(stderr, "error: no .case files in %s\n",
+                   corpus_dir.c_str());
+      return 1;
+    }
+    for (const std::string& path : files) {
+      std::string text, error;
+      if (!store::read_file(path, &text, &error)) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+        return 1;
+      }
+      std::vector<std::string> ops;
+      std::istringstream lines(text);
+      for (std::string line; std::getline(lines, line);)
+        if (!line.empty() && line[0] != '#') ops.push_back(line);
+      if (!store_fuzz_case(dir, fsm, baseline, ops, path.c_str())) return 1;
+      ++cases;
+    }
+  }
+
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::string label = "seed " + std::to_string(seed) + " iter " +
+                              std::to_string(i);
+    std::vector<std::string> ops;
+    const std::uint64_t depth = 1 + rng.below(3);
+    for (std::uint64_t d = 0; d < depth; ++d)
+      ops.push_back(random_store_op(rng));
+    if (!store_fuzz_case(dir, fsm, baseline, ops, label.c_str())) {
+      // Print the scenario in corpus form so it can be checked in.
+      std::fprintf(stderr, "failing scenario (save as a .case file):\n");
+      for (const std::string& op : ops)
+        std::fprintf(stderr, "%s\n", op.c_str());
+      return 1;
+    }
+    ++cases;
+  }
+  std::printf("fuzz store: %zu case(s) (%s%llu random, seed %llu): ok\n",
+              cases, corpus_dir.empty() ? "" : "corpus + ",
+              static_cast<unsigned long long>(iters),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
 int fuzz_main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string mode = argv[1];
-  std::uint64_t iters = mode == "budget" || mode == "all" ? 3 : 200;
+  std::uint64_t iters = mode == "budget" || mode == "all" ? 3
+                        : mode == "store"                 ? 20
+                                                          : 200;
   std::uint64_t seed = 1;
+  std::string corpus_dir, cache_dir;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if ((arg == "--iters" || arg == "--seed") && i + 1 < argc) {
@@ -383,6 +687,8 @@ int fuzz_main(int argc, char** argv) {
       if (endp == argv[i + 1] || *endp != '\0') return usage();
       (arg == "--iters" ? iters : seed) = v;
       ++i;
+    } else if ((arg == "--corpus-dir" || arg == "--dir") && i + 1 < argc) {
+      (arg == "--corpus-dir" ? corpus_dir : cache_dir) = argv[++i];
     } else {
       return usage();
     }
@@ -390,12 +696,15 @@ int fuzz_main(int argc, char** argv) {
   if (mode == "parsers") return run_parsers(iters, seed);
   if (mode == "lint") return run_lint_oracle(iters, seed);
   if (mode == "budget") return run_budget(iters);
+  if (mode == "store") return run_store(iters, seed, corpus_dir, cache_dir);
   if (mode == "all") {
     const int p = run_parsers(iters == 3 ? 200 : iters, seed);
     if (p != 0) return p;
     const int l = run_lint_oracle(iters == 3 ? 200 : iters, seed);
     if (l != 0) return l;
-    return run_budget(3);
+    const int b = run_budget(3);
+    if (b != 0) return b;
+    return run_store(10, seed, corpus_dir, cache_dir);
   }
   return usage();
 }
