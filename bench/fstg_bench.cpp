@@ -15,10 +15,18 @@
 // (serial_seed / parallel). The file is re-read and schema-validated
 // before the process exits 0, so CI can gate on the exit code alone.
 //
-//   fstg_bench [--smoke] [--threads N] [--repeat R] [-o out.json]
+//   fstg_bench [--smoke] [--circuit NAME] [--threads N] [--lane-bits B]
+//              [--repeat R] [-o out.json]
 //
 // --smoke runs one small circuit with one repetition (the ctest `perf`
 // label); the default runs the full circuit list with best-of-R timing.
+// --threads defaults to the machine's usable CPU count (affinity-aware) —
+// oversubscribing a pinned process is exactly the anti-pattern the old
+// fixed default of 8 baked in. --lane-bits pins the SIMD lane width
+// (64/256/512) for the event/parallel configurations; the default is the
+// widest width this build supports on this CPU. The emitted JSON records
+// lane_bits, cpu_features and git_rev so perf numbers stay comparable
+// across machines and PRs.
 
 #include <algorithm>
 #include <cstdio>
@@ -33,9 +41,16 @@
 #include "base/obs/metrics.h"
 #include "base/obs/trace.h"
 #include "base/timer.h"
+#include "base/parallel/thread_pool.h"
 #include "fault/bridging.h"
 #include "fault/fault.h"
+#include "fault/sim_width.h"
 #include "harness/experiment.h"
+
+// Short git revision baked in by bench/CMakeLists.txt at configure time.
+#ifndef FSTG_GIT_REV
+#define FSTG_GIT_REV "unknown"
+#endif
 
 namespace {
 
@@ -111,6 +126,7 @@ BenchRecord bench_circuit(const std::string& name, int threads, int repeat) {
   FaultSimOptions serial_seed;  // the pre-optimization configuration
   serial_seed.threads = 0;
   serial_seed.event_driven = false;
+  serial_seed.lane_bits = 64;  // pinned: the historic baseline was 64-lane
   rec.serial_seed_ms = time_best_ms(repeat, [&] {
     (void)simulate_faults(circuit, exp.gen.tests, faults, serial_seed);
   });
@@ -155,6 +171,9 @@ std::string to_json(const std::vector<BenchRecord>& records, int threads) {
   os.precision(3);
   os << std::fixed;
   os << "{\n  \"bench\": \"faultsim\",\n  \"threads\": " << threads
+     << ",\n  \"lane_bits\": " << default_lane_bits()
+     << ",\n  \"cpu_features\": \"" << json_escape(cpu_features()) << "\""
+     << ",\n  \"git_rev\": \"" << json_escape(FSTG_GIT_REV) << "\""
      << ",\n  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
@@ -182,8 +201,13 @@ bool validate_bench_json(const std::string& text, std::string* error) {
   if (!obs::json_parse_object(text, &top, &arrays, error)) return false;
   if (!obs::json_has_field(top, "bench", 's') ||
       !obs::json_has_field(top, "threads", 'n') ||
+      !obs::json_has_field(top, "lane_bits", 'n') ||
+      !obs::json_has_field(top, "cpu_features", 's') ||
+      !obs::json_has_field(top, "git_rev", 's') ||
       !obs::json_has_field(top, "records", 'a')) {
-    *error = "missing or mistyped top-level field (bench/threads/records)";
+    *error =
+        "missing or mistyped top-level field "
+        "(bench/threads/lane_bits/cpu_features/git_rev/records)";
     return false;
   }
   std::vector<std::string> records;
@@ -282,8 +306,9 @@ int check_overhead(int repeat) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fstg_bench [--smoke] [--threads N] [--repeat R] "
-               "[-o out.json]\n"
+               "usage: fstg_bench [--smoke] [--circuit NAME] [--threads N] "
+               "[--lane-bits B]\n"
+               "                  [--repeat R] [-o out.json]\n"
                "                  [--metrics-out m.json] [--trace-out t.json]\n"
                "                  [--check-overhead]\n");
   return 1;
@@ -294,15 +319,21 @@ int usage() {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool overhead = false;
-  int threads = 8;
+  int threads = -1;  // -1 = affinity-aware hardware count
+  int lane_bits = 0;
   int repeat = 3;
   std::string out = "BENCH_faultsim.json";
+  std::string circuit_override;
   std::string metrics_out, trace_out;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) smoke = true;
     else if (!std::strcmp(argv[i], "--check-overhead")) overhead = true;
+    else if (!std::strcmp(argv[i], "--circuit") && i + 1 < argc)
+      circuit_override = argv[++i];
     else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
       threads = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--lane-bits") && i + 1 < argc)
+      lane_bits = std::atoi(argv[++i]);
     else if (!std::strcmp(argv[i], "--repeat") && i + 1 < argc)
       repeat = std::max(1, std::atoi(argv[++i]));
     else if (!std::strcmp(argv[i], "-o") && i + 1 < argc)
@@ -314,7 +345,12 @@ int main(int argc, char** argv) {
     else
       return usage();
   }
-  if (threads < 0 || threads > 256) return usage();
+  if (threads > 256) return usage();
+  if (threads < 0) threads = parallel::hardware_threads();
+  if (lane_bits != 0 &&
+      (lane_bits != 64 && lane_bits != 256 && lane_bits != 512))
+    return usage();
+  if (lane_bits != 0) set_default_lane_bits(lane_bits);
 
   if (overhead) {
     try {
@@ -330,9 +366,10 @@ int main(int argc, char** argv) {
   // Largest circuit last: rie (9 inputs, 5 state variables, 29 states) has
   // the biggest test volume of the default Table 6 suite (weight <= 1), so
   // its record carries the headline speedup.
-  const std::vector<std::string> circuits =
+  std::vector<std::string> circuits =
       smoke ? std::vector<std::string>{"dk17"}
             : std::vector<std::string>{"bbara", "keyb", "rie"};
+  if (!circuit_override.empty()) circuits = {circuit_override};
   if (smoke) repeat = 1;
 
   try {

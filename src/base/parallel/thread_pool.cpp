@@ -10,6 +10,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "base/obs/metrics.h"
 #include "base/obs/trace.h"
 #include "base/timer.h"
@@ -161,6 +165,17 @@ void run_slot(const std::shared_ptr<ForState>& state, int slot, int slots,
 }  // namespace
 
 int hardware_threads() {
+#if defined(__linux__)
+  // Respect the CPU affinity mask (containers and taskset commonly pin the
+  // process to fewer CPUs than the machine has): oversubscribing a pinned
+  // process just context-switches workers against each other — the cause of
+  // the parallel-slower-than-serial fault-sim regression on 1-CPU boxes.
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return n;
+  }
+#endif
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
 }

@@ -150,8 +150,9 @@ void check_good_trace(const Workload& w, Reporter& report) {
         for (int k = 0; k < w.circuit.num_po; ++k) {
           const std::size_t kk = static_cast<std::size_t>(k);
           const bool ref_x = (ref.po_x[c] >> k) & 1u;
+          // po_x[c] is bit-packed: empty (all-defined) for X-free cycles.
           const bool eng_x =
-              good.has_x && ((good.po_x[c][kk] >> l) & 1u) != 0;
+              good.cycle_has_x(c) && ((good.po_x[c][kk] >> l) & 1u) != 0;
           if (ref_x != eng_x) {
             report.add("good_trace_po_x",
                        where + " cycle " + std::to_string(c) + " po " +

@@ -9,6 +9,9 @@
 #include "base/obs/metrics.h"
 #include "base/obs/trace.h"
 #include "base/parallel/thread_pool.h"
+#include "fault/fault_sim_width.h"
+#include "fault/sim_width.h"
+#include "netlist/cones.h"
 #include "netlist/reach.h"
 
 namespace fstg {
@@ -91,14 +94,10 @@ FaultSimResult simulate_faults(const ScanCircuit& circuit,
 
 namespace {
 
-/// Fault-level parallelism only pays off once a batch carries enough live
-/// faults to amortize the fork/join of one parallel region.
-constexpr std::size_t kMinParallelFaults = 64;
-
-/// Fold every per-slot simulator's thread-confined tallies into the global
-/// registry: one registry write per counter per run, so the hot loops
-/// carry only plain increments.
-void flush_sim_stats(const std::vector<std::unique_ptr<ScanBatchSim>>& sims) {
+/// Fold the engines' thread-confined tallies into the global registry: one
+/// registry write per counter per run, so the hot loops carry only plain
+/// increments.
+void flush_sim_stats(const LogicSimStats& logic, const ScanSimStats& scan) {
   static const obs::Counter c_pushes = obs::counter("sim.event_pushes");
   static const obs::Counter c_pops = obs::counter("sim.event_pops");
   static const obs::Counter c_calls = obs::counter("sim.overlay_calls");
@@ -109,12 +108,6 @@ void flush_sim_stats(const std::vector<std::unique_ptr<ScanBatchSim>>& sims) {
   static const obs::Counter c_full = obs::counter("scan.cycles_full");
   static const obs::Counter c_dirty_on = obs::counter("scan.dirty_activations");
   static const obs::Counter c_dirty_off = obs::counter("scan.dirty_clears");
-  LogicSim::Stats logic;
-  ScanBatchSim::Stats scan;
-  for (const auto& sim : sims) {
-    logic += sim->sim_stats();
-    scan += sim->stats();
-  }
   c_pushes.add(logic.event_pushes);
   c_pops.add(logic.event_pops);
   c_calls.add(logic.overlay_calls);
@@ -125,6 +118,21 @@ void flush_sim_stats(const std::vector<std::unique_ptr<ScanBatchSim>>& sims) {
   c_full.add(scan.cycles_full);
   c_dirty_on.add(scan.dirty_activations);
   c_dirty_off.add(scan.dirty_clears);
+}
+
+/// Representative gate of a fault for cone assignment (the site whose FFR
+/// the fault lives in). kNone faults have no site; use gate 0 arbitrarily.
+int fault_site(const FaultSpec& f) {
+  switch (f.kind) {
+    case FaultSpec::Kind::kNone:
+      return 0;
+    case FaultSpec::Kind::kStuckGate:
+    case FaultSpec::Kind::kStuckPin:
+      return f.gate;
+    case FaultSpec::Kind::kBridge:
+      return std::min(f.gate, f.gate2_or_pin);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -140,12 +148,7 @@ FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
   result.test_effective.assign(tests.tests.size(), false);
 
   static const obs::Counter c_runs = obs::counter("fault_sim.runs");
-  static const obs::Counter c_batches = obs::counter("fault_sim.batches");
-  static const obs::Counter c_simulated = obs::counter("fault_sim.faults_simulated");
-  static const obs::Counter c_dropped = obs::counter("fault_sim.faults_dropped");
-  static const obs::Gauge g_alive = obs::gauge("fault_sim.faults_alive");
-  static const obs::Histogram h_batch_live =
-      obs::histogram("fault_sim.batch_live_faults");
+  static const obs::Gauge g_lane_bits = obs::gauge("fault_sim.lane_bits");
   c_runs.inc();
   obs::Span run_span("fault_sim.run",
                      std::to_string(faults.size()) + " faults / " +
@@ -159,83 +162,108 @@ FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
   const FaultyEval mode = options.event_driven ? FaultyEval::kEventDriven
                                                : FaultyEval::kFullCone;
   const int threads = parallel::resolve_threads(options.threads);
+  // Auto width is mode-dependent: the event-driven path is fastest at 64
+  // lanes (skip granularity and candidate density both degrade with width
+  // — see docs/PERFORMANCE.md), while the levelized full-cone path
+  // vectorizes well and takes the widest supported width. An explicit
+  // lane_bits (option, --lane-bits, or set_default_lane_bits) wins; results
+  // are bit-identical at every width either way.
+  const int auto_bits =
+      options.event_driven && default_lane_bits_is_auto() ? 64 : 0;
+  const int lane_bits = resolve_lane_bits(
+      options.lane_bits > 0 ? options.lane_bits : auto_bits);
+  g_lane_bits.set(lane_bits);
 
-  // One simulator per worker slot; slot 0 (the caller) doubles as the
-  // good-trace simulator. The good trace itself is immutable and shared.
-  std::vector<std::unique_ptr<ScanBatchSim>> sims;
-  sims.reserve(static_cast<std::size_t>(threads));
-  for (int s = 0; s < threads; ++s)
-    sims.push_back(std::make_unique<ScanBatchSim>(circuit));
-
-  std::vector<std::size_t> alive(faults.size());
-  for (std::size_t f = 0; f < faults.size(); ++f) alive[f] = f;
-  std::vector<std::size_t> still_alive;
-
-  for (std::size_t base = 0; base < all_patterns.size() && !alive.empty();
-       base += kWordBits) {
-    const std::size_t count =
-        std::min<std::size_t>(kWordBits, all_patterns.size() - base);
-    const std::span<const ScanPattern> batch(all_patterns.data() + base,
-                                             count);
-    c_batches.inc();
-    c_simulated.add(alive.size());  // per-batch (fault, 64-test-batch) evals
-    h_batch_live.observe(alive.size());
-    const GoodTrace good = sims[0]->run_good(batch);
-
-    // Each live fault is simulated independently against the shared good
-    // trace; detected_by writes are disjoint per fault, so workers need no
-    // synchronization beyond the guard. A tripped guard cancels every
-    // worker cooperatively (tick turns false on all threads); faults it
-    // skips simply stay undetected in the partial result.
-    const auto simulate_range = [&](int slot, std::size_t lo, std::size_t hi) {
-      ScanBatchSim& sim = *sims[static_cast<std::size_t>(slot)];
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (!guard.tick(count)) return;
-        const std::size_t f = alive[i];
-        const Word det = sim.run_faulty(batch, good, faults[f], &cones[f], mode);
-        if (det != 0) {
-          const int lane = std::countr_zero(det);
-          result.detected_by[f] =
-              static_cast<int>(base + static_cast<std::size_t>(lane));
-        }
-      }
-    };
-    if (threads > 1 && alive.size() >= kMinParallelFaults) {
-      const std::size_t grain = std::max<std::size_t>(
-          1, alive.size() / (static_cast<std::size_t>(threads) * 8));
-      parallel::parallel_for(alive.size(), grain, threads, simulate_range);
-    } else {
-      simulate_range(0, 0, alive.size());
-    }
-
-    // Deterministic reduction in fault order: first-detecting-test marks and
-    // the surviving-fault list are independent of how chunks were scheduled.
-    still_alive.clear();
-    still_alive.reserve(alive.size());
-    for (std::size_t f : alive) {
-      const int t = result.detected_by[f];
-      if (t >= 0) {
-        result.test_effective[static_cast<std::size_t>(t)] = true;
-        ++result.detected_faults;
-      } else {
-        still_alive.push_back(f);
-      }
-    }
-    c_dropped.add(still_alive.size() <= alive.size()
-                      ? alive.size() - still_alive.size()
-                      : 0);
-    alive.swap(still_alive);
-    g_alive.set(static_cast<std::int64_t>(alive.size()));
-
-    if (guard.exhausted()) {
-      // Partial result: detections so far stand; the rest is unknown.
-      result.complete = false;
-      flush_sim_stats(sims);
-      return result;
-    }
+  // Cone-sorted fault schedule: group faults whose sites share a
+  // fanout-free cone so consecutive faults re-touch the same overlay
+  // working set, and use the output-cone gate count as the per-fault work
+  // estimate for chunk sizing. The schedule is a permutation of the
+  // simulation order only — per-fault results are position-independent, so
+  // this cannot change any detection.
+  const ConePartition part = fanout_free_cones(circuit.comb);
+  std::vector<int> fault_cone(faults.size(), 0);
+  std::vector<std::size_t> weight(faults.size(), 0);
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    const int site = fault_site(faults[f]);
+    if (site >= 0 && site < circuit.comb.num_gates())
+      fault_cone[f] = part.cone_id[static_cast<std::size_t>(site)];
+    weight[f] = cones[f].size();
   }
-  flush_sim_stats(sims);
+  std::vector<std::size_t> schedule(faults.size());
+  for (std::size_t f = 0; f < faults.size(); ++f) schedule[f] = f;
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [&fault_cone](std::size_t a, std::size_t b) {
+                     return fault_cone[a] < fault_cone[b];
+                   });
+
+  LogicSimStats logic_stats;
+  ScanSimStats scan_stats;
+  detail::FaultSimEngineContext ctx{circuit,
+                                    std::span<const ScanPattern>(all_patterns),
+                                    faults,
+                                    cones,
+                                    schedule,
+                                    fault_cone,
+                                    weight,
+                                    mode,
+                                    threads,
+                                    guard,
+                                    result,
+                                    logic_stats,
+                                    scan_stats};
+  switch (lane_bits) {
+    case 512:
+      detail::run_engine_w512(ctx);
+      break;
+    case 256:
+      detail::run_engine_w256(ctx);
+      break;
+    default:
+      detail::run_engine_w64(ctx);
+      break;
+  }
+  flush_sim_stats(logic_stats, scan_stats);
   return result;
 }
+
+namespace detail {
+
+std::uint64_t kernel_eval_sweep(int lane_bits, const ScanCircuit& circuit,
+                                int reps) {
+  switch (resolve_lane_bits(lane_bits)) {
+    case 512:
+      return kernel_eval_sweep_w512(circuit, reps);
+    case 256:
+      return kernel_eval_sweep_w256(circuit, reps);
+    default:
+      return kernel_eval_sweep_w64(circuit, reps);
+  }
+}
+
+std::uint64_t kernel_x_merge(int lane_bits, const ScanCircuit& circuit,
+                             int reps) {
+  switch (resolve_lane_bits(lane_bits)) {
+    case 512:
+      return kernel_x_merge_w512(circuit, reps);
+    case 256:
+      return kernel_x_merge_w256(circuit, reps);
+    default:
+      return kernel_x_merge_w64(circuit, reps);
+  }
+}
+
+std::uint64_t kernel_cone_overlay(int lane_bits, const ScanCircuit& circuit,
+                                  int reps) {
+  switch (resolve_lane_bits(lane_bits)) {
+    case 512:
+      return kernel_cone_overlay_w512(circuit, reps);
+    case 256:
+      return kernel_cone_overlay_w256(circuit, reps);
+    default:
+      return kernel_cone_overlay_w64(circuit, reps);
+  }
+}
+
+}  // namespace detail
 
 }  // namespace fstg

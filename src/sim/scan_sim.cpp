@@ -1,260 +1,9 @@
 #include "sim/scan_sim.h"
 
-#include <algorithm>
-#include <bit>
-
-#include "base/error.h"
-
 namespace fstg {
 
-ScanBatchSim::ScanBatchSim(const ScanCircuit& circuit)
-    : circuit_(&circuit), sim_(circuit.comb) {}
-
-void ScanBatchSim::load_cycle(std::span<const ScanPattern> batch,
-                              const std::vector<std::uint32_t>& state,
-                              const std::vector<std::uint32_t>& state_x,
-                              std::size_t c) {
-  const int num_pi = circuit_->num_pi;
-  const int num_sv = circuit_->num_sv;
-  sim_.clear_input_x();
-  for (int b = 0; b < num_pi; ++b) {
-    Word w = 0;
-    Word wx = 0;
-    for (std::size_t l = 0; l < batch.size(); ++l) {
-      if (c >= batch[l].inputs.size()) continue;
-      if ((batch[l].inputs[c] >> b) & 1u) w |= Word{1} << l;
-      if (c < batch[l].input_x.size() && ((batch[l].input_x[c] >> b) & 1u))
-        wx |= Word{1} << l;
-    }
-    sim_.set_input(b, w);
-    if (wx != 0) sim_.set_input_x(b, wx);
-  }
-  for (int k = 0; k < num_sv; ++k) {
-    Word w = 0;
-    Word wx = 0;
-    for (std::size_t l = 0; l < batch.size(); ++l) {
-      if ((state[l] >> k) & 1u) w |= Word{1} << l;
-      if ((state_x[l] >> k) & 1u) wx |= Word{1} << l;
-    }
-    sim_.set_input(num_pi + k, w);
-    if (wx != 0) sim_.set_input_x(num_pi + k, wx);
-  }
-}
-
-void ScanBatchSim::extract_next_state(std::vector<std::uint32_t>& state,
-                                      std::vector<std::uint32_t>& state_x,
-                                      Word active) {
-  const int num_po = circuit_->num_po;
-  const int num_sv = circuit_->num_sv;
-  for (std::size_t l = 0; l < state.size(); ++l) {
-    if (!((active >> l) & 1u)) continue;
-    std::uint32_t ns = 0;
-    std::uint32_t nsx = 0;
-    for (int k = 0; k < num_sv; ++k) {
-      if ((sim_.output(num_po + k) >> l) & 1u) ns |= 1u << k;
-      if ((sim_.output_x(num_po + k) >> l) & 1u) nsx |= 1u << k;
-    }
-    state[l] = ns;
-    state_x[l] = nsx;
-  }
-}
-
-GoodTrace ScanBatchSim::run_good(std::span<const ScanPattern> batch) {
-  require(!batch.empty() && batch.size() <= kWordBits,
-          "batch size must be 1..64");
-  GoodTrace trace;
-  trace.num_lanes = static_cast<int>(batch.size());
-  for (const auto& p : batch) trace.has_x = trace.has_x || p.has_x();
-
-  std::size_t max_len = 0;
-  for (const auto& p : batch) max_len = std::max(max_len, p.inputs.size());
-
-  std::vector<std::uint32_t> state(batch.size());
-  std::vector<std::uint32_t> state_x(batch.size(), 0);
-  for (std::size_t l = 0; l < batch.size(); ++l)
-    state[l] = batch[l].init_state;
-
-  for (std::size_t c = 0; c < max_len; ++c) {
-    Word active = 0;
-    for (std::size_t l = 0; l < batch.size(); ++l)
-      if (c < batch[l].inputs.size()) active |= Word{1} << l;
-
-    trace.state_at.push_back(state);
-    if (trace.has_x) trace.state_x_at.push_back(state_x);
-    load_cycle(batch, state, state_x, c);
-    sim_.run();
-    trace.gate_values.push_back(sim_.values());
-    if (trace.has_x) trace.gate_x.push_back(sim_.xvals());
-
-    std::vector<Word> po(static_cast<std::size_t>(circuit_->num_po));
-    for (int k = 0; k < circuit_->num_po; ++k)
-      po[static_cast<std::size_t>(k)] = sim_.output(k);
-    trace.po.push_back(std::move(po));
-    if (trace.has_x) {
-      std::vector<Word> pox(static_cast<std::size_t>(circuit_->num_po));
-      for (int k = 0; k < circuit_->num_po; ++k)
-        pox[static_cast<std::size_t>(k)] = sim_.output_x(k);
-      trace.po_x.push_back(std::move(pox));
-    }
-    trace.active.push_back(active);
-    extract_next_state(state, state_x, active);
-  }
-  trace.final_state = std::move(state);
-  if (trace.has_x) trace.final_state_x = std::move(state_x);
-  return trace;
-}
-
-namespace {
-// Mask of lanes strictly below the lowest set bit of `detected` (all lanes
-// if none set). Once a lane detects, only *earlier* tests can change the
-// first-detection attribution, so later lanes stop mattering.
-Word lanes_below_lowest(Word detected, Word all_lanes) {
-  if (detected == 0) return all_lanes;
-  return (detected & (~detected + 1)) - 1;  // bits below lowest set bit
-}
-}  // namespace
-
-Word ScanBatchSim::run_faulty(std::span<const ScanPattern> batch,
-                              const GoodTrace& good, const FaultSpec& fault,
-                              const std::vector<int>* cone, FaultyEval mode) {
-  require(static_cast<int>(batch.size()) == good.num_lanes,
-          "batch/trace size mismatch");
-  const Word all_lanes = batch.size() == kWordBits
-                             ? ~Word{0}
-                             : (Word{1} << batch.size()) - 1;
-  const bool has_x = good.has_x;
-  Word detected = 0;
-
-  // Lazily tracked faulty state: `state[l]` (and its X mask `state_x[l]`)
-  // is meaningful only for lanes in `dirty` (faulty state differs from the
-  // good trace in value or X-ness); every other lane's faulty state IS
-  // good.state_at[c][l]. A fault that never perturbs the state (the
-  // dominant case, thanks to cycle skipping) costs zero per-lane work per
-  // cycle.
-  std::vector<std::uint32_t> state(batch.size());
-  std::vector<std::uint32_t> state_x(batch.size(), 0);
-  Word dirty = 0;
-
-  const int num_po = circuit_->num_po;
-  const int num_sv = circuit_->num_sv;
-  const auto good_state_x_at = [&](std::size_t c,
-                                   std::size_t l) -> std::uint32_t {
-    return has_x ? good.state_x_at[c][l] : 0u;
-  };
-
-  for (std::size_t c = 0; c < good.active.size(); ++c) {
-    const Word relevant = lanes_below_lowest(detected, all_lanes);
-    const Word active = good.active[c] & relevant;
-    if (active == 0) break;  // active masks only shrink; nothing left to see
-
-    if ((dirty & active) == 0 && cone != nullptr &&
-        mode == FaultyEval::kEventDriven) {
-      // Every tracked lane is in the fault-free state: evaluate against the
-      // good trace through the event-driven overlay (no copying).
-      const Word* base = good.gate_values[c].data();
-      const Word* base_x = has_x ? good.gate_x[c].data() : nullptr;
-      if (sim_.run_cone_overlay(fault, *cone, base, base_x) == 0) {
-        ++stats_.cycles_skipped;
-        continue;  // not excited: outputs and next state match fault-free
-      }
-      ++stats_.cycles_overlay;
-      for (int k = 0; k < num_po; ++k)
-        detected |= sim_.overlay_output_det_diff(k, base, base_x) & active;
-      if (detected & 1u) return detected;  // lane 0 is already the minimum
-      // Lanes whose faulty next state differs from the good next state in
-      // ANY way (value or X-ness) become dirty; materialize their faulty
-      // state bits. Tracking only detectable differences here would lose
-      // defined->X state transitions and mis-simulate later cycles.
-      Word ns_diff = 0;
-      for (int k = 0; k < num_sv; ++k)
-        ns_diff |= sim_.overlay_output_any_diff(num_po + k, base, base_x);
-      ns_diff &= active;
-      for (Word w = ns_diff; w != 0; w &= w - 1) {
-        const int l = std::countr_zero(w);
-        std::uint32_t ns = 0;
-        std::uint32_t nsx = 0;
-        for (int k = 0; k < num_sv; ++k) {
-          if ((sim_.overlay_output(num_po + k, base) >> l) & 1u)
-            ns |= 1u << k;
-          if (has_x &&
-              ((sim_.overlay_output_xval(num_po + k, base_x) >> l) & 1u))
-            nsx |= 1u << k;
-        }
-        state[static_cast<std::size_t>(l)] = ns;
-        state_x[static_cast<std::size_t>(l)] = nsx;
-      }
-      dirty |= ns_diff;
-      stats_.dirty_activations +=
-          static_cast<std::uint64_t>(std::popcount(ns_diff));
-      continue;
-    }
-
-    // Legacy full-cone path and the diverged path both need the full state
-    // vector: materialize clean lanes from the good trace first.
-    for (Word w = all_lanes & ~dirty; w != 0; w &= w - 1) {
-      const std::size_t l = static_cast<std::size_t>(std::countr_zero(w));
-      state[l] = good.state_at[c][l];
-      state_x[l] = good_state_x_at(c, l);
-    }
-
-    ++stats_.cycles_full;
-    if ((dirty & active) == 0 && cone != nullptr) {  // FaultyEval::kFullCone
-      sim_.seed_values(good.gate_values[c]);
-      sim_.seed_xvals(has_x ? &good.gate_x[c] : nullptr);
-      sim_.run_cone(fault, *cone);
-    } else {
-      load_cycle(batch, state, state_x, c);
-      sim_.run(fault);
-    }
-    for (int k = 0; k < num_po; ++k) {
-      Word diff =
-          (sim_.output(k) ^ good.po[c][static_cast<std::size_t>(k)]);
-      // Detection requires both responses defined; X on either side masks
-      // the lane out for this output.
-      diff &= ~sim_.output_x(k);
-      if (has_x) diff &= ~good.po_x[c][static_cast<std::size_t>(k)];
-      detected |= diff & active;
-    }
-    if (detected & 1u) return detected;  // lane 0 is already the minimum
-    extract_next_state(state, state_x, active);
-    // Re-derive the dirty set for active lanes by comparing against the
-    // good next state (inactive lanes keep their bits and their state).
-    const std::vector<std::uint32_t>& next = c + 1 < good.state_at.size()
-                                                 ? good.state_at[c + 1]
-                                                 : good.final_state;
-    const std::vector<std::uint32_t>* next_x = nullptr;
-    if (has_x)
-      next_x = c + 1 < good.state_x_at.size() ? &good.state_x_at[c + 1]
-                                              : &good.final_state_x;
-    for (Word w = active; w != 0; w &= w - 1) {
-      const std::size_t l = static_cast<std::size_t>(std::countr_zero(w));
-      const bool differs =
-          state[l] != next[l] ||
-          state_x[l] != (next_x != nullptr ? (*next_x)[l] : 0u);
-      if (differs) {
-        if (!((dirty >> l) & 1u)) ++stats_.dirty_activations;
-        dirty |= Word{1} << l;
-      } else {
-        if ((dirty >> l) & 1u) ++stats_.dirty_clears;
-        dirty &= ~(Word{1} << l);
-      }
-    }
-  }
-
-  // Scan-out comparison of the final state. Clean lanes track the good
-  // trace by construction, so only dirty lanes can differ; lanes at or
-  // above the lowest detecting lane cannot change the attribution (and
-  // their state may be stale), so restrict to the relevant ones. A state
-  // bit that is X on either side is not a detection.
-  const Word relevant = lanes_below_lowest(detected, all_lanes);
-  for (Word w = relevant & dirty; w != 0; w &= w - 1) {
-    const std::size_t l = static_cast<std::size_t>(std::countr_zero(w));
-    std::uint32_t mismatch = state[l] ^ good.final_state[l];
-    mismatch &= ~state_x[l];
-    if (has_x) mismatch &= ~good.final_state_x[l];
-    if (mismatch != 0) detected |= Word{1} << l;
-  }
-  return detected;
-}
+// Portable 64-bit instantiation; wider widths are instantiated only in the
+// per-width fault-sim engine TUs (see pattern_vec.h for the ISA discipline).
+template class ScanBatchSimT<Word>;
 
 }  // namespace fstg

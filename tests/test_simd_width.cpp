@@ -1,0 +1,132 @@
+// SIMD lane-width property lane: every vector width the build supports
+// (portable 64-bit, AVX2 256-bit, AVX-512 512-bit) must produce
+// bit-identical fault-simulation results — same first-detecting test for
+// every fault, same effective-test marks — at every thread count, over the
+// difftest workload generator's adversarial shapes (all fault kinds, X-
+// heavy and X-free vectors, observer-enriched reconvergence). Runs in the
+// default, asan (`robust` label) and ubsan presets.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "difftest/workload.h"
+#include "fault/fault_sim.h"
+#include "fault/sim_width.h"
+
+namespace fstg {
+namespace {
+
+std::vector<int> supported_widths() {
+  std::vector<int> widths = {64};
+  if (max_supported_lane_bits() >= 256) widths.push_back(256);
+  if (max_supported_lane_bits() >= 512) widths.push_back(512);
+  return widths;
+}
+
+void expect_same_result(const FaultSimResult& a, const FaultSimResult& b) {
+  EXPECT_EQ(a.total_faults, b.total_faults);
+  EXPECT_EQ(a.detected_faults, b.detected_faults);
+  EXPECT_EQ(a.detected_by, b.detected_by);
+  EXPECT_EQ(a.test_effective, b.test_effective);
+  EXPECT_EQ(a.complete, b.complete);
+}
+
+TEST(SimdWidth, ResolveClampsAndValidates) {
+  const int widest = max_supported_lane_bits();
+  EXPECT_TRUE(widest == 64 || widest == 256 || widest == 512);
+  // Explicit requests resolve to the widest supported width <= request.
+  EXPECT_EQ(resolve_lane_bits(64), 64);
+  EXPECT_LE(resolve_lane_bits(256), 256);
+  EXPECT_LE(resolve_lane_bits(512), 512);
+  EXPECT_EQ(resolve_lane_bits(512) > 64 || resolve_lane_bits(256) > 64,
+            widest > 64);
+  // <= 0 means the process default, which starts at the widest width.
+  EXPECT_EQ(resolve_lane_bits(0), default_lane_bits());
+  EXPECT_EQ(resolve_lane_bits(-3), default_lane_bits());
+  // Anything else is a usage error.
+  EXPECT_ANY_THROW(resolve_lane_bits(128));
+  EXPECT_ANY_THROW(resolve_lane_bits(65));
+}
+
+TEST(SimdWidth, DefaultIsOverridableAndRestorable) {
+  const int before = default_lane_bits();
+  set_default_lane_bits(64);
+  EXPECT_EQ(default_lane_bits(), 64);
+  EXPECT_EQ(resolve_lane_bits(0), 64);
+  set_default_lane_bits(0);  // 0 = back to auto (widest supported)
+  EXPECT_EQ(default_lane_bits(), max_supported_lane_bits());
+  set_default_lane_bits(before);
+}
+
+TEST(SimdWidth, CpuFeaturesStringIsWellFormed) {
+  const std::string features = cpu_features();
+  EXPECT_FALSE(features.empty());
+  // Widths beyond 64 require the matching CPU feature to be reported.
+  if (max_supported_lane_bits() >= 256)
+    EXPECT_NE(features.find("avx2"), std::string::npos) << features;
+  if (max_supported_lane_bits() >= 512)
+    EXPECT_NE(features.find("avx512f"), std::string::npos) << features;
+}
+
+/// The core property: for generated workloads covering stuck-at stems,
+/// stuck pins, bridges, X-bearing and degenerate tests, every supported
+/// lane width matches the portable 64-bit engine bit for bit, serial and
+/// parallel.
+TEST(SimdWidth, AllWidthsMatchPortable64OverGeneratedWorkloads) {
+  const std::vector<int> widths = supported_widths();
+  for (std::uint64_t seed : {2u, 11u, 29u, 57u, 83u, 124u}) {
+    const difftest::Workload w = difftest::generate_workload(seed);
+    SCOPED_TRACE(w.name);
+
+    FaultSimOptions portable;
+    portable.threads = 1;
+    portable.lane_bits = 64;
+    const FaultSimResult baseline =
+        simulate_faults(w.circuit, w.tests, w.faults, portable);
+
+    for (int bits : widths) {
+      for (int threads : {1, 3}) {
+        FaultSimOptions options;
+        options.threads = threads;
+        options.lane_bits = bits;
+        SCOPED_TRACE("lane_bits=" + std::to_string(bits) +
+                     " threads=" + std::to_string(threads));
+        expect_same_result(
+            simulate_faults(w.circuit, w.tests, w.faults, options), baseline);
+      }
+    }
+  }
+}
+
+/// Same property through the event-driven/full-cone mode axis: width must
+/// be orthogonal to the evaluation strategy.
+TEST(SimdWidth, WidthsMatchInBothEvaluationModes) {
+  const std::vector<int> widths = supported_widths();
+  const difftest::Workload w = difftest::generate_workload(7);
+  SCOPED_TRACE(w.name);
+
+  for (bool event_driven : {false, true}) {
+    FaultSimOptions portable;
+    portable.threads = 1;
+    portable.lane_bits = 64;
+    portable.event_driven = event_driven;
+    const FaultSimResult baseline =
+        simulate_faults(w.circuit, w.tests, w.faults, portable);
+    for (int bits : widths) {
+      FaultSimOptions options;
+      options.threads = 2;
+      options.lane_bits = bits;
+      options.event_driven = event_driven;
+      SCOPED_TRACE("lane_bits=" + std::to_string(bits) +
+                   " event_driven=" + std::to_string(event_driven));
+      expect_same_result(
+          simulate_faults(w.circuit, w.tests, w.faults, options), baseline);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fstg

@@ -38,6 +38,7 @@
 #include "base/store/fs_util.h"
 #include "base/store/store.h"
 #include "fault/fault_io.h"
+#include "fault/sim_width.h"
 #include "harness/experiment.h"
 #include "kiss/kiss2_parser.h"
 #include "lint/lint.h"
@@ -403,6 +404,10 @@ int usage() {
                "                       and suite runs (default: hardware\n"
                "                       concurrency; 0 = serial). Results\n"
                "                       are identical for every value\n"
+               "  --lane-bits B        SIMD lane width for fault simulation:\n"
+               "                       64|256|512 (0 = auto; wider than the\n"
+               "                       CPU supports clamps down). Results\n"
+               "                       are identical for every value\n"
                "  --log-level LEVEL    stderr log threshold:\n"
                "                       debug|info|warn|error (default info)\n"
                "  --cache-dir DIR      persistent artifact cache: synthesis,\n"
@@ -550,6 +555,15 @@ int main(int argc, char** argv) {
       if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
         fstg::parallel::set_default_threads(parse_int_flag(
             "--threads", argv[++i], 0, fstg::parallel::kMaxThreads));
+      } else if (!std::strcmp(argv[i], "--lane-bits") && i + 1 < argc) {
+        const int bits = parse_int_flag("--lane-bits", argv[++i], 0, 512);
+        if (bits != 0 && bits != 64 && bits != 256 && bits != 512) {
+          std::fprintf(stderr,
+                       "error: --lane-bits must be 0 (auto), 64, 256 or "
+                       "512\n");
+          return kExitUsage;
+        }
+        fstg::set_default_lane_bits(bits);
       } else if (!std::strcmp(argv[i], "--log-level") && i + 1 < argc) {
         fstg::set_log_level(parse_log_level(argv[++i]));
       } else if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc) {
