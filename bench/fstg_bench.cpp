@@ -39,7 +39,11 @@
 #include "atpg/cycles.h"
 #include "base/obs/json_check.h"
 #include "base/obs/metrics.h"
+#include "base/obs/telemetry.h"
 #include "base/obs/trace.h"
+#include "base/store/fs_util.h"
+#include "base/store/hash.h"
+#include "base/store/ledger.h"
 #include "base/timer.h"
 #include "base/parallel/thread_pool.h"
 #include "fault/bridging.h"
@@ -254,6 +258,11 @@ bool validate_bench_json(const std::string& text, std::string* error) {
 /// configuration ran later and made the check flaky in both directions.
 /// Interleaving exposes both configurations to the same drift and the
 /// median discards the outlier rounds entirely.
+///
+/// The "on" configuration also runs the live telemetry exporter (short
+/// interval, scratch destination), so the gate covers the whole continuous
+/// observability stack — registry increments, periodic snapshot merges,
+/// and the exporter thread's atomic publishes — not just the counters.
 int check_overhead(int repeat) {
   const CircuitExperiment exp = run_circuit("dk17");
   const ScanCircuit& circuit = exp.synth.circuit;
@@ -277,13 +286,27 @@ int check_overhead(int repeat) {
   std::vector<double> off_samples, on_samples;
   off_samples.reserve(static_cast<std::size_t>(rounds));
   on_samples.reserve(static_cast<std::size_t>(rounds));
+  const std::string telemetry_path = "fstg_overhead_telemetry.json";
+  obs::TelemetryOptions topt;
+  topt.path = telemetry_path;
+  topt.interval_ms = 25;  // several publishes per sample
+
   run_once();  // warm-up outside the measurement (caches, allocator)
   for (int r = 0; r < rounds; ++r) {
     obs::set_metrics_enabled(false);
     off_samples.push_back(timed());
     obs::set_metrics_enabled(true);
+    obs::TelemetryExporter exporter(topt);
+    std::string telemetry_error;
+    if (!exporter.start(&telemetry_error)) {
+      std::fprintf(stderr, "error: telemetry exporter: %s\n",
+                   telemetry_error.c_str());
+      return 1;
+    }
     on_samples.push_back(timed());
+    exporter.stop();
   }
+  store::remove_file(telemetry_path);
 
   const auto median = [](std::vector<double> v) {
     std::sort(v.begin(), v.end());
@@ -310,7 +333,7 @@ int usage() {
                "[--lane-bits B]\n"
                "                  [--repeat R] [-o out.json]\n"
                "                  [--metrics-out m.json] [--trace-out t.json]\n"
-               "                  [--check-overhead]\n");
+               "                  [--ledger runs.jsonl] [--check-overhead]\n");
   return 1;
 }
 
@@ -324,7 +347,7 @@ int main(int argc, char** argv) {
   int repeat = 3;
   std::string out = "BENCH_faultsim.json";
   std::string circuit_override;
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, ledger_out;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) smoke = true;
     else if (!std::strcmp(argv[i], "--check-overhead")) overhead = true;
@@ -342,6 +365,8 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
       trace_out = argv[++i];
+    else if (!std::strcmp(argv[i], "--ledger") && i + 1 < argc)
+      ledger_out = argv[++i];
     else
       return usage();
   }
@@ -409,6 +434,43 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "wrote %s (%zu records, schema ok)\n", out.c_str(),
                  records.size());
+
+    // --ledger: one fstg.run.v1 record per circuit, with the bench's timed
+    // configurations as its stages. `fstg report --check-regression` turns
+    // this history into a machine-checked bench trajectory.
+    if (!ledger_out.empty()) {
+      store::Ledger ledger(ledger_out);
+      for (const BenchRecord& r : records) {
+        store::RunRecord run;
+        run.tool = "fstg_bench";
+        run.command = "bench";
+        run.circuit = r.circuit;
+        store::KeyBuilder kb;
+        kb.add(r.circuit);
+        kb.add_i64(threads);
+        kb.add_i64(default_lane_bits());
+        kb.add_i64(repeat);
+        run.config_hash = store::hash_hex(kb.digest());
+        run.exit_code = 0;
+        run.wall_ms = r.good_ms + r.serial_seed_ms + r.serial_event_ms +
+                      r.parallel_ms + r.end_to_end_ms;
+        run.stages = {{"good", r.good_ms},
+                      {"serial_seed", r.serial_seed_ms},
+                      {"serial_event", r.serial_event_ms},
+                      {"parallel", r.parallel_ms},
+                      {"end_to_end", r.end_to_end_ms}};
+        run.counters = {{"bench.faults", r.faults},
+                        {"bench.tests", r.tests},
+                        {"bench.cycles", r.cycles}};
+        std::string ledger_error;
+        if (!ledger.append(std::move(run), &ledger_error)) {
+          std::fprintf(stderr, "error: --ledger: %s\n", ledger_error.c_str());
+          return 1;
+        }
+      }
+      std::fprintf(stderr, "ledgered %zu run record(s) in %s\n",
+                   records.size(), ledger_out.c_str());
+    }
 
     // Observability side channels: both writers self-validate their output
     // against the fstg.metrics.v1 / fstg.trace.v1 schemas.

@@ -380,4 +380,167 @@ bool validate_cache_meta_json(const std::string& text, std::string* error) {
                           error);
 }
 
+bool validate_telemetry_json(const std::string& text, std::string* error) {
+  std::vector<JsonField> top;
+  std::vector<std::pair<std::string, std::string>> arrays;
+  if (!json_parse_object(text, &top, &arrays, error)) return false;
+
+  const JsonField* schema = json_find_field(top, "schema");
+  if (schema == nullptr || schema->kind != 's' ||
+      schema->sval != "fstg.telemetry.v1") {
+    *error = "missing or wrong schema tag (want fstg.telemetry.v1)";
+    return false;
+  }
+  for (const char* key :
+       {"pid", "seq", "uptime_ms", "interval_ms", "stage_elapsed_ms",
+        "progress_done", "progress_total", "eta_ms", "faults_simulated",
+        "cycles", "cache_hits", "stalls"}) {
+    if (!json_has_field(top, key, 'n')) {
+      *error = std::string("missing or mistyped number ") + key;
+      return false;
+    }
+  }
+  for (const char* key : {"stage", "progress_unit"}) {
+    if (!json_has_field(top, key, 's')) {
+      *error = std::string("missing or mistyped string ") + key;
+      return false;
+    }
+  }
+  if (!json_has_field(top, "stalled", 'b')) {
+    *error = "missing or mistyped stalled flag";
+    return false;
+  }
+  for (const char* key : {"counters", "gauges"}) {
+    if (!json_has_field(top, key, 'a')) {
+      *error = std::string("missing or mistyped array ") + key;
+      return false;
+    }
+  }
+  // done <= total whenever a total is known: the live file must never claim
+  // more work finished than was scheduled.
+  const double done = json_find_field(top, "progress_done")->nval;
+  const double total = json_find_field(top, "progress_total")->nval;
+  if (total > 0 && done > total) {
+    *error = "progress_done exceeds progress_total";
+    return false;
+  }
+  const std::vector<std::pair<const char*, char>> scalar = {{"name", 's'},
+                                                            {"value", 'n'}};
+  if (!validate_records(bodies_of(arrays, "counters"), scalar, "counters",
+                        error))
+    return false;
+  return validate_records(bodies_of(arrays, "gauges"), scalar, "gauges",
+                          error);
+}
+
+bool validate_run_record_json(const std::string& text, std::string* error) {
+  std::vector<JsonField> top;
+  std::vector<std::pair<std::string, std::string>> arrays;
+  if (!json_parse_object(text, &top, &arrays, error)) return false;
+
+  const JsonField* schema = json_find_field(top, "schema");
+  if (schema == nullptr || schema->kind != 's' ||
+      schema->sval != "fstg.run.v1") {
+    *error = "missing or wrong schema tag (want fstg.run.v1)";
+    return false;
+  }
+  for (const char* key : {"tool", "command", "circuit", "config_hash"}) {
+    if (!json_has_field(top, key, 's')) {
+      *error = std::string("missing or mistyped string ") + key;
+      return false;
+    }
+  }
+  for (const char* key : {"run", "exit_code", "wall_ms", "budget_trips"}) {
+    if (!json_has_field(top, key, 'n')) {
+      *error = std::string("missing or mistyped number ") + key;
+      return false;
+    }
+  }
+  for (const char* key : {"stages", "counters"}) {
+    if (!json_has_field(top, key, 'a')) {
+      *error = std::string("missing or mistyped array ") + key;
+      return false;
+    }
+  }
+  // config_hash is a fixed-width hex string, not a JSON number: a 64-bit
+  // hash cannot round-trip through a double.
+  const std::string& hash = json_find_field(top, "config_hash")->sval;
+  if (hash.size() != 16 ||
+      hash.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    *error = "config_hash is not a 16-digit lowercase hex string";
+    return false;
+  }
+  const std::vector<std::pair<const char*, char>> stage_rec = {{"stage", 's'},
+                                                               {"ms", 'n'}};
+  if (!validate_records(bodies_of(arrays, "stages"), stage_rec, "stages",
+                        error))
+    return false;
+  const std::vector<std::pair<const char*, char>> counter_rec = {
+      {"name", 's'}, {"value", 'n'}};
+  return validate_records(bodies_of(arrays, "counters"), counter_rec,
+                          "counters", error);
+}
+
+bool validate_report_json(const std::string& text, std::string* error) {
+  std::vector<JsonField> top;
+  std::vector<std::pair<std::string, std::string>> arrays;
+  if (!json_parse_object(text, &top, &arrays, error)) return false;
+
+  const JsonField* schema = json_find_field(top, "schema");
+  if (schema == nullptr || schema->kind != 's' ||
+      schema->sval != "fstg.report.v1") {
+    *error = "missing or wrong schema tag (want fstg.report.v1)";
+    return false;
+  }
+  if (!json_has_field(top, "ledger", 's')) {
+    *error = "missing or mistyped ledger string";
+    return false;
+  }
+  for (const char* key : {"runs", "threshold_pct", "regressions"}) {
+    if (!json_has_field(top, key, 'n')) {
+      *error = std::string("missing or mistyped number ") + key;
+      return false;
+    }
+  }
+  if (!json_has_field(top, "regressed", 'b')) {
+    *error = "missing or mistyped regressed flag";
+    return false;
+  }
+  for (const char* key : {"watched", "circuits"}) {
+    if (!json_has_field(top, key, 'a')) {
+      *error = std::string("missing or mistyped array ") + key;
+      return false;
+    }
+  }
+  // Each circuit record is itself an object with a stages array; re-parse
+  // each element with its own walker so its stages are checked in place.
+  const std::vector<std::string> circuits = bodies_of(arrays, "circuits");
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    std::vector<JsonField> fields;
+    std::vector<std::pair<std::string, std::string>> inner;
+    if (!json_parse_object(circuits[i], &fields, &inner, error)) {
+      *error = "circuits[" + std::to_string(i) + "]: " + *error;
+      return false;
+    }
+    if (!json_has_field(fields, "circuit", 's') ||
+        !json_has_field(fields, "runs", 'n') ||
+        !json_has_field(fields, "baseline_run", 'n') ||
+        !json_has_field(fields, "latest_run", 'n') ||
+        !json_has_field(fields, "stages", 'a')) {
+      *error = "circuits[" + std::to_string(i) +
+               "]: missing or mistyped circuit/runs/baseline_run/latest_run/"
+               "stages";
+      return false;
+    }
+    const std::vector<std::pair<const char*, char>> stage_rec = {
+        {"stage", 's'},      {"baseline_ms", 'n'}, {"latest_ms", 'n'},
+        {"delta_pct", 'n'},  {"watched", 'b'},     {"regressed", 'b'}};
+    if (!validate_records(bodies_of(inner, "stages"), stage_rec,
+                          ("circuits[" + std::to_string(i) + "].stages").c_str(),
+                          error))
+      return false;
+  }
+  return true;
+}
+
 }  // namespace fstg::obs

@@ -66,4 +66,19 @@ bool validate_lint_json(const std::string& text, std::string* error);
 /// totals and a types array of {tag, blobs, bytes} records.
 bool validate_cache_meta_json(const std::string& text, std::string* error);
 
+/// Validate one live-telemetry tick (schema fstg.telemetry.v1): schema tag,
+/// pid/seq/uptime/interval, stage string + elapsed, monotone progress
+/// counters, stall state, and the counters/gauges arrays of {name, value}.
+bool validate_telemetry_json(const std::string& text, std::string* error);
+
+/// Validate one run-ledger line (schema fstg.run.v1): schema tag, run id,
+/// tool/command/circuit strings, config_hash hex string, exit_code/wall_ms/
+/// budget_trips, and stages/counters arrays of typed records.
+bool validate_run_record_json(const std::string& text, std::string* error);
+
+/// Validate a ledger report (schema fstg.report.v1): schema tag, ledger
+/// path, run/circuit totals, regression verdict, and a circuits array of
+/// {circuit, runs, baseline_run, latest_run, stages} records.
+bool validate_report_json(const std::string& text, std::string* error);
+
 }  // namespace fstg::obs

@@ -7,7 +7,7 @@
 
 #include "base/error.h"
 #include "base/obs/metrics.h"
-#include "base/obs/trace.h"
+#include "base/obs/telemetry.h"
 #include "base/parallel/thread_pool.h"
 #include "fault/fault_sim_width.h"
 #include "fault/sim_width.h"
@@ -148,11 +148,13 @@ FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
   result.test_effective.assign(tests.tests.size(), false);
 
   static const obs::Counter c_runs = obs::counter("fault_sim.runs");
+  static const obs::Counter c_batches_expected =
+      obs::counter("fault_sim.batches_expected");
   static const obs::Gauge g_lane_bits = obs::gauge("fault_sim.lane_bits");
   c_runs.inc();
-  obs::Span run_span("fault_sim.run",
-                     std::to_string(faults.size()) + " faults / " +
-                         std::to_string(tests.tests.size()) + " tests");
+  obs::StageScope run_scope("fault_sim.run",
+                            std::to_string(faults.size()) + " faults / " +
+                                std::to_string(tests.tests.size()) + " tests");
 
   const std::vector<ScanPattern> all_patterns = to_scan_patterns(tests);
   const std::vector<std::vector<int>> cones =
@@ -173,6 +175,14 @@ FaultSimResult simulate_faults_guarded(const ScanCircuit& circuit,
   const int lane_bits = resolve_lane_bits(
       options.lane_bits > 0 ? options.lane_bits : auto_bits);
   g_lane_bits.set(lane_bits);
+  // Scheduled batch count for the live-telemetry progress pair: the engine
+  // bumps fault_sim.batches as it goes, this is the denominator. Both are
+  // monotone counters, so a telemetry reader can never see progress move
+  // backwards; early exits (all faults dead, budget tripped) simply leave
+  // done < expected.
+  c_batches_expected.add(
+      (all_patterns.size() + static_cast<std::size_t>(lane_bits) - 1) /
+      static_cast<std::size_t>(lane_bits));
 
   // Cone-sorted fault schedule: group faults whose sites share a
   // fanout-free cone so consecutive faults re-touch the same overlay

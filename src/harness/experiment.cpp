@@ -3,7 +3,7 @@
 #include "base/error.h"
 #include "base/log.h"
 #include "base/obs/metrics.h"
-#include "base/obs/trace.h"
+#include "base/obs/telemetry.h"
 #include "base/parallel/thread_pool.h"
 #include "base/robust/budget.h"
 #include "base/store/store.h"
@@ -21,7 +21,7 @@ namespace {
 /// the first error finding; warnings and budget exhaustion pass through.
 void lint_preflight(const Kiss2Fsm& fsm, const LintPreflightOptions& options) {
   if (!options.enabled) return;
-  obs::Span span("lint.preflight", fsm.name);
+  obs::StageScope scope("lint.preflight", fsm.name);
   lint::LintReport report;
   report.source = fsm.name;
   {
@@ -65,14 +65,14 @@ CircuitExperiment run_fsm(const Kiss2Fsm& fsm,
   if (!harness::load_synth(cache, skey, &exp.synth, &exp.table,
                            &exp.synth_seconds)) {
     {
-      obs::Span span("synth", fsm.name);
+      obs::StageScope scope("synth", fsm.name);
       Timer timer;
       exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
       exp.synth_seconds = timer.seconds();
     }
 
     {
-      obs::Span span("verify.readback", fsm.name);
+      obs::StageScope scope("verify.readback", fsm.name);
       std::string message;
       const bool matches =
           circuit_matches_fsm(exp.synth.circuit, exp.fsm, exp.synth.encoding,
@@ -92,7 +92,7 @@ CircuitExperiment run_fsm(const Kiss2Fsm& fsm,
   const std::uint64_t gkey =
       cache ? harness::gen_key(exp.table, options.gen) : 0;
   if (!harness::load_gen(cache, gkey, &exp.gen)) {
-    obs::Span span("generate", fsm.name);
+    obs::StageScope scope("generate", fsm.name);
     exp.gen = generate_functional_tests(exp.table, options.gen);
     harness::save_gen(cache, gkey, exp.gen);
   }
@@ -187,13 +187,13 @@ GateLevelResult run_gate_level(const CircuitExperiment& exp,
   sim_options.reachability = &reach;
 
   {
-    obs::Span span("gate_level.stuck_at",
+    obs::StageScope scope("gate_level.stuck_at",
                    std::to_string(result.sa_faults.size()) + " faults");
     result.sa = select_effective_tests(circuit, exp.gen.tests,
                                        result.sa_faults, sim_options);
   }
   {
-    obs::Span span("gate_level.bridging",
+    obs::StageScope scope("gate_level.bridging",
                    std::to_string(result.br_faults.size()) + " faults");
     result.br = select_effective_tests(circuit, exp.gen.tests,
                                        result.br_faults, sim_options);
@@ -202,7 +202,7 @@ GateLevelResult run_gate_level(const CircuitExperiment& exp,
   if (classify_redundancy) {
     // Reuse the compaction pass's simulation: only the misses get the
     // exhaustive re-check.
-    obs::Span span("redundancy.classify", exp.fsm.name);
+    obs::StageScope scope("redundancy.classify", exp.fsm.name);
     result.sa_redundancy = classify_faults_from(
         circuit, result.sa_faults, result.sa.sim.detected_by, &reach);
     result.br_redundancy = classify_faults_from(
@@ -250,7 +250,7 @@ robust::Result<CircuitExperiment> try_run_fsm(const Kiss2Fsm& fsm,
   if (!harness::load_synth(cache, skey, &exp.synth, &exp.table,
                            &exp.synth_seconds)) {
     try {
-      obs::Span span("synth", fsm.name);
+      obs::StageScope scope("synth", fsm.name);
       Timer timer;
       exp.synth = synthesize_scan_circuit(exp.fsm, options.synth);
       exp.synth_seconds = timer.seconds();
@@ -259,7 +259,7 @@ robust::Result<CircuitExperiment> try_run_fsm(const Kiss2Fsm& fsm,
     }
 
     try {
-      obs::Span span("verify.readback", fsm.name);
+      obs::StageScope scope("verify.readback", fsm.name);
       std::string message;
       const bool matches = circuit_matches_fsm(exp.synth.circuit, exp.fsm,
                                                exp.synth.encoding, &message);
@@ -276,7 +276,7 @@ robust::Result<CircuitExperiment> try_run_fsm(const Kiss2Fsm& fsm,
     harness::save_synth(cache, skey, exp.synth, exp.table, exp.synth_seconds);
   }
 
-  obs::Span gen_span("generate", fsm.name);
+  obs::StageScope gen_scope("generate", fsm.name);
   const std::uint64_t gkey =
       cache ? harness::gen_key(exp.table, options.gen) : 0;
   if (!harness::load_gen(cache, gkey, &exp.gen)) {
@@ -318,7 +318,7 @@ namespace {
 /// every failure into a Status on the run record).
 CircuitRun run_one_circuit(const std::string& name,
                            const SuiteOptions& options) {
-  obs::Span span("suite.circuit", name);
+  obs::StageScope scope("suite.circuit", name);
   CircuitRun run;
   run.name = name;
   store::Store* cache = store::resolve(options.experiment.cache);
@@ -385,7 +385,7 @@ void count_suite_outcomes(const SuiteResult& result) {
 
 SuiteResult run_circuit_suite(const std::vector<std::string>& names,
                               const SuiteOptions& options) {
-  obs::Span suite_span("suite",
+  obs::StageScope suite_scope("suite",
                        std::to_string(names.size()) + " circuits");
   SuiteResult result;
   result.runs.resize(names.size());

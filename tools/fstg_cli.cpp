@@ -32,14 +32,19 @@
 #include "base/log.h"
 #include "base/obs/json_check.h"
 #include "base/obs/metrics.h"
+#include "base/obs/telemetry.h"
 #include "base/obs/trace.h"
 #include "base/parallel/thread_pool.h"
 #include "base/robust/budget.h"
 #include "base/store/fs_util.h"
+#include "base/store/hash.h"
+#include "base/store/ledger.h"
 #include "base/store/store.h"
+#include "base/timer.h"
 #include "fault/fault_io.h"
 #include "fault/sim_width.h"
 #include "harness/experiment.h"
+#include "harness/report.h"
 #include "kiss/kiss2_parser.h"
 #include "lint/lint.h"
 #include "netlist/blif_reader.h"
@@ -94,6 +99,22 @@ struct BudgetFlags {
     return false;
   }
 };
+
+double parse_double_flag(const char* flag, const char* text, double lo,
+                         double hi) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "error: %s expects a number in [%g, %g]\n", flag, lo,
+                 hi);
+    throw UsageError{};
+  }
+  return v;
+}
+
+/// The global --ledger flag (main strips it; report and the end-of-run
+/// append both consult it through store::resolve_ledger_path).
+std::string g_ledger_flag;
 
 LogLevel parse_log_level(const char* text) {
   if (!std::strcmp(text, "debug")) return LogLevel::kDebug;
@@ -374,9 +395,65 @@ int cmd_lint(const std::string& target, const std::string& faults_path,
   return kExitOk;
 }
 
+int usage();
+
+int cmd_report(int argc, char** argv) {
+  bool json = false, check_regression = false;
+  std::string out;
+  ReportOptions options;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--json")) json = true;
+    else if (!std::strcmp(argv[i], "--check-regression")) check_regression = true;
+    else if (!std::strcmp(argv[i], "-o") && i + 1 < argc) out = argv[++i];
+    else if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc)
+      options.baseline_run =
+          parse_int_flag("--baseline", argv[++i], 0, 2'000'000'000);
+    else if (!std::strcmp(argv[i], "--watch") && i + 1 < argc)
+      options.watch.push_back(argv[++i]);
+    else if (!std::strcmp(argv[i], "--threshold-pct") && i + 1 < argc)
+      options.threshold_pct =
+          parse_double_flag("--threshold-pct", argv[++i], 0.0, 10000.0);
+    else if (!std::strcmp(argv[i], "--slack-ms") && i + 1 < argc)
+      options.slack_ms =
+          parse_double_flag("--slack-ms", argv[++i], 0.0, 1e9);
+    else return usage();
+  }
+  const std::string path = store::resolve_ledger_path(g_ledger_flag);
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "error: fstg report requires --ledger FILE or --cache-dir "
+                 "DIR (the ledger lives at DIR/runs.jsonl)\n");
+    return kExitUsage;
+  }
+  const store::Ledger ledger(path);
+  const Report report = build_report(ledger.read(), options, path);
+
+  if (json) {
+    // Self-checking writer, like metrics/lint: validated against the
+    // fstg.report.v1 schema mirror before anything is emitted.
+    const std::string text = report_to_json(report);
+    std::string error;
+    require(obs::validate_report_json(text, &error),
+            "report JSON failed self-validation: " + error);
+    write_output(out, text);
+  } else {
+    write_output(out, report_to_text(report));
+  }
+  if (check_regression && report.regressed()) {
+    std::fprintf(stderr,
+                 "regression: %llu watched stage(s) degraded more than "
+                 "%.1f%% vs baseline\n",
+                 static_cast<unsigned long long>(report.regressions),
+                 report.threshold_pct);
+    return kExitParse;
+  }
+  return kExitOk;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: fstg <list|info|gen|sim|lint|verilog|export|cache> [args]\n"
+               "usage: fstg <list|info|gen|sim|lint|verilog|export|cache|"
+               "report> [args]\n"
                "  fstg list\n"
                "  fstg info <circuit|file.kiss>\n"
                "  fstg lint <circuit|file.kiss|file.blif> [--faults f.flt]\n"
@@ -398,6 +475,14 @@ int usage() {
                "           totals (--json: fstg.cache_meta.v1), verify\n"
                "           re-hashes every blob (exit 2 if any corrupt), gc\n"
                "           removes damage and evicts to --max-bytes\n"
+               "  fstg report [--json] [-o out] [--baseline N]\n"
+               "           [--watch STAGE]... [--threshold-pct X]\n"
+               "           [--slack-ms X] [--check-regression]\n"
+               "           aggregate the run ledger (--ledger or\n"
+               "           --cache-dir/runs.jsonl) into per-circuit timing\n"
+               "           trends vs baseline (--json: fstg.report.v1);\n"
+               "           --check-regression exits 2 when a watched stage\n"
+               "           degrades past the threshold\n"
                "\n"
                "global flags (any command):\n"
                "  --threads N          worker threads for fault simulation\n"
@@ -421,6 +506,19 @@ int usage() {
                "  --trace-out FILE     capture pipeline spans as Chrome\n"
                "                       trace_event JSON — load in Perfetto\n"
                "                       (see docs/OBSERVABILITY.md)\n"
+               "  --telemetry-out FILE publish a live fstg.telemetry.v1\n"
+               "                       snapshot (progress, ETA, counters)\n"
+               "                       atomically every interval; watch with\n"
+               "                       `watch -n1 cat FILE`\n"
+               "  --telemetry-interval-ms N\n"
+               "                       publish period (default 250)\n"
+               "  --telemetry-stall-ms N\n"
+               "                       no-progress window before the stall\n"
+               "                       watchdog warns (default 5000)\n"
+               "  --ledger FILE        append one fstg.run.v1 record per run\n"
+               "                       (default: runs.jsonl under --cache-dir\n"
+               "                       when one is set); `fstg report` reads\n"
+               "                       this history\n"
                "\n"
                "budget flags (gen, sim):\n"
                "  --time-budget-ms N   wall-clock deadline for the expensive\n"
@@ -443,6 +541,7 @@ int run_command(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "list") return cmd_list();
+    if (cmd == "report") return cmd_report(argc, argv);
     if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
     if (cmd == "gen" && argc >= 3) {
       std::string out;
@@ -547,14 +646,19 @@ int run_command(int argc, char** argv) {
 int main(int argc, char** argv) {
   // Global flags are stripped (with their values) before command dispatch
   // so every command accepts them in any position.
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, telemetry_out;
+  int telemetry_interval_ms = 250;
+  int telemetry_stall_ms = 5000;
+  int threads_flag = -1;
+  int lane_bits_flag = 0;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   try {
     for (int i = 0; i < argc; ++i) {
       if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-        fstg::parallel::set_default_threads(parse_int_flag(
-            "--threads", argv[++i], 0, fstg::parallel::kMaxThreads));
+        threads_flag = parse_int_flag("--threads", argv[++i], 0,
+                                      fstg::parallel::kMaxThreads);
+        fstg::parallel::set_default_threads(threads_flag);
       } else if (!std::strcmp(argv[i], "--lane-bits") && i + 1 < argc) {
         const int bits = parse_int_flag("--lane-bits", argv[++i], 0, 512);
         if (bits != 0 && bits != 64 && bits != 256 && bits != 512) {
@@ -563,6 +667,7 @@ int main(int argc, char** argv) {
                        "512\n");
           return kExitUsage;
         }
+        lane_bits_flag = bits;
         fstg::set_default_lane_bits(bits);
       } else if (!std::strcmp(argv[i], "--log-level") && i + 1 < argc) {
         fstg::set_log_level(parse_log_level(argv[++i]));
@@ -570,6 +675,18 @@ int main(int argc, char** argv) {
         metrics_out = argv[++i];
       } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
         trace_out = argv[++i];
+      } else if (!std::strcmp(argv[i], "--telemetry-out") && i + 1 < argc) {
+        telemetry_out = argv[++i];
+      } else if (!std::strcmp(argv[i], "--telemetry-interval-ms") &&
+                 i + 1 < argc) {
+        telemetry_interval_ms =
+            parse_int_flag("--telemetry-interval-ms", argv[++i], 1, 3'600'000);
+      } else if (!std::strcmp(argv[i], "--telemetry-stall-ms") &&
+                 i + 1 < argc) {
+        telemetry_stall_ms =
+            parse_int_flag("--telemetry-stall-ms", argv[++i], 1, 86'400'000);
+      } else if (!std::strcmp(argv[i], "--ledger") && i + 1 < argc) {
+        g_ledger_flag = argv[++i];
       } else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc) {
         // Graceful degrade: an unusable cache directory costs the warm
         // start, never the run.
@@ -587,8 +704,72 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_out.empty()) fstg::obs::start_tracing();
+  if (!telemetry_out.empty()) {
+    fstg::obs::TelemetryOptions topt;
+    topt.path = telemetry_out;
+    topt.interval_ms = telemetry_interval_ms;
+    topt.stall_window_ms = telemetry_stall_ms;
+    std::string telemetry_error;
+    // A bad destination fails up front (the exporter writes its first
+    // snapshot in start), like an unwritable --metrics-out would at exit.
+    if (!fstg::obs::start_global_telemetry(topt, &telemetry_error)) {
+      std::fprintf(stderr, "error: --telemetry-out: %s\n",
+                   telemetry_error.c_str());
+      return kExitParse;
+    }
+  }
 
+  const fstg::Timer wall;
   int rc = run_command(static_cast<int>(args.size()), args.data());
+
+  // Stop before the ledger append so the final telemetry snapshot and the
+  // telemetry.* counters both reflect the finished run.
+  fstg::obs::stop_global_telemetry();
+
+  // One fstg.run.v1 ledger record per pipeline run (not for list/cache/
+  // report/usage invocations): what ran, how long each stage took, the key
+  // counters, and how it exited. `fstg report` aggregates this history.
+  const std::string ledger_path =
+      fstg::store::resolve_ledger_path(g_ledger_flag);
+  if (!ledger_path.empty() && args.size() >= 2) {
+    const std::string cmd = args[1];
+    const bool ledgered = cmd == "info" || cmd == "gen" || cmd == "sim" ||
+                          cmd == "lint" || cmd == "verilog" || cmd == "export";
+    if (ledgered) {
+      fstg::store::RunRecord record;
+      record.tool = "fstg";
+      record.command = cmd;
+      if (args.size() >= 3 && args[2][0] != '-') record.circuit = args[2];
+      // Config hash: the post-strip command line (obs destinations vary per
+      // invocation and don't change the work) plus the perf-shaping globals.
+      fstg::store::KeyBuilder kb;
+      for (std::size_t i = 1; i < args.size(); ++i) kb.add(args[i]);
+      kb.add_i64(threads_flag);
+      kb.add_i64(lane_bits_flag);
+      record.config_hash = fstg::store::hash_hex(kb.digest());
+      record.exit_code = rc;
+      record.wall_ms = wall.seconds() * 1000.0;
+      for (const fstg::obs::StageTiming& t : fstg::obs::stage_timings())
+        record.stages.push_back({t.stage, t.ms});
+      const fstg::obs::MetricsSnapshot snap = fstg::obs::snapshot_metrics();
+      for (const auto& [name, value] : snap.counters) {
+        if (name.rfind("budget.trips.", 0) == 0) record.budget_trips += value;
+        for (const char* prefix : {"fault_sim.", "scan.", "cache.", "suite.",
+                                   "budget.", "telemetry."}) {
+          if (name.rfind(prefix, 0) == 0) {
+            record.counters.emplace_back(name, value);
+            break;
+          }
+        }
+      }
+      std::string ledger_error;
+      if (!fstg::store::Ledger(ledger_path).append(std::move(record),
+                                                   &ledger_error)) {
+        std::fprintf(stderr, "error: --ledger: %s\n", ledger_error.c_str());
+        if (rc == kExitOk) rc = kExitParse;
+      }
+    }
+  }
 
   // Observability outputs are written whatever the command's outcome. Each
   // writer re-reads and schema-validates its own file; a validation failure

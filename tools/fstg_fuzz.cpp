@@ -49,7 +49,9 @@
 #include "atpg/generator.h"
 #include "atpg/test_io.h"
 #include "base/error.h"
+#include "base/log.h"
 #include "base/obs/metrics.h"
+#include "base/obs/trace.h"
 #include "base/robust/budget.h"
 #include "base/rng.h"
 #include "base/store/fs_util.h"
@@ -76,6 +78,8 @@ int usage() {
                "usage: fstg_fuzz <parsers|lint|budget|store|all> [--iters N] "
                "[--seed S]\n"
                "                 [--corpus-dir DIR] [--dir DIR]\n"
+               "                 [--metrics-out FILE] [--trace-out FILE]\n"
+               "                 [--log-level debug|info|warn|error]\n"
                "  parsers  mutate KISS2/BLIF/test-file corpora; only typed\n"
                "           Errors may escape the parsers\n"
                "  lint     two-way oracle: the static analyzer must report\n"
@@ -671,28 +675,9 @@ int run_store(std::uint64_t iters, std::uint64_t seed,
   return 0;
 }
 
-int fuzz_main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string mode = argv[1];
-  std::uint64_t iters = mode == "budget" || mode == "all" ? 3
-                        : mode == "store"                 ? 20
-                                                          : 200;
-  std::uint64_t seed = 1;
-  std::string corpus_dir, cache_dir;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if ((arg == "--iters" || arg == "--seed") && i + 1 < argc) {
-      char* endp = nullptr;
-      const unsigned long long v = std::strtoull(argv[i + 1], &endp, 10);
-      if (endp == argv[i + 1] || *endp != '\0') return usage();
-      (arg == "--iters" ? iters : seed) = v;
-      ++i;
-    } else if ((arg == "--corpus-dir" || arg == "--dir") && i + 1 < argc) {
-      (arg == "--corpus-dir" ? corpus_dir : cache_dir) = argv[++i];
-    } else {
-      return usage();
-    }
-  }
+int dispatch_mode(const std::string& mode, std::uint64_t iters,
+                  std::uint64_t seed, const std::string& corpus_dir,
+                  const std::string& cache_dir) {
   if (mode == "parsers") return run_parsers(iters, seed);
   if (mode == "lint") return run_lint_oracle(iters, seed);
   if (mode == "budget") return run_budget(iters);
@@ -707,6 +692,59 @@ int fuzz_main(int argc, char** argv) {
     return run_store(10, seed, corpus_dir, cache_dir);
   }
   return usage();
+}
+
+int fuzz_main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+  std::uint64_t iters = mode == "budget" || mode == "all" ? 3
+                        : mode == "store"                 ? 20
+                                                          : 200;
+  std::uint64_t seed = 1;
+  std::string corpus_dir, cache_dir, metrics_out, trace_out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--iters" || arg == "--seed") && i + 1 < argc) {
+      char* endp = nullptr;
+      const unsigned long long v = std::strtoull(argv[i + 1], &endp, 10);
+      if (endp == argv[i + 1] || *endp != '\0') return usage();
+      (arg == "--iters" ? iters : seed) = v;
+      ++i;
+    } else if ((arg == "--corpus-dir" || arg == "--dir") && i + 1 < argc) {
+      (arg == "--corpus-dir" ? corpus_dir : cache_dir) = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      const std::string level = argv[++i];
+      if (level == "debug") set_log_level(LogLevel::kDebug);
+      else if (level == "info") set_log_level(LogLevel::kInfo);
+      else if (level == "warn") set_log_level(LogLevel::kWarn);
+      else if (level == "error") set_log_level(LogLevel::kError);
+      else return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  if (!trace_out.empty()) obs::start_tracing();
+
+  int rc = dispatch_mode(mode, iters, seed, corpus_dir, cache_dir);
+
+  // Same contract as the fstg/fstg_difftest front ends: the observability
+  // outputs are written whatever the campaign's outcome — a failing fuzz
+  // run's metrics are exactly the ones worth keeping.
+  std::string error;
+  if (!metrics_out.empty() && !obs::write_metrics_json(metrics_out, &error)) {
+    std::fprintf(stderr, "error: --metrics-out: %s\n", error.c_str());
+    if (rc == 0) rc = 1;
+  }
+  if (!trace_out.empty() && !obs::write_trace_json(trace_out, &error)) {
+    std::fprintf(stderr, "error: --trace-out: %s\n", error.c_str());
+    if (rc == 0) rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace
