@@ -11,8 +11,14 @@ namespace {
 /// object fields; array element bodies are captured as raw text so the
 /// caller can re-parse the arrays it cares about with another walker.
 struct Walker {
+  /// Nesting cap: the documents this parser reads are shallow (≤4 levels),
+  /// but the serve path feeds it untrusted socket bytes — unbounded
+  /// recursion on `[[[[...` would overflow the stack.
+  static constexpr int kMaxDepth = 64;
+
   const std::string& text;
   std::size_t pos = 0;
+  int depth = 0;
   std::string error;
   std::vector<std::pair<std::string, std::string>>* array_bodies = nullptr;
 
@@ -39,8 +45,58 @@ struct Walker {
     ++pos;
     std::string s;
     while (pos < text.size() && text[pos] != '"') {
-      if (text[pos] == '\\') ++pos;
-      if (pos < text.size()) s.push_back(text[pos++]);
+      const char c = text[pos];
+      if (c != '\\') {
+        s.push_back(c);
+        ++pos;
+        continue;
+      }
+      ++pos;  // consume the backslash
+      if (pos >= text.size()) return fail("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text[pos + static_cast<std::size_t>(k)];
+            unsigned digit = 0;
+            if (h >= '0' && h <= '9') digit = static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              digit = static_cast<unsigned>(h - 'a') + 10;
+            else if (h >= 'A' && h <= 'F')
+              digit = static_cast<unsigned>(h - 'A') + 10;
+            else return fail("bad \\u escape digit");
+            cp = cp * 16 + digit;
+          }
+          pos += 4;
+          // Surrogate pairs never appear in this codebase's writers (they
+          // escape control bytes only); reject rather than mis-decode.
+          if (cp >= 0xD800 && cp <= 0xDFFF)
+            return fail("unsupported surrogate \\u escape");
+          if (cp < 0x80) {
+            s.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
     }
     if (pos >= text.size()) return fail("unterminated string");
     ++pos;
@@ -77,15 +133,20 @@ struct Walker {
     }
     if (c == '{') {
       *kind = 'o';
+      if (++depth > kMaxDepth) return fail("nesting too deep");
       std::vector<JsonField> ignored;
-      return object(&ignored);
+      const bool ok = object(&ignored);
+      --depth;
+      return ok;
     }
     if (c == '[') {
       *kind = 'a';
+      if (++depth > kMaxDepth) return fail("nesting too deep");
       ++pos;
       skip_ws();
       if (pos < text.size() && text[pos] == ']') {
         ++pos;
+        --depth;
         return true;
       }
       for (;;) {
@@ -104,6 +165,7 @@ struct Walker {
         }
         if (pos < text.size() && text[pos] == ']') {
           ++pos;
+          --depth;
           return true;
         }
         return fail("expected , or ] in array");
@@ -539,6 +601,108 @@ bool validate_report_json(const std::string& text, std::string* error) {
                           ("circuits[" + std::to_string(i) + "].stages").c_str(),
                           error))
       return false;
+  }
+  return true;
+}
+
+bool validate_serve_request_json(const std::string& text, std::string* error) {
+  std::vector<JsonField> top;
+  if (!json_parse_object(text, &top, nullptr, error)) return false;
+
+  const JsonField* schema = json_find_field(top, "schema");
+  if (schema == nullptr || schema->kind != 's' ||
+      schema->sval != "fstg.serve_request.v1") {
+    *error = "missing or wrong schema tag (want fstg.serve_request.v1)";
+    return false;
+  }
+  const JsonField* type = json_find_field(top, "type");
+  if (type == nullptr || type->kind != 's') {
+    *error = "missing or mistyped type string";
+    return false;
+  }
+  const std::string& t = type->sval;
+  if (t != "gen" && t != "sim" && t != "lint" && t != "metrics" &&
+      t != "ping" && t != "shutdown") {
+    *error = "bad request type " + t +
+             " (want gen|sim|lint|metrics|ping|shutdown)";
+    return false;
+  }
+  // Optional fields must still be the right kind when present.
+  for (const char* key : {"id", "circuit", "kiss2", "tests"}) {
+    const JsonField* f = json_find_field(top, key);
+    if (f != nullptr && f->kind != 's') {
+      *error = std::string("mistyped string field ") + key;
+      return false;
+    }
+  }
+  for (const char* key :
+       {"uio", "xfer", "time_budget_ms", "max_expansions"}) {
+    const JsonField* f = json_find_field(top, key);
+    if (f != nullptr && f->kind != 'n') {
+      *error = std::string("mistyped number field ") + key;
+      return false;
+    }
+  }
+  // Pipeline requests name their input; sim additionally needs a test set.
+  if (t == "gen" || t == "sim" || t == "lint") {
+    if (!json_has_field(top, "circuit", 's') &&
+        !json_has_field(top, "kiss2", 's')) {
+      *error = t + " request without circuit or kiss2";
+      return false;
+    }
+  }
+  if (t == "sim" && !json_has_field(top, "tests", 's')) {
+    *error = "sim request without tests";
+    return false;
+  }
+  return true;
+}
+
+bool validate_serve_response_json(const std::string& text,
+                                  std::string* error) {
+  std::vector<JsonField> top;
+  if (!json_parse_object(text, &top, nullptr, error)) return false;
+
+  const JsonField* schema = json_find_field(top, "schema");
+  if (schema == nullptr || schema->kind != 's' ||
+      schema->sval != "fstg.serve_response.v1") {
+    *error = "missing or wrong schema tag (want fstg.serve_response.v1)";
+    return false;
+  }
+  for (const char* key : {"id", "type", "error"}) {
+    if (!json_has_field(top, key, 's')) {
+      *error = std::string("missing or mistyped string ") + key;
+      return false;
+    }
+  }
+  const JsonField* status = json_find_field(top, "status");
+  if (status == nullptr || status->kind != 's') {
+    *error = "missing or mistyped status string";
+    return false;
+  }
+  const std::string& s = status->sval;
+  if (s != "ok" && s != "parse" && s != "error" && s != "budget" &&
+      s != "overloaded") {
+    *error = "bad status " + s + " (want ok|parse|error|budget|overloaded)";
+    return false;
+  }
+  if (!json_has_field(top, "wall_ms", 'n')) {
+    *error = "missing or mistyped number wall_ms";
+    return false;
+  }
+  if (!json_has_field(top, "result", 'o')) {
+    *error = "missing or mistyped result object";
+    return false;
+  }
+  // A non-ok response must say what went wrong; an ok one must not cry wolf.
+  const std::string& err_text = json_find_field(top, "error")->sval;
+  if (s == "ok" && !err_text.empty()) {
+    *error = "ok response carries an error message";
+    return false;
+  }
+  if (s != "ok" && err_text.empty()) {
+    *error = "non-ok response without an error message";
+    return false;
   }
   return true;
 }

@@ -10,9 +10,12 @@ namespace fstg::obs {
 /// Enough of RFC 8259 (objects, arrays, strings, numbers, literals) to
 /// re-read the JSON this codebase emits — metrics snapshots, trace files,
 /// bench records — and verify it against the checked-in schemas under
-/// schemas/ before CI consumes it. Not a general parser: no unicode
-/// escapes, no duplicate-key detection. A malformed emitter fails its own
-/// process instead of poisoning downstream data.
+/// schemas/ before CI consumes it. Since `fstg serve` it also parses
+/// untrusted socket bytes, so strings decode the standard escapes
+/// (\" \\ \/ \b \f \n \r \t and BMP \uXXXX) and nesting depth is capped.
+/// Still not a general parser: no surrogate pairs, no duplicate-key
+/// detection. A malformed emitter fails its own process instead of
+/// poisoning downstream data.
 ///
 /// The C++ validators below are the enforced mirror of the JSON Schema
 /// documents (schemas/fstg_metrics.schema.json, schemas/fstg_trace.schema.json);
@@ -80,5 +83,18 @@ bool validate_run_record_json(const std::string& text, std::string* error);
 /// path, run/circuit totals, regression verdict, and a circuits array of
 /// {circuit, runs, baseline_run, latest_run, stages} records.
 bool validate_report_json(const std::string& text, std::string* error);
+
+/// Validate one `fstg serve` request (schema fstg.serve_request.v1):
+/// schema tag, type in {gen,sim,lint,metrics,ping,shutdown}, correctly
+/// typed optional fields, circuit-or-kiss2 on pipeline requests, tests on
+/// sim requests.
+bool validate_serve_request_json(const std::string& text, std::string* error);
+
+/// Validate one `fstg serve` response (schema fstg.serve_response.v1):
+/// schema tag, id/type strings, status in {ok,parse,error,budget,
+/// overloaded} with an error message exactly when non-ok, wall_ms, and a
+/// result object.
+bool validate_serve_response_json(const std::string& text,
+                                  std::string* error);
 
 }  // namespace fstg::obs

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -196,9 +197,10 @@ struct TelemetryExporter::Impl {
   bool stalled = false;
   bool write_error_logged = false;
 
-  // Throughput baseline for the ETA: batches done when the exporter
-  // started, so a warm-started process doesn't inherit a bogus rate.
-  std::uint64_t done_at_start = 0;
+  // Sliding window behind the ETA: one (publish time, batches done) sample
+  // per tick, pruned to options.eta_window_ms. Only the exporter's own
+  // publish path touches it (start/stop publish with the thread quiescent).
+  std::deque<std::pair<Clock::time_point, std::uint64_t>> eta_samples;
 };
 
 TelemetryExporter::TelemetryExporter(TelemetryOptions options)
@@ -206,6 +208,8 @@ TelemetryExporter::TelemetryExporter(TelemetryOptions options)
   options_.interval_ms = std::max(1, options_.interval_ms);
   options_.stall_window_ms = std::max(options_.interval_ms,
                                       options_.stall_window_ms);
+  options_.eta_window_ms = std::max(options_.interval_ms,
+                                    options_.eta_window_ms);
 }
 
 TelemetryExporter::~TelemetryExporter() { stop(); }
@@ -259,14 +263,29 @@ bool TelemetryExporter::publish() {
   snap.stalled = im.stalled;
   snap.stalls = im.stall_count.load(std::memory_order_relaxed);
 
-  // ETA from exporter-lifetime throughput of the batch counters.
+  // ETA from sliding-window throughput of the batch counters: lifetime
+  // rate would keep flattering the estimate long after a warm-cache burst
+  // (most batches done in the first tick) has left the window. The front
+  // sample is the youngest one at least eta_window_ms old — the window's
+  // baseline; no progress since it means the ETA is honestly unknown.
+  im.eta_samples.emplace_back(now, snap.progress_done);
+  while (im.eta_samples.size() >= 2 &&
+         std::chrono::duration<double, std::milli>(
+             now - im.eta_samples[1].first)
+                 .count() >= static_cast<double>(options_.eta_window_ms))
+    im.eta_samples.pop_front();
+  const auto& [window_start, done_at_window_start] = im.eta_samples.front();
   if (snap.progress_total > snap.progress_done &&
-      snap.progress_done > im.done_at_start && snap.uptime_ms > 0.0) {
-    const double rate =
-        static_cast<double>(snap.progress_done - im.done_at_start) /
-        snap.uptime_ms;  // batches per ms
-    snap.eta_ms =
-        static_cast<double>(snap.progress_total - snap.progress_done) / rate;
+      snap.progress_done > done_at_window_start) {
+    const double span_ms =
+        std::chrono::duration<double, std::milli>(now - window_start).count();
+    if (span_ms > 0.0) {
+      const double rate =
+          static_cast<double>(snap.progress_done - done_at_window_start) /
+          span_ms;  // batches per ms
+      snap.eta_ms =
+          static_cast<double>(snap.progress_total - snap.progress_done) / rate;
+    }
   }
 
   const std::string json = telemetry_to_json(snap);
@@ -286,13 +305,21 @@ bool TelemetryExporter::publish() {
 
 void TelemetryExporter::run() {
   Impl& im = *impl_;
+  const auto interval = std::chrono::milliseconds(options_.interval_ms);
   std::unique_lock<std::mutex> lock(im.mu);
+  Clock::time_point deadline = Clock::now() + interval;
   while (!im.stop_requested) {
-    im.cv.wait_for(lock, std::chrono::milliseconds(options_.interval_ms));
-    if (im.stop_requested) break;
+    // Absolute deadline + stop predicate: a spurious wakeup (or a test
+    // poke) goes back to sleep for the remainder of the interval instead
+    // of publishing early, so the interval_ms cadence contract holds.
+    if (im.cv.wait_until(lock, deadline, [&] { return im.stop_requested; }))
+      break;
     lock.unlock();
     publish();
     lock.lock();
+    deadline += interval;
+    const Clock::time_point now = Clock::now();
+    if (deadline < now) deadline = now + interval;  // fell behind: re-anchor
   }
 }
 
@@ -312,7 +339,7 @@ bool TelemetryExporter::start(std::string* error) {
   {
     const MetricsSnapshot initial = snapshot_metrics();
     im.last_fingerprint = progress_fingerprint(initial);
-    im.done_at_start = initial.counter_value("fault_sim.batches");
+    im.eta_samples.clear();
   }
   // First publish up front: a bad destination fails loudly at startup, and
   // even a run shorter than one interval leaves a valid live file behind.
@@ -354,6 +381,8 @@ std::uint64_t TelemetryExporter::ticks() const {
 std::uint64_t TelemetryExporter::stalls() const {
   return impl_->stall_count.load(std::memory_order_relaxed);
 }
+
+void TelemetryExporter::wake_for_test() { impl_->cv.notify_all(); }
 
 /// --- Process-global exporter (the --telemetry-out flag) -------------------
 

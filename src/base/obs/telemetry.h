@@ -77,6 +77,11 @@ struct TelemetryOptions {
   std::string path;            ///< live file destination (required)
   int interval_ms = 250;       ///< publish period
   int stall_window_ms = 5000;  ///< no-progress window before the watchdog fires
+  /// ETA lookback: the throughput behind eta_ms is measured over the last
+  /// eta_window_ms, not the exporter's lifetime — a warm-cache burst that
+  /// finishes most batches in the first tick must stop flattering the rate
+  /// once it leaves the window. Clamped to at least interval_ms.
+  int eta_window_ms = 5000;
 };
 
 /// One rendered tick of the live file. Exposed (with render/take below) so
@@ -90,7 +95,7 @@ struct TelemetrySnapshot {
   double stage_elapsed_ms = 0.0;
   std::uint64_t progress_done = 0;   ///< fault_sim.batches
   std::uint64_t progress_total = 0;  ///< fault_sim.batches_expected (0 = unknown)
-  double eta_ms = -1.0;              ///< -1 = unknown (no throughput yet)
+  double eta_ms = -1.0;              ///< -1 = unknown (no progress in the window)
   std::uint64_t faults_simulated = 0;
   std::uint64_t cycles = 0;      ///< scan.cycles_{skipped,overlay,full} summed
   std::uint64_t cache_hits = 0;  ///< cache.*.hit counters summed
@@ -132,6 +137,12 @@ class TelemetryExporter {
   /// Observable progress of the exporter itself (tests, --check-overhead).
   std::uint64_t ticks() const;
   std::uint64_t stalls() const;
+
+  /// Test hook: wake the exporter thread without stopping it — a forced
+  /// spurious condition-variable wakeup. The interval_ms cadence must hold
+  /// regardless (the regression test pokes this in a tight loop and checks
+  /// that no early publish happens).
+  void wake_for_test();
 
  private:
   void run();

@@ -1,0 +1,214 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/obs/json_check.h"
+
+namespace fstg::serve {
+
+namespace {
+
+/// Extract a string field (empty when absent); kinds were already checked
+/// by the schema validator.
+std::string sval(const std::vector<obs::JsonField>& fields, const char* key) {
+  const obs::JsonField* f = obs::json_find_field(fields, key);
+  return f != nullptr && f->kind == 's' ? f->sval : std::string();
+}
+
+/// Extract a number field with an inclusive range check. Returns false
+/// (with *error) when present but out of range or non-integral.
+bool nval(const std::vector<obs::JsonField>& fields, const char* key,
+          double lo, double hi, double* out, std::string* error) {
+  const obs::JsonField* f = obs::json_find_field(fields, key);
+  if (f == nullptr || f->kind != 'n') return true;  // absent: keep default
+  if (f->nval < lo || f->nval > hi ||
+      f->nval != static_cast<double>(static_cast<long long>(f->nval))) {
+    *error = std::string(key) + " must be an integer in [" +
+             std::to_string(static_cast<long long>(lo)) + ", " +
+             std::to_string(static_cast<long long>(hi)) + "]";
+    return false;
+  }
+  *out = f->nval;
+  return true;
+}
+
+}  // namespace
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string encode_frame(const std::string& payload) {
+  require(payload.size() <= 0xFFFFFFFFull,
+          "serve frame payload too large to encode");
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFramePrefixBytes + payload.size());
+  out.push_back(static_cast<char>(n & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out += payload;
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (dead_) return;  // no point buffering past a protocol error
+  buf_.append(data, n);
+}
+
+FrameDecoder::Outcome FrameDecoder::next(std::string* payload,
+                                         std::string* error) {
+  if (dead_) {
+    if (error) *error = dead_error_;
+    return Outcome::kError;
+  }
+  if (buf_.size() < kFramePrefixBytes) return Outcome::kNeedMore;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(buf_.data());
+  const std::uint32_t n = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16) |
+                          (static_cast<std::uint32_t>(p[3]) << 24);
+  if (n > max_frame_bytes_) {
+    dead_ = true;
+    dead_error_ = "frame length " + std::to_string(n) +
+                  " exceeds the limit of " +
+                  std::to_string(max_frame_bytes_) + " bytes";
+    buf_.clear();
+    if (error) *error = dead_error_;
+    return Outcome::kError;
+  }
+  if (buf_.size() < kFramePrefixBytes + n) return Outcome::kNeedMore;
+  if (payload) payload->assign(buf_, kFramePrefixBytes, n);
+  buf_.erase(0, kFramePrefixBytes + n);
+  return Outcome::kFrame;
+}
+
+bool parse_serve_request(const std::string& text, ServeRequest* request,
+                         std::string* error) {
+  std::string err;
+  if (!obs::validate_serve_request_json(text, &err)) {
+    if (error) *error = "bad request: " + err;
+    return false;
+  }
+  std::vector<obs::JsonField> top;
+  if (!obs::json_parse_object(text, &top, nullptr, &err)) {
+    if (error) *error = "bad request: " + err;  // unreachable after validate
+    return false;
+  }
+  ServeRequest req;
+  req.id = sval(top, "id");
+  req.type = sval(top, "type");
+  req.circuit = sval(top, "circuit");
+  req.kiss2 = sval(top, "kiss2");
+  req.tests = sval(top, "tests");
+  double uio = 0.0, xfer = 1.0, time_ms = 0.0, max_exp = 0.0;
+  if (!nval(top, "uio", 0, 64, &uio, &err) ||
+      !nval(top, "xfer", 0, 64, &xfer, &err) ||
+      !nval(top, "time_budget_ms", 0, 86'400'000, &time_ms, &err) ||
+      !nval(top, "max_expansions", 0, 2'000'000'000, &max_exp, &err)) {
+    if (error) *error = "bad request: " + err;
+    return false;
+  }
+  req.uio = static_cast<int>(uio);
+  req.xfer = static_cast<int>(xfer);
+  req.budget.time_budget_ms = time_ms;
+  req.budget.max_expansions = static_cast<std::uint64_t>(max_exp);
+  *request = std::move(req);
+  return true;
+}
+
+std::string serve_request_to_json(const ServeRequest& request) {
+  std::ostringstream os;
+  os << "{\"schema\": \"fstg.serve_request.v1\", \"type\": "
+     << json_quote(request.type);
+  if (!request.id.empty()) os << ", \"id\": " << json_quote(request.id);
+  if (!request.circuit.empty())
+    os << ", \"circuit\": " << json_quote(request.circuit);
+  if (!request.kiss2.empty())
+    os << ", \"kiss2\": " << json_quote(request.kiss2);
+  if (!request.tests.empty())
+    os << ", \"tests\": " << json_quote(request.tests);
+  if (request.uio != 0) os << ", \"uio\": " << request.uio;
+  if (request.xfer != 1) os << ", \"xfer\": " << request.xfer;
+  if (request.budget.time_budget_ms > 0.0)
+    os << ", \"time_budget_ms\": "
+       << static_cast<long long>(request.budget.time_budget_ms);
+  if (request.budget.max_expansions > 0)
+    os << ", \"max_expansions\": " << request.budget.max_expansions;
+  os << "}";
+  return os.str();
+}
+
+std::string serve_response_to_json(const ServeResponse& response) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "{\"schema\": \"fstg.serve_response.v1\", \"id\": "
+     << json_quote(response.id) << ", \"type\": " << json_quote(response.type)
+     << ", \"status\": " << json_quote(response.status)
+     << ", \"error\": " << json_quote(response.error)
+     << ", \"wall_ms\": " << response.wall_ms << ", \"result\": "
+     << (response.result_json.empty() ? std::string("{}")
+                                      : response.result_json)
+     << "}";
+  std::string text = os.str();
+  std::string error;
+  require(obs::validate_serve_response_json(text, &error),
+          "serve response failed self-validation: " + error);
+  return text;
+}
+
+bool parse_serve_response(const std::string& text, ServeResponse* response,
+                          std::string* error) {
+  std::string err;
+  if (!obs::validate_serve_response_json(text, &err)) {
+    if (error) *error = "bad response: " + err;
+    return false;
+  }
+  std::vector<obs::JsonField> top;
+  if (!obs::json_parse_object(text, &top, nullptr, &err)) {
+    if (error) *error = "bad response: " + err;
+    return false;
+  }
+  ServeResponse resp;
+  resp.id = sval(top, "id");
+  resp.type = sval(top, "type");
+  resp.status = sval(top, "status");
+  resp.error = sval(top, "error");
+  resp.wall_ms = obs::json_find_field(top, "wall_ms")->nval;
+  resp.result_json.clear();  // not round-tripped; callers re-parse `text`
+  *response = std::move(resp);
+  return true;
+}
+
+}  // namespace fstg::serve

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "base/robust/budget.h"
+#include "serve/protocol.h"
+
+namespace fstg::serve {
+
+/// --- `fstg serve`: the persistent ATPG daemon ----------------------------
+///
+/// One-shot CLI runs re-parse, re-synthesize, and re-derive UIO tables on
+/// every invocation. The server keeps compiled circuits hot in an
+/// in-memory content-addressed cache (keyed like src/harness/cache: the
+/// canonical KISS2 text plus every option that changes the artifact) and
+/// multiplexes concurrent gen/sim/lint requests onto the process-wide
+/// work-stealing pool, each under its own robust::Budget envelope whose
+/// sticky trip doubles as cooperative cancellation.
+///
+/// Admission control is a bounded queue in front of a fixed worker pool:
+/// a request arriving with the queue full is shed with a typed
+/// "overloaded" response (counter serve.shed) instead of growing latency
+/// without bound. Every executed or shed pipeline request appends one
+/// fstg.run.v1 record to the ledger (when one is configured), and a
+/// `metrics` request scrapes the live obs registry.
+///
+/// Protocol, schemas, and exit semantics: docs/SERVING.md.
+
+struct ServeOptions {
+  /// Unix-domain socket path. Takes precedence over tcp_port when set.
+  std::string socket_path;
+  /// TCP listen port on 127.0.0.1 (0 = ephemeral, read back via port()).
+  /// Negative = no TCP listener.
+  int tcp_port = -1;
+  /// Worker threads executing pipeline requests (min 1). Each worker may
+  /// itself fan out onto the parallel_for pool.
+  int workers = 4;
+  /// Admission bound: requests queued beyond this are shed.
+  int queue_capacity = 16;
+  /// Per-frame payload cap (protocol error beyond it).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Hot-cache capacity in compiled circuits (LRU eviction past it).
+  std::size_t max_circuits = 8;
+  /// Default budget for requests that carry no budget fields.
+  robust::Budget default_budget;
+  /// Serve exactly one connection, then stop (scriptable from ctest).
+  bool once = false;
+  /// Append one fstg.run.v1 record per pipeline request ("" = no ledger).
+  std::string ledger_path;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();  ///< stops if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept loop and worker pool. False (with
+  /// *error) if the socket cannot be bound.
+  bool start(std::string* error);
+
+  /// Block until a stop is signalled: stop() from another thread, a
+  /// `shutdown` request, the --once connection closing, or
+  /// signal_stop_async (the CLI's SIGINT/SIGTERM path).
+  void wait();
+
+  /// Graceful teardown: stop accepting, join connection readers, let
+  /// workers finish their in-flight request, shed everything still queued
+  /// with a typed response, then close the sockets. Idempotent.
+  void stop();
+
+  /// Async-signal-safe stop trigger: just flags and wakes (one write(2) on
+  /// a pipe). The caller's wait()/stop() pair does the actual teardown.
+  void signal_stop_async();
+
+  bool running() const;
+  /// Resolved TCP port after start() (ephemeral binds), -1 for unix-only.
+  int port() const;
+  const ServeOptions& options() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Blocking client for tests and `fstg serve --client`: connect (with
+/// retry until the deadline, so a just-forked server races safely), send
+/// framed payloads, receive framed responses.
+class Client {
+ public:
+  Client();
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Retry-connect to a unix socket / 127.0.0.1:port until timeout_ms.
+  bool connect_unix(const std::string& path, int timeout_ms,
+                    std::string* error);
+  bool connect_tcp(int port, int timeout_ms, std::string* error);
+
+  bool send(const std::string& payload, std::string* error);
+  /// One complete frame (blocks up to timeout_ms). False on timeout,
+  /// protocol error, or the peer closing.
+  bool recv(std::string* payload, int timeout_ms, std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace fstg::serve

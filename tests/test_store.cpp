@@ -249,7 +249,12 @@ TEST(StoreBasic, UnusableDirectoryDegradesEverything) {
 class StoreCorruption : public ::testing::Test {
  protected:
   void SetUp() override {
-    store_ = std::make_unique<Store>(fresh_dir("corruption"));
+    // One directory per test, not per fixture: ctest runs each test as its
+    // own process, and parallel tests sharing a directory would remove_all
+    // each other's blobs mid-flight.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    store_ = std::make_unique<Store>(
+        fresh_dir(std::string("corruption_") + info->name()));
     ASSERT_TRUE(store_->usable());
     ASSERT_TRUE(store_->put(kKey, 1, 1, "synth", payload_));
     path_ = blob_path(*store_, kKey, "synth");

@@ -215,6 +215,88 @@ TEST(TelemetryExporter, StallWatchdogFiresOncePerStallAndRearms) {
   std::remove(path.c_str());
 }
 
+// --- exporter cadence under spurious wakeups ------------------------------
+
+TEST(TelemetryExporter, SpuriousWakeupsDoNotPublishEarly) {
+  // Regression: the exporter loop used to wait on its condition variable
+  // with no predicate and a relative timeout, so any spurious (or forced)
+  // wakeup published immediately and reset the cadence. With an absolute
+  // deadline + predicate, wake_for_test() hammering the CV must not add a
+  // single early tick.
+  obs::reset_metrics();
+  const std::string path = temp_path("spurious.json");
+  obs::TelemetryOptions opt;
+  opt.path = path;
+  opt.interval_ms = 3'600'000;  // next scheduled publish: one hour away
+  obs::TelemetryExporter exporter(opt);
+  std::string error;
+  ASSERT_TRUE(exporter.start(&error)) << error;
+  ASSERT_EQ(exporter.ticks(), 1u);  // start()'s immediate first snapshot
+
+  for (int i = 0; i < 50; ++i) {
+    exporter.wake_for_test();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(exporter.ticks(), 1u)
+      << "a spurious condition-variable wakeup published ahead of the "
+         "interval";
+
+  // stop() still publishes its final snapshot through the same CV.
+  exporter.stop();
+  EXPECT_EQ(exporter.ticks(), 2u);
+  ASSERT_TRUE(obs::validate_telemetry_json(slurp(path), &error)) << error;
+  std::remove(path.c_str());
+}
+
+// --- ETA derivation -------------------------------------------------------
+
+TEST(TelemetryExporter, EtaUsesSlidingWindowNotExporterLifetime) {
+  // Regression: eta_ms used to divide remaining work by the *lifetime*
+  // average rate (done_since_start / uptime). After a warm-cache burst
+  // followed by a stall, that skewed estimate stayed finite forever; the
+  // sliding window must age the burst out and report -1 (unknown) once no
+  // progress falls inside the window.
+  obs::reset_metrics();
+  const std::string path = temp_path("eta.json");
+  obs::TelemetryOptions opt;
+  opt.path = path;
+  opt.interval_ms = 5;
+  opt.eta_window_ms = 60;
+  obs::TelemetryExporter exporter(opt);
+  std::string error;
+  ASSERT_TRUE(exporter.start(&error)) << error;
+
+  // Burst: most of the work completes immediately (the warm-cache shape).
+  obs::counter("fault_sim.batches_expected").add(1000);
+  obs::counter("fault_sim.batches").add(900);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool saw_finite_eta = false;
+  while (!saw_finite_eta && std::chrono::steady_clock::now() < deadline) {
+    const std::string json = slurp(path);
+    if (!json.empty() && number_field(json, "eta_ms") > 0.0)
+      saw_finite_eta = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(saw_finite_eta) << "burst progress never produced an ETA";
+
+  // Stall past the window: the burst leaves the lookback, and with no
+  // fresh progress the honest answer is again "unknown", not a stale
+  // lifetime-average extrapolation.
+  bool eta_went_unknown = false;
+  while (!eta_went_unknown && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::string json = slurp(path);
+    if (!json.empty() && number_field(json, "eta_ms") == -1.0)
+      eta_went_unknown = true;
+  }
+  EXPECT_TRUE(eta_went_unknown)
+      << "eta_ms kept extrapolating from progress outside the window";
+
+  exporter.stop();
+  std::remove(path.c_str());
+}
+
 // --- stage scopes ---------------------------------------------------------
 
 TEST(StageScope, TracksCurrentStageAndAccumulatesTimings) {

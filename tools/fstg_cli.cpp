@@ -10,6 +10,7 @@
 //                                     test file (stuck-at + bridging)
 //   fstg verilog <circuit|file.kiss> [-o out.v] [--tb tb.v]
 //                                     emit Verilog netlist (and testbench)
+//   fstg serve <--socket P|--tcp N>   persistent ATPG daemon (docs/SERVING.md)
 //
 // Exit codes (stable, scriptable):
 //   0  success
@@ -19,10 +20,12 @@
 //   4  internal error (invariant violation in the library)
 
 #include <charconv>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -50,6 +53,7 @@
 #include "netlist/blif_reader.h"
 #include "netlist/export.h"
 #include "netlist/verilog.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -66,8 +70,11 @@ enum ExitCode : int {
 /// Raised by flag parsing for malformed values; mapped to kExitUsage.
 struct UsageError {};
 
-int parse_int_flag(const char* flag, const char* text, long long lo,
-                   long long hi) {
+/// Full-width integer flag (byte counts, frame sizes). Every malformed
+/// value goes through the same UsageError path, so the exit-code contract
+/// (1 = usage) holds for every flag uniformly.
+long long parse_i64_flag(const char* flag, const char* text, long long lo,
+                         long long hi) {
   long long v = 0;
   const char* end = text + std::strlen(text);
   auto [p, ec] = std::from_chars(text, end, v);
@@ -76,7 +83,12 @@ int parse_int_flag(const char* flag, const char* text, long long lo,
                  flag, lo, hi);
     throw UsageError{};
   }
-  return static_cast<int>(v);
+  return v;
+}
+
+int parse_int_flag(const char* flag, const char* text, long long lo,
+                   long long hi) {
+  return static_cast<int>(parse_i64_flag(flag, text, lo, hi));
 }
 
 /// --time-budget-ms / --max-expansions, shared by gen and sim.
@@ -397,6 +409,142 @@ int cmd_lint(const std::string& target, const std::string& faults_path,
 
 int usage();
 
+/// SIGINT/SIGTERM → graceful drain: the handler only flags and wakes (the
+/// one async-signal-safe operation the server exposes); main's wait/stop
+/// pair does the actual teardown.
+serve::Server* g_serve_instance = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_serve_instance) g_serve_instance->signal_stop_async();
+}
+
+/// `fstg serve --client`: send newline-delimited JSON requests (file or
+/// stdin) over one connection, pipelined, and print one response JSON line
+/// each. Exit: 0 all ok, 3 any budget-tripped response, 2 any failed
+/// response or transport error — same categories as the offline commands.
+int cmd_serve_client(const std::string& socket_path, int tcp_port,
+                     const std::string& requests_path, int connect_timeout_ms,
+                     int recv_timeout_ms) {
+  std::vector<std::string> lines;
+  {
+    std::istream* in = &std::cin;
+    std::ifstream file;
+    if (!requests_path.empty() && requests_path != "-") {
+      file.open(requests_path);
+      require(file.good(), "cannot open request file: " + requests_path);
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line))
+      if (!line.empty() && line[0] != '#') lines.push_back(line);
+  }
+
+  serve::Client client;
+  std::string error;
+  const bool connected =
+      socket_path.empty()
+          ? client.connect_tcp(tcp_port, connect_timeout_ms, &error)
+          : client.connect_unix(socket_path, connect_timeout_ms, &error);
+  if (!connected) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitParse;
+  }
+  for (const std::string& line : lines)
+    require(client.send(line, &error), "send failed: " + error);
+
+  bool any_budget = false, any_failed = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string payload;
+    if (!client.recv(&payload, recv_timeout_ms, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return kExitParse;
+    }
+    std::printf("%s\n", payload.c_str());
+    serve::ServeResponse resp;
+    if (!serve::parse_serve_response(payload, &resp, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return kExitParse;
+    }
+    if (resp.status == "budget") any_budget = true;
+    else if (resp.status != "ok") any_failed = true;
+  }
+  if (any_failed) return kExitParse;
+  if (any_budget) return kExitBudget;
+  return kExitOk;
+}
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServeOptions so;
+  BudgetFlags budget;
+  bool client_mode = false;
+  std::string requests_path;
+  int connect_timeout_ms = 10'000;
+  int recv_timeout_ms = 120'000;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--socket") && i + 1 < argc)
+      so.socket_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--tcp") && i + 1 < argc)
+      so.tcp_port = parse_int_flag("--tcp", argv[++i], 0, 65535);
+    else if (!std::strcmp(argv[i], "--workers") && i + 1 < argc)
+      so.workers = parse_int_flag("--workers", argv[++i], 1, 256);
+    else if (!std::strcmp(argv[i], "--queue-capacity") && i + 1 < argc)
+      so.queue_capacity =
+          parse_int_flag("--queue-capacity", argv[++i], 1, 65536);
+    else if (!std::strcmp(argv[i], "--max-frame-bytes") && i + 1 < argc)
+      so.max_frame_bytes = static_cast<std::size_t>(parse_i64_flag(
+          "--max-frame-bytes", argv[++i], 64, 1'073'741'824));
+    else if (!std::strcmp(argv[i], "--max-circuits") && i + 1 < argc)
+      so.max_circuits = static_cast<std::size_t>(
+          parse_int_flag("--max-circuits", argv[++i], 1, 4096));
+    else if (!std::strcmp(argv[i], "--once"))
+      so.once = true;
+    else if (!std::strcmp(argv[i], "--client"))
+      client_mode = true;
+    else if (!std::strcmp(argv[i], "--requests") && i + 1 < argc)
+      requests_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--connect-timeout-ms") && i + 1 < argc)
+      connect_timeout_ms =
+          parse_int_flag("--connect-timeout-ms", argv[++i], 1, 3'600'000);
+    else if (!std::strcmp(argv[i], "--recv-timeout-ms") && i + 1 < argc)
+      recv_timeout_ms =
+          parse_int_flag("--recv-timeout-ms", argv[++i], 1, 86'400'000);
+    else if (budget.consume(argc, argv, i)) continue;
+    else return usage();
+  }
+  if (so.socket_path.empty() && so.tcp_port < 0) {
+    std::fprintf(stderr, "error: fstg serve needs --socket PATH or --tcp "
+                         "PORT\n");
+    return kExitUsage;
+  }
+  if (client_mode)
+    return cmd_serve_client(so.socket_path, so.tcp_port, requests_path,
+                            connect_timeout_ms, recv_timeout_ms);
+
+  so.default_budget = budget.budget;
+  so.ledger_path = store::resolve_ledger_path(g_ledger_flag);
+  serve::Server server(so);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitParse;
+  }
+  if (!so.socket_path.empty())
+    std::printf("listening on %s\n", so.socket_path.c_str());
+  else
+    std::printf("listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);  // scripts read the resolved (ephemeral) port here
+
+  g_serve_instance = &server;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  server.wait();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_instance = nullptr;
+  server.stop();
+  return kExitOk;
+}
+
 int cmd_report(int argc, char** argv) {
   bool json = false, check_regression = false;
   std::string out;
@@ -453,7 +601,7 @@ int cmd_report(int argc, char** argv) {
 int usage() {
   std::fprintf(stderr,
                "usage: fstg <list|info|gen|sim|lint|verilog|export|cache|"
-               "report> [args]\n"
+               "report|serve> [args]\n"
                "  fstg list\n"
                "  fstg info <circuit|file.kiss>\n"
                "  fstg lint <circuit|file.kiss|file.blif> [--faults f.flt]\n"
@@ -483,6 +631,21 @@ int usage() {
                "           trends vs baseline (--json: fstg.report.v1);\n"
                "           --check-regression exits 2 when a watched stage\n"
                "           degrades past the threshold\n"
+               "  fstg serve <--socket PATH|--tcp PORT> [--workers N]\n"
+               "           [--queue-capacity N] [--max-frame-bytes N]\n"
+               "           [--max-circuits N] [--once]\n"
+               "           [--time-budget-ms N] [--max-expansions N]\n"
+               "           persistent daemon: concurrent gen/sim/lint over\n"
+               "           length-prefixed JSON frames, compiled circuits\n"
+               "           held hot in an LRU cache, bounded-queue admission\n"
+               "           with typed overload shedding (docs/SERVING.md);\n"
+               "           budget flags set the per-request default\n"
+               "  fstg serve --client <--socket PATH|--tcp PORT>\n"
+               "           [--requests FILE] [--connect-timeout-ms N]\n"
+               "           [--recv-timeout-ms N]\n"
+               "           send JSONL requests (FILE, or - / stdin), print\n"
+               "           one response line each; exit 3 if any response\n"
+               "           was budget-tripped, 2 if any failed\n"
                "\n"
                "global flags (any command):\n"
                "  --threads N          worker threads for fault simulation\n"
@@ -542,6 +705,7 @@ int run_command(int argc, char** argv) {
   try {
     if (cmd == "list") return cmd_list();
     if (cmd == "report") return cmd_report(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
     if (cmd == "gen" && argc >= 3) {
       std::string out;
@@ -607,17 +771,10 @@ int run_command(int argc, char** argv) {
       long long max_bytes = -1;
       for (int i = 3; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--json")) json = true;
-        else if (!std::strcmp(argv[i], "--max-bytes") && i + 1 < argc) {
-          const char* text = argv[++i];
-          const char* end = text + std::strlen(text);
-          auto [p, ec] = std::from_chars(text, end, max_bytes);
-          if (ec != std::errc() || p != end || max_bytes < 0) {
-            std::fprintf(stderr,
-                         "error: --max-bytes expects a non-negative byte "
-                         "count\n");
-            return kExitUsage;
-          }
-        } else return usage();
+        else if (!std::strcmp(argv[i], "--max-bytes") && i + 1 < argc)
+          max_bytes = parse_i64_flag("--max-bytes", argv[++i], 0,
+                                     std::numeric_limits<long long>::max());
+        else return usage();
       }
       return cmd_cache(argv[2], json, max_bytes);
     }

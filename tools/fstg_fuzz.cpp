@@ -22,6 +22,16 @@
 //     that lint rejects while the pipeline accepts — is a bug in one of
 //     the two.
 //
+//   serve: the daemon's wire boundary. For any byte stream — torn,
+//     truncated, oversized, or arbitrarily mutated frames — the frame
+//     decoder and request parser terminate with typed refusals (kError
+//     outcomes, false returns), never a crash, foreign exception, or
+//     unbounded buffer; every accepted request re-serializes cleanly.
+//     Scenarios are one feed chunk per line (`hex`/`raw`/`frame`); the
+//     checked-in corpus under tests/serve_corpus replays as a regression
+//     gate, and failing random iterations print their chunks in corpus
+//     form.
+//
 //   store: for any corruption of an artifact-store cache directory
 //     (payload bit-flips, truncation, smashed magic/header bytes, forged
 //     container versions, deleted blobs, foreign garbage, orphaned write
@@ -69,14 +79,15 @@
 #include "netlist/export.h"
 #include "netlist/snapshot.h"
 #include "seq/uio.h"
+#include "serve/protocol.h"
 
 namespace fstg {
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fstg_fuzz <parsers|lint|budget|store|all> [--iters N] "
-               "[--seed S]\n"
+               "usage: fstg_fuzz <parsers|lint|budget|store|serve|all> "
+               "[--iters N] [--seed S]\n"
                "                 [--corpus-dir DIR] [--dir DIR]\n"
                "                 [--metrics-out FILE] [--trace-out FILE]\n"
                "                 [--log-level debug|info|warn|error]\n"
@@ -88,6 +99,11 @@ int usage() {
                "  budget   inject budget exhaustion at every guard site;\n"
                "           the pipeline must return a valid or typed-partial\n"
                "           result, or a structured error\n"
+               "  serve    feed torn/truncated/mutated frames to the `fstg\n"
+               "           serve` wire boundary; the decoder and request\n"
+               "           parser must refuse with typed outcomes, never\n"
+               "           crash. --corpus-dir replays checked-in scenarios\n"
+               "           (tests/serve_corpus)\n"
                "  store    corrupt a --cache-dir artifact store every way a\n"
                "           disk can (bit-flips, truncation, version skew,\n"
                "           deletion, garbage, torn temps); warm runs must be\n"
@@ -675,6 +691,226 @@ int run_store(std::uint64_t iters, std::uint64_t seed,
   return 0;
 }
 
+/// --- serve mode -----------------------------------------------------------
+
+std::string hex_encode(const std::string& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out += digits[c >> 4];
+    out += digits[c & 0xF];
+  }
+  return out;
+}
+
+bool hex_decode(const std::string& hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int v = 0;
+    for (int k = 0; k < 2; ++k) {
+      const char c = hex[i + k];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= c - '0';
+      else if (c >= 'a' && c <= 'f') v |= c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') v |= c - 'A' + 10;
+      else return false;
+    }
+    out->push_back(static_cast<char>(v));
+  }
+  return true;
+}
+
+/// One corpus line -> one feed chunk. `hex <bytes>` is raw bytes, `raw
+/// <text>` is the rest of the line verbatim, `frame <json>` wraps the rest
+/// of the line in a correct length prefix (so cases can express
+/// "well-framed but malformed payload" readably).
+bool parse_serve_case_line(const std::string& line, std::string* chunk,
+                           std::string* error) {
+  const std::size_t sp = line.find(' ');
+  const std::string op = line.substr(0, sp);
+  const std::string rest =
+      sp == std::string::npos ? std::string() : line.substr(sp + 1);
+  if (op == "hex") {
+    if (!hex_decode(rest, chunk)) {
+      *error = "bad hex: " + rest;
+      return false;
+    }
+    return true;
+  }
+  if (op == "raw") {
+    *chunk = rest;
+    return true;
+  }
+  if (op == "frame") {
+    *chunk = serve::encode_frame(rest);
+    return true;
+  }
+  *error = "unknown op: " + op;
+  return false;
+}
+
+/// Feed the chunks through a fresh decoder exactly as the daemon's reader
+/// loop would. Contract: no exception of any kind escapes (the boundary
+/// speaks in return values), the decoder's sticky error survives further
+/// feeding, buffering never exceeds the frame cap plus one read, and any
+/// accepted request re-serializes through the self-validating writer.
+bool serve_fuzz_case(const std::vector<std::string>& chunks,
+                     const char* label) {
+  constexpr std::size_t kCap = 1 << 20;
+  serve::FrameDecoder decoder(kCap);
+  try {
+    for (const std::string& chunk : chunks) {
+      decoder.feed(chunk.data(), chunk.size());
+      for (;;) {
+        std::string payload, err;
+        const serve::FrameDecoder::Outcome out = decoder.next(&payload, &err);
+        if (out == serve::FrameDecoder::Outcome::kNeedMore) break;
+        if (out == serve::FrameDecoder::Outcome::kError) break;
+        serve::ServeRequest req;
+        std::string perr;
+        if (serve::parse_serve_request(payload, &req, &perr)) {
+          // Writer/parser agreement: an accepted request must render and
+          // re-parse; the writer self-validates against the schema mirror.
+          serve::ServeRequest back;
+          if (!serve::parse_serve_request(serve::serve_request_to_json(req),
+                                          &back, &perr)) {
+            std::fprintf(stderr,
+                         "FUZZ FAILURE %s: accepted request did not "
+                         "round-trip: %s\n",
+                         label, perr.c_str());
+            return false;
+          }
+        }
+      }
+      if (decoder.buffered_bytes() > kCap + serve::kFramePrefixBytes) {
+        std::fprintf(stderr,
+                     "FUZZ FAILURE %s: decoder buffered %zu bytes past the "
+                     "%zu cap\n",
+                     label, decoder.buffered_bytes(), kCap);
+        return false;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "FUZZ FAILURE %s: serve wire boundary let %s escape (it "
+                 "must speak in return values, not exceptions)\n",
+                 label, e.what());
+    return false;
+  }
+  return true;
+}
+
+int run_serve(std::uint64_t iters, std::uint64_t seed,
+              const std::string& corpus_dir) {
+  std::size_t cases = 0;
+  if (!corpus_dir.empty()) {
+    std::vector<std::string> files;
+    for (const std::string& name : store::list_dir(corpus_dir))
+      if (name.size() > 5 && name.rfind(".case") == name.size() - 5)
+        files.push_back(corpus_dir + "/" + name);
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::fprintf(stderr, "error: no .case files in %s\n",
+                   corpus_dir.c_str());
+      return 1;
+    }
+    for (const std::string& path : files) {
+      std::string text, error;
+      if (!store::read_file(path, &text, &error)) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+        return 1;
+      }
+      std::vector<std::string> chunks;
+      std::istringstream lines(text);
+      for (std::string line; std::getline(lines, line);) {
+        if (line.empty() || line[0] == '#') continue;
+        std::string chunk;
+        if (!parse_serve_case_line(line, &chunk, &error)) {
+          std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+          return 1;
+        }
+        chunks.push_back(std::move(chunk));
+      }
+      if (!serve_fuzz_case(chunks, path.c_str())) return 1;
+      ++cases;
+    }
+  }
+
+  // Seed payloads: one valid request of every type, so mutations explore
+  // the neighborhood of real traffic rather than only uniform noise.
+  std::vector<std::string> payloads;
+  {
+    serve::ServeRequest req;
+    req.type = "ping";
+    payloads.push_back(serve::serve_request_to_json(req));
+    req = serve::ServeRequest();
+    req.type = "metrics";
+    req.id = "m-1";
+    payloads.push_back(serve::serve_request_to_json(req));
+    req = serve::ServeRequest();
+    req.type = "gen";
+    req.circuit = "lion";
+    req.uio = 2;
+    req.budget.time_budget_ms = 100;
+    payloads.push_back(serve::serve_request_to_json(req));
+    req = serve::ServeRequest();
+    req.type = "sim";
+    req.circuit = "lion";
+    req.tests = ".circuit lion\n.inputs 2\n.states 2\n";
+    req.budget.max_expansions = 1000;
+    payloads.push_back(serve::serve_request_to_json(req));
+    req = serve::ServeRequest();
+    req.type = "lint";
+    req.kiss2 = write_kiss2(make_synthetic_fsm("serve-fuzz", 2, 4, 1));
+    payloads.push_back(serve::serve_request_to_json(req));
+  }
+
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    // 1-3 frames per stream, mutated at the payload level (well-framed
+    // garbage JSON) or the wire level (corrupted length prefixes and torn
+    // framing), then split into random read-sized chunks.
+    std::string stream;
+    const std::uint64_t frames = 1 + rng.below(3);
+    for (std::uint64_t f = 0; f < frames; ++f) {
+      std::string payload = payloads[rng.below(payloads.size())];
+      const std::uint64_t depth = rng.below(3);
+      if (rng.below(2)) {
+        for (std::uint64_t d = 0; d < depth; ++d) payload = mutate(payload, rng);
+        stream += serve::encode_frame(payload);
+      } else {
+        std::string wire = serve::encode_frame(payload);
+        for (std::uint64_t d = 0; d < depth; ++d) wire = mutate(wire, rng);
+        stream += wire;
+      }
+    }
+    std::vector<std::string> chunks;
+    std::size_t at = 0;
+    while (at < stream.size()) {
+      const std::size_t len = 1 + rng.below(stream.size() - at);
+      chunks.push_back(stream.substr(at, len));
+      at += len;
+    }
+    const std::string label =
+        "seed " + std::to_string(seed) + " iter " + std::to_string(i);
+    if (!serve_fuzz_case(chunks, label.c_str())) {
+      std::fprintf(stderr, "failing scenario (save as a .case file):\n");
+      for (const std::string& chunk : chunks)
+        std::fprintf(stderr, "hex %s\n", hex_encode(chunk).c_str());
+      return 1;
+    }
+    ++cases;
+  }
+  std::printf("fuzz serve: %zu case(s) (%s%llu random, seed %llu): ok\n",
+              cases, corpus_dir.empty() ? "" : "corpus + ",
+              static_cast<unsigned long long>(iters),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
 int dispatch_mode(const std::string& mode, std::uint64_t iters,
                   std::uint64_t seed, const std::string& corpus_dir,
                   const std::string& cache_dir) {
@@ -682,11 +918,14 @@ int dispatch_mode(const std::string& mode, std::uint64_t iters,
   if (mode == "lint") return run_lint_oracle(iters, seed);
   if (mode == "budget") return run_budget(iters);
   if (mode == "store") return run_store(iters, seed, corpus_dir, cache_dir);
+  if (mode == "serve") return run_serve(iters, seed, corpus_dir);
   if (mode == "all") {
     const int p = run_parsers(iters == 3 ? 200 : iters, seed);
     if (p != 0) return p;
     const int l = run_lint_oracle(iters == 3 ? 200 : iters, seed);
     if (l != 0) return l;
+    const int v = run_serve(iters == 3 ? 200 : iters, seed, "");
+    if (v != 0) return v;
     const int b = run_budget(3);
     if (b != 0) return b;
     return run_store(10, seed, corpus_dir, cache_dir);
