@@ -1,0 +1,267 @@
+#include "analysis/implication.h"
+
+#include <algorithm>
+
+namespace fstg::analysis {
+
+namespace {
+
+constexpr signed char kUnknown = -1;
+
+}  // namespace
+
+ImplicationEngine::ImplicationEngine(const Netlist& nl, const Options& options)
+    : nl_(&nl) {
+  const int n = nl.num_gates();
+  fanouts_ = nl.fanouts();
+  base_.assign(static_cast<std::size_t>(n), kUnknown);
+  learned_.assign(static_cast<std::size_t>(2 * n), {});
+
+  // Pass 1: fold the declared constants through the netlist (ternary
+  // forward evaluation; deduce() also fires the backward rules, which is
+  // harmless here — everything derived is an unconditional fact).
+  {
+    std::vector<signed char> val(base_);
+    std::vector<int> trail;
+    std::vector<int> queue;
+    queue.reserve(static_cast<std::size_t>(n));
+    for (int g = 0; g < n; ++g) queue.push_back(g);
+    bool ok = true;
+    for (std::size_t head = 0; head < queue.size() && ok; ++head)
+      ok = deduce(queue[head], val, trail, queue);
+    // A conflict here would mean the netlist has no consistent evaluation,
+    // which a combinational circuit cannot; keep whatever was derived.
+    base_ = std::move(val);
+  }
+
+  const bool learn = options.learn_max_gates == 0 || n <= options.learn_max_gates;
+  if (learn) run_learning();
+  num_constants_ = 0;
+  for (int g = 0; g < n; ++g)
+    if (base_[static_cast<std::size_t>(g)] != kUnknown) ++num_constants_;
+}
+
+bool ImplicationEngine::assign(int g, bool v, std::vector<signed char>& val,
+                               std::vector<int>& trail,
+                               std::vector<int>& queue) {
+  signed char& slot = val[static_cast<std::size_t>(g)];
+  const signed char want = v ? 1 : 0;
+  if (slot == want) return true;
+  if (slot != kUnknown) return false;  // conflict
+  slot = want;
+  trail.push_back(g);
+  queue.push_back(g);
+  for (int f : fanouts_[static_cast<std::size_t>(g)]) queue.push_back(f);
+  // Learned (indirect) implications attached to this literal.
+  for (int t : learned_[static_cast<std::size_t>(lit(g, v))]) {
+    if (!assign(t >> 1, (t & 1) != 0, val, trail, queue))
+      return false;
+  }
+  return true;
+}
+
+bool ImplicationEngine::deduce(int g, std::vector<signed char>& val,
+                               std::vector<int>& trail,
+                               std::vector<int>& queue) {
+  const Gate& gate = nl_->gate(g);
+  const signed char out = val[static_cast<std::size_t>(g)];
+  auto fanin_val = [&](std::size_t i) {
+    return val[static_cast<std::size_t>(gate.fanins[i])];
+  };
+
+  switch (gate.type) {
+    case GateType::kInput:
+      return true;
+    case GateType::kConst0:
+      return assign(g, false, val, trail, queue);
+    case GateType::kConst1:
+      return assign(g, true, val, trail, queue);
+    case GateType::kBuf:
+    case GateType::kNot: {
+      if (gate.fanins.empty()) return true;
+      const bool invert = gate.type == GateType::kNot;
+      const signed char in = fanin_val(0);
+      if (in != kUnknown &&
+          !assign(g, invert ? in == 0 : in != 0, val, trail, queue))
+        return false;
+      if (out != kUnknown &&
+          !assign(gate.fanins[0], invert ? out == 0 : out != 0, val, trail,
+                  queue))
+        return false;
+      return true;
+    }
+    default:
+      break;
+  }
+
+  const std::size_t n = gate.fanins.size();
+  if (n == 0) return true;
+  int zeros = 0, ones = 0, parity = 0;
+  int last_unknown = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const signed char v = fanin_val(i);
+    if (v == 0) ++zeros;
+    else if (v == 1) { ++ones; parity ^= 1; }
+    else last_unknown = gate.fanins[i];
+  }
+  const int unknowns = static_cast<int>(n) - zeros - ones;
+  const bool and_like =
+      gate.type == GateType::kAnd || gate.type == GateType::kNand;
+  const bool or_like =
+      gate.type == GateType::kOr || gate.type == GateType::kNor;
+  const bool inverted =
+      gate.type == GateType::kNand || gate.type == GateType::kNor ||
+      gate.type == GateType::kXnor;
+
+  if (and_like || or_like) {
+    const bool ctrl = or_like;  // controlling fanin value: AND 0, OR 1
+    const int ctrl_count = or_like ? ones : zeros;
+    // Forward: a controlling fanin, or all fanins non-controlling.
+    if (ctrl_count > 0) {
+      if (!assign(g, ctrl != inverted, val, trail, queue))
+        return false;
+    } else if (unknowns == 0) {
+      if (!assign(g, !ctrl != inverted, val, trail, queue))
+        return false;
+    }
+    const signed char now = val[static_cast<std::size_t>(g)];
+    if (now == kUnknown) return true;
+    const bool gv = now != 0;
+    // Backward: the non-controlled output forces every fanin; the
+    // controlled output with one unknown fanin forces that fanin to the
+    // controlling value.
+    if (gv == (!ctrl != inverted)) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (!assign(gate.fanins[i], !ctrl, val, trail, queue))
+          return false;
+    } else if (ctrl_count == 0 && unknowns == 1) {
+      if (!assign(last_unknown, ctrl, val, trail, queue))
+        return false;
+    }
+    return true;
+  }
+
+  if (gate.type == GateType::kXor || gate.type == GateType::kXnor) {
+    if (unknowns == 0) {
+      const bool gv = (parity != 0) != inverted;
+      if (!assign(g, gv, val, trail, queue)) return false;
+    } else if (unknowns == 1 && out != kUnknown) {
+      const bool want = ((out != 0) != inverted) != (parity != 0);
+      if (!assign(last_unknown, want, val, trail, queue))
+        return false;
+    }
+    return true;
+  }
+  return true;
+}
+
+bool ImplicationEngine::propagate(const int* seed_gates,
+                                  const bool* seed_values, std::size_t count,
+                                  std::vector<signed char>& val,
+                                  std::vector<int>& trail) {
+  val.assign(base_.begin(), base_.end());
+  trail.clear();
+  std::vector<int> queue;
+  for (std::size_t i = 0; i < count; ++i)
+    if (!assign(seed_gates[i], seed_values[i], val, trail, queue))
+      return false;
+  for (std::size_t head = 0; head < queue.size(); ++head)
+    if (!deduce(queue[head], val, trail, queue)) return false;
+  return true;
+}
+
+bool ImplicationEngine::propagate(int gate, bool value,
+                                  std::vector<signed char>& val,
+                                  std::vector<int>& trail) {
+  return propagate(&gate, &value, 1, val, trail);
+}
+
+void ImplicationEngine::run_learning() {
+  const int n = nl_->num_gates();
+  std::vector<signed char> val;
+  std::vector<int> trail;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rebuild from scratch each round: every edge is re-derived, so a
+    // rebuild costs nothing but avoids cross-round duplicates.
+    for (auto& edges : learned_) edges.clear();
+    learned_edges_ = 0;
+    for (int g = 0; g < n; ++g) {
+      if (base_[static_cast<std::size_t>(g)] != kUnknown) continue;
+      for (int v = 0; v < 2 && base_[static_cast<std::size_t>(g)] == kUnknown;
+           ++v) {
+        const bool bv = v == 1;
+        if (!propagate(g, bv, val, trail)) {
+          // The assumption is impossible: the gate is constant at ¬v.
+          // Fold it in and re-close the base (new constants cascade).
+          base_[static_cast<std::size_t>(g)] =
+              static_cast<signed char>(1 - v);
+          std::vector<signed char> closed(base_);
+          std::vector<int> ctrail;
+          std::vector<int> queue;
+          for (int x = 0; x < n; ++x) queue.push_back(x);
+          bool ok = true;
+          for (std::size_t head = 0; head < queue.size() && ok; ++head)
+            ok = deduce(queue[head], closed, ctrail, queue);
+          if (ok) base_ = std::move(closed);
+          changed = true;
+          continue;
+        }
+        // Record contrapositives of everything derived: (m = w) under the
+        // assumption (g = v) yields the indirect edge (m = ¬w) → (g = ¬v).
+        const int target = lit(g, !bv);
+        for (int m : trail) {
+          if (m == g) continue;
+          const bool w = val[static_cast<std::size_t>(m)] != 0;
+          learned_[static_cast<std::size_t>(lit(m, !w))].push_back(target);
+          ++learned_edges_;
+        }
+      }
+    }
+  }
+  learning_ran_ = true;
+}
+
+Implications ImplicationEngine::implications(int gate, bool value) const {
+  Implications result;
+  std::vector<signed char> val;
+  std::vector<int> trail;
+  // propagate() only mutates scratch state; learned_/base_ are read-only
+  // after construction, so the cast is safe (and keeps queries const for
+  // read-only sharing across threads).
+  ImplicationEngine* self = const_cast<ImplicationEngine*>(this);
+  if (!self->propagate(gate, value, val, trail)) {
+    result.conflict = true;
+    return result;
+  }
+  result.value = std::move(val);
+  result.assigned = std::move(trail);
+  return result;
+}
+
+Implications ImplicationEngine::implications(int g1, bool v1, int g2,
+                                             bool v2) const {
+  Implications result;
+  std::vector<signed char> val;
+  std::vector<int> trail;
+  const int gates[2] = {g1, g2};
+  const bool values[2] = {v1, v2};
+  ImplicationEngine* self = const_cast<ImplicationEngine*>(this);
+  if (!self->propagate(gates, values, 2, val, trail)) {
+    result.conflict = true;
+    return result;
+  }
+  result.value = std::move(val);
+  result.assigned = std::move(trail);
+  return result;
+}
+
+bool ImplicationEngine::implies(int gate, bool value, int other,
+                                bool other_value) const {
+  const Implications imp = implications(gate, value);
+  if (imp.conflict) return true;  // ex falso: the antecedent never holds
+  return imp.value_of(other) == (other_value ? 1 : 0);
+}
+
+}  // namespace fstg::analysis

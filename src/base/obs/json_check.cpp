@@ -173,10 +173,12 @@ struct Walker {
     }
     if (c == 't') {
       *kind = 'b';
+      *nval = 1.0;  // booleans surface through nval (1 true, 0 false)
       return literal("true");
     }
     if (c == 'f') {
       *kind = 'b';
+      *nval = 0.0;
       return literal("false");
     }
     if (c == 'n') {
@@ -640,6 +642,13 @@ bool validate_serve_request_json(const std::string& text, std::string* error) {
     const JsonField* f = json_find_field(top, key);
     if (f != nullptr && f->kind != 'n') {
       *error = std::string("mistyped number field ") + key;
+      return false;
+    }
+  }
+  {
+    const JsonField* f = json_find_field(top, "static_prune");
+    if (f != nullptr && f->kind != 'b') {
+      *error = "mistyped boolean field static_prune";
       return false;
     }
   }

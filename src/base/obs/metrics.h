@@ -28,7 +28,7 @@ namespace fstg::obs {
 ///
 /// The full metric catalog lives in docs/OBSERVABILITY.md.
 
-inline constexpr int kMaxCounters = 192;
+inline constexpr int kMaxCounters = 256;
 inline constexpr int kMaxGauges = 64;
 inline constexpr int kMaxHistograms = 48;
 /// Power-of-two histogram buckets: bucket 0 holds value 0, bucket b >= 1

@@ -53,8 +53,13 @@ std::string write_case(const Workload& w) {
   std::ostringstream os;
   os << ".case " << w.name << "\n";
   os << ".seed " << w.seed << "\n";
-  os << ".check "
-     << (w.check == CheckKind::kCompaction ? "compaction" : "oracle") << "\n";
+  os << ".check ";
+  switch (w.check) {
+    case CheckKind::kOracle: os << "oracle"; break;
+    case CheckKind::kCompaction: os << "compaction"; break;
+    case CheckKind::kStaticRedundancy: os << "static-redundancy"; break;
+  }
+  os << "\n";
   os << ".iface " << w.circuit.num_pi << ' ' << w.circuit.num_po << ' '
      << w.circuit.num_sv << "\n";
 
@@ -202,6 +207,8 @@ Workload parse_case(const std::string& text) {
         w.check = CheckKind::kOracle;
       else if (tok[1] == "compaction")
         w.check = CheckKind::kCompaction;
+      else if (tok[1] == "static-redundancy")
+        w.check = CheckKind::kStaticRedundancy;
       else
         throw ParseError("unknown check kind " + tok[1], line_no);
     } else if (tok[0] == ".iface") {

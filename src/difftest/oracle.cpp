@@ -8,9 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/static_faults.h"
 #include "base/obs/metrics.h"
 #include "difftest/reference_sim.h"
 #include "fault/fault_sim.h"
+#include "fault/redundancy.h"
 #include "fault/static_compaction.h"
 #include "sim/scan_sim.h"
 
@@ -242,6 +244,59 @@ void check_compaction(const Workload& w, Reporter& report) {
                    std::to_string(compacted.detected_before));
 }
 
+/// The static-redundancy contract: cross-check the fault-independent
+/// implication engine (analysis/static_faults.h) against the exhaustive
+/// engine, which is ground truth here (generated workloads stay far below
+/// the pi + sv <= 22 exhaustive limit).
+///  - soundness: a fault the analyzer proves untestable must be
+///    kUndetectable exhaustively — one exhaustively detectable "proof"
+///    is an engine bug, not a precision loss;
+///  - equivalence: faults sharing an equiv_rep must have identical
+///    exhaustive detectability AND identical first-detecting tests under
+///    the workload's own test set (equivalent faults induce the same
+///    faulty function, so any difference in detected_by is a bad merge).
+void check_static_redundancy(const Workload& w, const EngineRun& base,
+                             Reporter& report) {
+  const analysis::StaticAnalyzer analyzer(w.circuit.comb);
+  const analysis::FaultAnalysis sa = analyzer.analyze(w.faults);
+
+  RedundancyResult exhaustive;
+  try {
+    // All-miss detection vector + no statics: every fault goes through the
+    // exhaustive scan, independent of the engine under test.
+    exhaustive = classify_faults_from(
+        w.circuit, w.faults, std::vector<int>(w.faults.size(), -1));
+  } catch (const std::exception& e) {
+    report.add("static_redundancy_error", std::string(e.what()));
+    return;
+  }
+
+  for (std::size_t f = 0; f < w.faults.size(); ++f) {
+    if (sa.verdict[f] != analysis::FaultVerdict::kUnknown &&
+        exhaustive.status[f] != FaultStatus::kUndetectable)
+      report.add("static_unsound",
+                 "fault " + std::to_string(f) + " statically " +
+                     analysis::fault_verdict_name(sa.verdict[f]) +
+                     " but exhaustively detectable");
+    const std::size_t rep = sa.equiv_rep[f];
+    if (rep == f) continue;
+    if ((exhaustive.status[f] == FaultStatus::kUndetectable) !=
+        (exhaustive.status[rep] == FaultStatus::kUndetectable))
+      report.add("static_equiv_detectability",
+                 "faults " + std::to_string(f) + " and " +
+                     std::to_string(rep) +
+                     " are merged but differ in exhaustive detectability");
+    if (f < base.result.detected_by.size() &&
+        rep < base.result.detected_by.size() &&
+        base.result.detected_by[f] != base.result.detected_by[rep])
+      report.add("static_equiv_detected_by",
+                 "faults " + std::to_string(f) + " and " +
+                     std::to_string(rep) + " are merged but detected by " +
+                     std::to_string(base.result.detected_by[f]) + " vs " +
+                     std::to_string(base.result.detected_by[rep]));
+  }
+}
+
 }  // namespace
 
 std::string OracleReport::to_string() const {
@@ -284,6 +339,8 @@ OracleReport run_oracle(const Workload& workload,
 
   if (workload.check == CheckKind::kCompaction)
     check_compaction(workload, report);
+  if (workload.check == CheckKind::kStaticRedundancy)
+    check_static_redundancy(workload, runs[0], report);
 
   return out;
 }

@@ -39,7 +39,9 @@ struct OracleReport {
 ///    against the scalar reference, lane by lane,
 ///  - thread-count invariance of the obs work counters.
 /// For Workload::check == kCompaction, additionally runs static_compact
-/// and verifies per-fault coverage preservation.
+/// and verifies per-fault coverage preservation. For kStaticRedundancy,
+/// additionally cross-checks the static implication engine's untestability
+/// and equivalence proofs against the exhaustive engine.
 OracleReport run_oracle(const Workload& workload,
                         const OracleOptions& options = {});
 

@@ -153,8 +153,14 @@ Workload generate_workload(std::uint64_t seed) {
   }
 
   // A quarter of the workloads additionally exercise the static-compaction
-  // contract (per-fault coverage preservation through merges).
-  if (rng.chance(1, 4)) w.check = CheckKind::kCompaction;
+  // contract (per-fault coverage preservation through merges); a quarter of
+  // the rest cross-check the static implication engine's untestability and
+  // equivalence proofs against the exhaustive engine. The extra draws come
+  // after every content draw, so existing seeds keep their exact circuits.
+  if (rng.chance(1, 4))
+    w.check = CheckKind::kCompaction;
+  else if (rng.chance(1, 3))
+    w.check = CheckKind::kStaticRedundancy;
   return w;
 }
 

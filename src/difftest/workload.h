@@ -21,6 +21,12 @@ enum class CheckKind : std::uint8_t {
   /// preserve per-fault coverage (no detected fault may lose detection,
   /// even if the total count would stay equal).
   kCompaction,
+  /// Static-redundancy contract: every untestable verdict from the
+  /// fault-independent implication engine (analysis/static_faults.h) must
+  /// agree with the exhaustive engine — a statically "proved" fault that
+  /// any exhaustive test detects is an unsound proof — and faults the
+  /// analyzer declares equivalent must be detected by the same tests.
+  kStaticRedundancy,
 };
 
 /// A self-contained differential-testing workload: one synthesized (and

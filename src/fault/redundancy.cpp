@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "analysis/static_faults.h"
 #include "base/error.h"
+#include "base/obs/metrics.h"
 
 namespace fstg {
 
@@ -16,9 +18,8 @@ RedundancyResult classify_faults(const ScanCircuit& circuit,
 RedundancyResult classify_faults_from(const ScanCircuit& circuit,
                                       const std::vector<FaultSpec>& faults,
                                       const std::vector<int>& detected_by,
-                                      const std::vector<BitVec>* reach) {
-  require(circuit.num_pi + circuit.num_sv <= 22,
-          "classify_faults: exhaustive check limited to 22 input+state bits");
+                                      const std::vector<BitVec>* reach,
+                                      const analysis::StaticAnalyzer* statics) {
   require(detected_by.size() == faults.size(),
           "classify_faults_from: result/fault list size mismatch");
 
@@ -34,7 +35,31 @@ RedundancyResult classify_faults_from(const ScanCircuit& circuit,
       missed.push_back(f);
     }
   }
+  // Misses the static implication engine proves untestable skip the
+  // exhaustive scan entirely (their status default is already
+  // kUndetectable).
+  std::size_t static_undetectable = 0;
+  if (statics != nullptr && !missed.empty()) {
+    static const obs::Counter c_consults =
+        obs::counter("analysis.static_consults");
+    static const obs::Counter c_hits =
+        obs::counter("analysis.static_undetectable");
+    std::vector<std::size_t> remaining;
+    remaining.reserve(missed.size());
+    for (std::size_t f : missed) {
+      if (statics->classify(faults[f]) != analysis::FaultVerdict::kUnknown)
+        ++static_undetectable;
+      else
+        remaining.push_back(f);
+    }
+    c_consults.add(missed.size());
+    c_hits.add(static_undetectable);
+    missed = std::move(remaining);
+  }
+  result.undetectable = static_undetectable;
   if (missed.empty()) return result;
+  require(circuit.num_pi + circuit.num_sv <= 22,
+          "classify_faults: exhaustive check limited to 22 input+state bits");
 
   // Exhaustive length-one scan tests: every state code x input combination.
   // Undetectable faults scan the entire space, so the cone fast path
@@ -53,7 +78,7 @@ RedundancyResult classify_faults_from(const ScanCircuit& circuit,
   all.reserve(static_cast<std::size_t>(num_codes) * nic);
   for (std::uint32_t code = 0; code < num_codes; ++code)
     for (std::uint32_t ic = 0; ic < nic; ++ic)
-      all.push_back(ScanPattern{code, {ic}});
+      all.push_back(ScanPattern{code, {ic}, {}});
 
   for (std::size_t base = 0; base < all.size() && !missed.empty();
        base += kWordBits) {
@@ -86,7 +111,7 @@ RedundancyResult classify_faults_from(const ScanCircuit& circuit,
     missed_faults = std::move(next_faults);
     cones = std::move(next_cones);
   }
-  result.undetectable = missed.size();
+  result.undetectable = static_undetectable + missed.size();
   return result;
 }
 

@@ -2,6 +2,10 @@
 
 #include "fault/fault_sim.h"
 
+namespace fstg::analysis {
+class StaticAnalyzer;
+}  // namespace fstg::analysis
+
 namespace fstg {
 
 /// Status of one fault after the paper's two-stage verification.
@@ -41,9 +45,17 @@ RedundancyResult classify_faults(const ScanCircuit& circuit,
 /// repeated: only the misses are re-simulated exhaustively. `reach` may
 /// hold a precomputed forward_reachability(circuit.comb) matrix to reuse
 /// across fault sets (null = compute internally).
+///
+/// `statics` (optional) consults the fault-independent implication engine
+/// first: misses it proves untestable are classified kUndetectable without
+/// any exhaustive enumeration (counted under analysis.static_undetectable).
+/// The sv + pi <= 22 limit then only applies when some miss still needs
+/// the exhaustive scan — statically resolved circuits classify at any
+/// size instead of erroring out.
 RedundancyResult classify_faults_from(
     const ScanCircuit& circuit, const std::vector<FaultSpec>& faults,
     const std::vector<int>& detected_by,
-    const std::vector<BitVec>* reach = nullptr);
+    const std::vector<BitVec>* reach = nullptr,
+    const analysis::StaticAnalyzer* statics = nullptr);
 
 }  // namespace fstg

@@ -1,5 +1,8 @@
 #include "harness/experiment.h"
 
+#include <memory>
+
+#include "analysis/static_faults.h"
 #include "base/error.h"
 #include "base/log.h"
 #include "base/obs/metrics.h"
@@ -182,6 +185,46 @@ GateLevelResult run_gate_level(const CircuitExperiment& exp,
     reach = forward_reachability(circuit.comb);
     harness::save_reach(cache, rkey, reach);
   }
+  // Optional static pre-flight: prove faults untestable without a single
+  // simulated pattern and drop them from the simulated universe. The
+  // analyzer is kept alive so the redundancy classifier below can consult
+  // the same verdicts for the remaining misses.
+  std::unique_ptr<analysis::StaticAnalyzer> statics;
+  if (options.static_prune) {
+    obs::StageScope scope("analysis.static_prune", exp.fsm.name);
+    static const obs::Counter c_pruned = obs::counter("analysis.pruned");
+    statics = std::make_unique<analysis::StaticAnalyzer>(
+        circuit.comb, analysis::AnalyzerOptions{}, &reach);
+    const analysis::FaultAnalysis sa_static =
+        statics->analyze(result.sa_faults);
+    const analysis::FaultAnalysis br_static =
+        statics->analyze(result.br_faults);
+    result.static_pruned = true;
+    result.static_unexcitable =
+        sa_static.unexcitable + br_static.unexcitable;
+    result.static_unpropagatable =
+        sa_static.unpropagatable + br_static.unpropagatable;
+    result.static_equiv_classes = sa_static.equiv_classes;
+    result.static_equiv_merged = sa_static.equiv_merged;
+    const auto prune = [](std::vector<FaultSpec>& faults,
+                          const analysis::FaultAnalysis& a) {
+      std::size_t kept = 0;
+      for (std::size_t f = 0; f < faults.size(); ++f)
+        if (a.verdict[f] == analysis::FaultVerdict::kUnknown)
+          faults[kept++] = faults[f];
+      const std::size_t pruned = faults.size() - kept;
+      faults.resize(kept);
+      return pruned;
+    };
+    result.sa_pruned = prune(result.sa_faults, sa_static);
+    result.br_pruned = prune(result.br_faults, br_static);
+    c_pruned.add(result.sa_pruned + result.br_pruned);
+    if (result.sa_pruned + result.br_pruned > 0)
+      log_info("circuit " + exp.fsm.name + ": static analysis pruned " +
+               std::to_string(result.sa_pruned) + " stuck-at + " +
+               std::to_string(result.br_pruned) + " bridging faults");
+  }
+
   FaultSimOptions sim_options;
   sim_options.threads = options.threads;
   sim_options.reachability = &reach;
@@ -203,10 +246,16 @@ GateLevelResult run_gate_level(const CircuitExperiment& exp,
     // Reuse the compaction pass's simulation: only the misses get the
     // exhaustive re-check.
     obs::StageScope scope("redundancy.classify", exp.fsm.name);
-    result.sa_redundancy = classify_faults_from(
-        circuit, result.sa_faults, result.sa.sim.detected_by, &reach);
-    result.br_redundancy = classify_faults_from(
-        circuit, result.br_faults, result.br.sim.detected_by, &reach);
+    result.sa_redundancy =
+        classify_faults_from(circuit, result.sa_faults,
+                             result.sa.sim.detected_by, &reach, statics.get());
+    result.br_redundancy =
+        classify_faults_from(circuit, result.br_faults,
+                             result.br.sim.detected_by, &reach, statics.get());
+    // Statically pruned faults are proven-undetectable: fold them back into
+    // the totals so headline counts match an unpruned run.
+    result.sa_redundancy.undetectable += result.sa_pruned;
+    result.br_redundancy.undetectable += result.br_pruned;
     result.redundancy_classified = true;
   }
   return result;

@@ -83,17 +83,34 @@ struct GateLevelOptions {
   /// Artifact cache for fault lists and reachability matrices (same
   /// resolution rule as ExperimentOptions::cache).
   store::Store* cache = nullptr;
+  /// Run the fault-independent static implication engine before any
+  /// simulation and drop faults it proves untestable from the simulated
+  /// universe (they are re-added to the redundancy totals afterwards, so
+  /// headline counts match an unpruned run). The same analyzer then backs
+  /// the redundancy classifier, so statically-resolved misses skip the
+  /// exhaustive scan.
+  bool static_prune = false;
 };
 
 struct GateLevelResult {
-  std::vector<FaultSpec> sa_faults;
-  std::vector<FaultSpec> br_faults;  ///< after sampling, if any
+  std::vector<FaultSpec> sa_faults;  ///< after static pruning, if any
+  std::vector<FaultSpec> br_faults;  ///< after sampling + static pruning
   std::size_t br_enumerated = 0;     ///< size of the full bridging list
   CompactionResult sa;
   CompactionResult br;
   RedundancyResult sa_redundancy;
   RedundancyResult br_redundancy;
   bool redundancy_classified = false;
+  /// Static pre-flight stats (meaningful when `static_pruned`). Pruned
+  /// counts are faults removed from sa_faults/br_faults before simulation;
+  /// equiv counts cover the pre-prune stuck-at list.
+  bool static_pruned = false;
+  std::size_t sa_pruned = 0;
+  std::size_t br_pruned = 0;
+  std::size_t static_unexcitable = 0;
+  std::size_t static_unpropagatable = 0;
+  std::size_t static_equiv_classes = 0;
+  std::size_t static_equiv_merged = 0;
 };
 
 GateLevelResult run_gate_level(const CircuitExperiment& exp,

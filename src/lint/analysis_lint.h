@@ -1,0 +1,29 @@
+#pragma once
+
+#include "base/robust/budget.h"
+#include "fault/fault_io.h"
+#include "lint/diagnostic.h"
+#include "netlist/netlist.h"
+
+namespace fstg::lint {
+
+/// Static-implication analyses on a built full-scan circuit (the
+/// src/analysis engine: constant propagation, learned implications, and
+/// dominator-based propagation blocking):
+///   net-constant            non-constant gate proven stuck at one value
+///                           (beyond literal Const gates — conflict-driven
+///                           learning folds reconvergent structures)
+///   net-blocked-cone        structurally observable gate whose stuck-at
+///                           faults are both statically unpropagatable:
+///                           implied side-input values hold every dominator
+///                           at its controlling value
+/// With a fault list, additionally:
+///   fault-static-redundant  listed fault proven untestable (unexcitable
+///                           or unpropagatable) without any simulation
+/// Budget exhaustion marks the report truncated and returns early, same
+/// contract as the other passes.
+void lint_static_analysis(const ScanCircuit& circuit,
+                          const FaultListFile* faults, robust::RunGuard& guard,
+                          LintReport& report);
+
+}  // namespace fstg::lint

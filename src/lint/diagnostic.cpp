@@ -47,6 +47,8 @@ const std::vector<RuleInfo>& rule_catalog() {
        "another entry"},
       {"fault-on-const", Severity::kWarn,
        "stuck-at fault on a constant line is untestable"},
+      {"fault-static-redundant", Severity::kWarn,
+       "static implication analysis proves the fault untestable"},
       {"fault-unknown-net", Severity::kError,
        "fault references a net that does not exist in the circuit"},
       {"fsm-equivalent-states", Severity::kWarn,
@@ -63,8 +65,13 @@ const std::vector<RuleInfo>& rule_catalog() {
        "output"},
       {"fsm-unreachable-state", Severity::kWarn,
        "state cannot be reached from the reset state"},
+      {"net-blocked-cone", Severity::kWarn,
+       "structurally observable gate whose fault effects can never reach an "
+       "output (implied side inputs block every dominator)"},
       {"net-comb-cycle", Severity::kError,
        "combinational cycle through .names blocks"},
+      {"net-constant", Severity::kWarn,
+       "non-constant gate is statically stuck at one value"},
       {"net-dangling", Severity::kWarn,
        "net is driven but feeds no gate, output, or latch"},
       {"net-dead-cone", Severity::kWarn,
@@ -125,6 +132,15 @@ std::size_t LintReport::count_rule(std::string_view rule) const {
   std::size_t n = 0;
   for (const Finding& f : findings_) n += f.rule == rule ? 1 : 0;
   return n;
+}
+
+void LintReport::sort_findings() {
+  std::stable_sort(findings_.begin(), findings_.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.loc.file != b.loc.file) return a.loc.file < b.loc.file;
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.loc.line < b.loc.line;
+                   });
 }
 
 void LintReport::merge(LintReport&& other) {
@@ -216,6 +232,15 @@ void record_lint_metrics(const LintReport& report) {
   if (report.truncated) c_truncated.inc();
   for (const Finding& f : report.findings())
     obs::counter("lint.findings." + f.rule).inc();
+}
+
+void register_lint_counters() {
+  obs::counter("lint.runs");
+  obs::counter("lint.errors");
+  obs::counter("lint.warnings");
+  obs::counter("lint.truncated");
+  for (const RuleInfo& rule : rule_catalog())
+    obs::counter(std::string("lint.findings.") + rule.id);
 }
 
 }  // namespace fstg::lint

@@ -51,8 +51,9 @@ const std::vector<RuleInfo>& rule_catalog();
 /// Catalog entry by id; nullptr if unknown.
 const RuleInfo* find_rule(std::string_view id);
 
-/// Accumulated findings of one lint run. Findings keep analyzer emission
-/// order (file order within each pass), which is deterministic.
+/// Accumulated findings of one lint run. Analyzers append in pass order;
+/// the run_lint_* entry points sort by (file, rule, line) before emission
+/// (sort_findings), so reports are stable across pass reordering.
 class LintReport {
  public:
   /// Append a finding using the catalog's default severity for `rule`.
@@ -83,6 +84,11 @@ class LintReport {
   /// Name of the linted input ("lion", "design.blif"); lands in the JSON.
   std::string source;
 
+  /// Stable-sort findings by (file, rule, line) — the emission order of
+  /// every run_lint_* entry point, so diffs between runs line up even when
+  /// analyzer pass order changes. Ties keep analyzer emission order.
+  void sort_findings();
+
   void merge(LintReport&& other);
 
  private:
@@ -104,5 +110,11 @@ std::string report_to_json(const LintReport& report);
 /// `lint.warnings` totals, and `lint.truncated` when the budget cut the
 /// run short. Call once per completed report.
 void record_lint_metrics(const LintReport& report);
+
+/// Eagerly register `lint.runs`/`lint.errors`/`lint.warnings`/
+/// `lint.truncated` and one `lint.findings.<rule>` counter per catalog
+/// rule, so metrics scrapes expose the full rule catalog (at zero) before
+/// the first lint run.
+void register_lint_counters();
 
 }  // namespace fstg::lint

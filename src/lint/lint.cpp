@@ -1,6 +1,7 @@
 #include "lint/lint.h"
 
 #include "base/obs/trace.h"
+#include "lint/analysis_lint.h"
 #include "netlist/synth.h"
 #include "netlist/verify.h"
 
@@ -45,8 +46,10 @@ LintReport run_lint_kiss2(const Kiss2Fsm& fsm, const FaultListFile* faults,
     const SynthesisResult synth = synthesize_scan_circuit(fsm);
     lint_scan_circuit(synth.circuit, guard, report);
     lint_fault_list(*faults, synth.circuit, guard, report);
+    lint_static_analysis(synth.circuit, faults, guard, report);
   }
 
+  report.sort_findings();
   record_lint_metrics(report);
   return report;
 }
@@ -63,6 +66,7 @@ LintReport run_lint_blif(const BlifModel& model, const std::string& source,
   if (report.has_errors() || report.truncated) {
     // The strict parser would reject (or the structural pass is partial);
     // there is no circuit to analyze further.
+    report.sort_findings();
     record_lint_metrics(report);
     return report;
   }
@@ -77,7 +81,9 @@ LintReport run_lint_blif(const BlifModel& model, const std::string& source,
   }
 
   if (faults != nullptr) lint_fault_list(*faults, circuit, guard, report);
+  lint_static_analysis(circuit, faults, guard, report);
 
+  report.sort_findings();
   record_lint_metrics(report);
   return report;
 }

@@ -141,6 +141,9 @@ bool parse_serve_request(const std::string& text, ServeRequest* request,
   }
   req.uio = static_cast<int>(uio);
   req.xfer = static_cast<int>(xfer);
+  const obs::JsonField* prune = obs::json_find_field(top, "static_prune");
+  req.static_prune = prune != nullptr && prune->kind == 'b' &&
+                     prune->nval != 0.0;
   req.budget.time_budget_ms = time_ms;
   req.budget.max_expansions = static_cast<std::uint64_t>(max_exp);
   *request = std::move(req);
@@ -160,6 +163,7 @@ std::string serve_request_to_json(const ServeRequest& request) {
     os << ", \"tests\": " << json_quote(request.tests);
   if (request.uio != 0) os << ", \"uio\": " << request.uio;
   if (request.xfer != 1) os << ", \"xfer\": " << request.xfer;
+  if (request.static_prune) os << ", \"static_prune\": true";
   if (request.budget.time_budget_ms > 0.0)
     os << ", \"time_budget_ms\": "
        << static_cast<long long>(request.budget.time_budget_ms);

@@ -71,6 +71,9 @@ struct ServeRequest {
   std::string tests;
   int uio = 0;          ///< GeneratorOptions::uio_max_length
   int xfer = 1;         ///< GeneratorOptions::transfer_max_length
+  /// sim only: run the static implication pre-flight and prune faults it
+  /// proves untestable before simulation (GateLevelOptions::static_prune).
+  bool static_prune = false;
   robust::Budget budget;
 };
 

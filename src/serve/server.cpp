@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/static_faults.h"
 #include "atpg/cycles.h"
 #include "atpg/test_io.h"
 #include "base/error.h"
@@ -34,6 +35,7 @@
 #include "harness/experiment.h"
 #include "kiss/kiss2_parser.h"
 #include "kiss/kiss2_writer.h"
+#include "lint/diagnostic.h"
 #include "lint/lint.h"
 
 namespace fstg::serve {
@@ -44,6 +46,30 @@ using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Adapters for the two strerror_r flavors: GNU returns the message (which
+/// may or may not be `buf`), XSI returns 0 with the message in `buf`.
+/// Overload resolution picks whichever one this libc provides (the other
+/// is dead code, hence maybe_unused).
+[[maybe_unused]] const char* strerror_adapt(const char* r, const char*) {
+  return r;
+}
+[[maybe_unused]] const char* strerror_adapt(int r, const char* buf) {
+  return r == 0 ? buf : nullptr;
+}
+
+/// Thread-safe description of the current errno. std::strerror writes to a
+/// static buffer (clang-tidy concurrency-mt-unsafe); worker and reader
+/// threads report socket errors concurrently, so use strerror_r into a
+/// local buffer instead.
+std::string errno_string() {
+  const int err = errno;
+  char buf[256];
+  buf[0] = '\0';
+  const char* msg = strerror_adapt(strerror_r(err, buf, sizeof buf), buf);
+  return msg != nullptr && *msg != '\0' ? std::string(msg)
+                                        : "errno " + std::to_string(err);
 }
 
 /// Write all of `data` with per-call timeouts (SO_SNDTIMEO is set on every
@@ -346,16 +372,23 @@ struct Server::Impl {
     shim.gen.tests = file.tests;
     // Redundancy classification is exhaustive and serial; the daemon keeps
     // latency bounded and reports raw coverage (use `fstg sim` offline for
-    // the detectable-coverage view).
-    GateLevelResult gate = run_gate_level(shim, /*classify_redundancy=*/false);
+    // the detectable-coverage view). The static pre-flight is polynomial,
+    // so request-level opt-in is allowed.
+    GateLevelOptions gate_options;
+    gate_options.classify_redundancy = false;
+    gate_options.static_prune = req.static_prune;
+    GateLevelResult gate = run_gate_level(shim, gate_options);
 
     std::ostringstream os;
     os.precision(3);
     os << std::fixed;
     os << "{\"circuit\": " << json_quote(exp.fsm.name)
        << ", \"tests\": " << file.tests.size()
-       << ", \"cache_hit\": " << (got.hit ? "true" : "false")
-       << ", \"sa_detected\": " << gate.sa.sim.detected_faults
+       << ", \"cache_hit\": " << (got.hit ? "true" : "false");
+    if (gate.static_pruned)
+      os << ", \"sa_pruned\": " << gate.sa_pruned
+         << ", \"br_pruned\": " << gate.br_pruned;
+    os << ", \"sa_detected\": " << gate.sa.sim.detected_faults
        << ", \"sa_total\": " << gate.sa.sim.total_faults
        << ", \"sa_coverage\": " << gate.sa.sim.coverage_percent()
        << ", \"sa_effective\": " << gate.sa.effective_tests.size()
@@ -618,8 +651,13 @@ bool Server::start(std::string* error) {
         "serve.parse_errors", "serve.frame_errors", "serve.write_errors",
         "serve.ledger_errors", "serve.internal_errors"})
     obs::counter(name);
+  // Same contract for the analysis.* and lint.* catalogs: sim requests with
+  // static_prune and lint requests bump them lazily, but a scrape taken
+  // before the first such request must already list them.
+  analysis::register_analysis_counters();
+  lint::register_lint_counters();
   if (::pipe(im.wake_pipe) != 0) {
-    if (error) *error = std::string("pipe: ") + std::strerror(errno);
+    if (error) *error = std::string("pipe: ") + errno_string();
     return false;
   }
   if (!im.opts.socket_path.empty()) {
@@ -638,7 +676,7 @@ bool Server::start(std::string* error) {
                sizeof addr) != 0) {
       if (error)
         *error = "cannot bind " + im.opts.socket_path + ": " +
-                 std::strerror(errno);
+                 errno_string();
       return false;
     }
   } else if (im.opts.tcp_port >= 0) {
@@ -655,7 +693,7 @@ bool Server::start(std::string* error) {
                sizeof addr) != 0) {
       if (error)
         *error = "cannot bind 127.0.0.1:" + std::to_string(im.opts.tcp_port) +
-                 ": " + std::strerror(errno);
+                 ": " + errno_string();
       return false;
     }
     sockaddr_in bound{};
@@ -668,7 +706,7 @@ bool Server::start(std::string* error) {
     return false;
   }
   if (::listen(im.listen_fd, 64) != 0) {
-    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    if (error) *error = std::string("listen: ") + errno_string();
     return false;
   }
   const int workers = im.opts.workers < 1 ? 1 : im.opts.workers;
@@ -782,7 +820,7 @@ bool connect_with_retry(const std::function<int()>& try_connect, int timeout_ms,
       return true;
     }
     if (Clock::now() >= deadline) {
-      if (error) *error = std::string("connect: ") + std::strerror(errno);
+      if (error) *error = std::string("connect: ") + errno_string();
       return false;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -847,7 +885,7 @@ bool Client::send(const std::string& payload, std::string* error) {
     return false;
   }
   if (send_all(fd_, encode_frame(payload))) return true;
-  if (error) *error = std::string("send: ") + std::strerror(errno);
+  if (error) *error = std::string("send: ") + errno_string();
   return false;
 }
 
@@ -877,13 +915,13 @@ bool Client::recv(std::string* payload, int timeout_ms, std::string* error) {
     const int pr = ::poll(&p, 1, static_cast<int>(left.count()));
     if (pr < 0) {
       if (errno == EINTR) continue;
-      if (error) *error = std::string("poll: ") + std::strerror(errno);
+      if (error) *error = std::string("poll: ") + errno_string();
       return false;
     }
     if (pr == 0) continue;  // loop re-checks the deadline
     const ssize_t n = ::read(fd_, buf, sizeof buf);
     if (n < 0) {
-      if (error) *error = std::string("read: ") + std::strerror(errno);
+      if (error) *error = std::string("read: ") + errno_string();
       return false;
     }
     if (n == 0) {

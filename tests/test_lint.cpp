@@ -126,6 +126,17 @@ TEST(LintCorpus, DanglingNetIsOnlyAWarning) {
   EXPECT_FALSE(report.has_errors());
 }
 
+TEST(LintCorpus, StaticConstantAndBlockedConeAreFlagged) {
+  const LintReport report = lint_blif("blif_static.blif");
+  // k = AND(b, NOT b) and z = AND(g, k) both fold to constant 0.
+  EXPECT_EQ(report.count_rule("net-constant"), 2u);
+  // g = NOT a reaches z structurally, but the side input k is pinned at
+  // the AND's controlling 0, so neither stuck-at on g can propagate. g is
+  // the only such gate (nb's s-a-1 effect escapes through k's flip).
+  EXPECT_EQ(report.count_rule("net-blocked-cone"), 1u);
+  EXPECT_FALSE(report.has_errors());
+}
+
 TEST(LintCorpus, CleanBlifHasNoFindings) {
   const LintReport report = lint_blif("blif_clean.blif");
   EXPECT_TRUE(report.empty()) << report_to_text(report);
@@ -176,6 +187,16 @@ TEST(LintCorpus, BridgingRulesFollowThePaperConditions) {
   EXPECT_EQ(report.count_rule("fault-equivalent"), 1u);
 }
 
+TEST(LintCorpus, StaticallyRedundantListedFaultsAreFlaggedPerEntry) {
+  const FaultListFile faults =
+      parse_fault_list_file(corpus_path("faults_static.flt"));
+  const LintReport report = lint_blif("blif_static.blif", &faults);
+  // sa0 k (unexcitable) and sa1 g (unpropagatable); sa1 z is detectable
+  // on every test, so it must NOT be flagged.
+  EXPECT_EQ(report.count_rule("fault-static-redundant"), 2u);
+  EXPECT_FALSE(report.has_errors());
+}
+
 // --- Report formats ------------------------------------------------------
 
 TEST(LintReportFormat, JsonValidatesAgainstSchema) {
@@ -218,6 +239,24 @@ TEST(LintReportFormat, EveryCatalogRuleIsDocumented) {
     ticked += '`';
     EXPECT_NE(doc.find(ticked), std::string::npos)
         << "rule " << rule.id << " is missing from docs/LINTING.md";
+  }
+}
+
+TEST(LintReportFormat, FindingsAreSortedByFileRuleAndLocation) {
+  const FaultListFile faults =
+      parse_fault_list_file(corpus_path("faults_static.flt"));
+  const LintReport report = lint_blif("blif_static.blif", &faults);
+  ASSERT_GE(report.findings().size(), 2u);
+  const auto& fs = report.findings();
+  for (std::size_t i = 1; i < fs.size(); ++i) {
+    const Finding& a = fs[i - 1];
+    const Finding& b = fs[i];
+    const bool ordered =
+        a.loc.file < b.loc.file ||
+        (a.loc.file == b.loc.file &&
+         (a.rule < b.rule || (a.rule == b.rule && a.loc.line <= b.loc.line)));
+    EXPECT_TRUE(ordered) << a.rule << ":" << a.loc.line << " before "
+                         << b.rule << ":" << b.loc.line;
   }
 }
 

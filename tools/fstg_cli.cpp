@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/static_faults.h"
 #include "atpg/cycles.h"
 #include "atpg/test_io.h"
 #include "base/error.h"
@@ -236,7 +237,7 @@ int cmd_gen(const std::string& target, const std::string& out,
 }
 
 int cmd_sim(const std::string& target, const std::string& tests_path,
-            const robust::Budget& budget) {
+            bool static_prune, const robust::Budget& budget) {
   CircuitExperiment exp = run_fsm(load_machine(target));
   TestFile file = load_test_file(tests_path);
   require(file.input_bits == exp.table.input_bits(),
@@ -256,7 +257,18 @@ int cmd_sim(const std::string& target, const std::string& tests_path,
 
   CircuitExperiment shim = exp;
   shim.gen.tests = file.tests;
-  GateLevelResult gate = run_gate_level(shim, /*classify_redundancy=*/true);
+  GateLevelOptions gate_options;
+  gate_options.classify_redundancy = true;
+  gate_options.static_prune = static_prune;
+  GateLevelResult gate = run_gate_level(shim, gate_options);
+  if (gate.static_pruned)
+    std::printf(
+        "static   : %zu stuck-at + %zu bridging faults pruned "
+        "(%zu unexcitable, %zu unpropagatable), %zu equivalence classes "
+        "(%zu merged)\n",
+        gate.sa_pruned, gate.br_pruned, gate.static_unexcitable,
+        gate.static_unpropagatable, gate.static_equiv_classes,
+        gate.static_equiv_merged);
   std::printf("stuck-at : %zu/%zu detected (%.2f%%), detectable coverage "
               "%.2f%%, %zu effective tests\n",
               gate.sa.sim.detected_faults, gate.sa.sim.total_faults,
@@ -613,8 +625,11 @@ int usage() {
                "  fstg gen <circuit|file.kiss> [-o tests.txt] [--uio L] "
                "[--xfer L]\n"
                "           [--time-budget-ms N] [--max-expansions N]\n"
-               "  fstg sim <circuit|file.kiss> <tests.txt>\n"
+               "  fstg sim <circuit|file.kiss> <tests.txt> [--static-prune]\n"
                "           [--time-budget-ms N] [--max-expansions N]\n"
+               "           --static-prune runs the fault-independent\n"
+               "           implication engine first and drops faults it\n"
+               "           proves untestable before any simulation\n"
                "  fstg verilog <circuit|file.kiss> [-o out.v] [--tb tb.v]\n"
                "  fstg export <circuit|file.kiss> <blif|bench> [-o out]\n"
                "  fstg cache <stats|verify|gc> --cache-dir DIR [--json]\n"
@@ -743,11 +758,13 @@ int run_command(int argc, char** argv) {
     }
     if (cmd == "sim" && argc >= 4) {
       BudgetFlags budget;
+      bool static_prune = false;
       for (int i = 4; i < argc; ++i) {
-        if (budget.consume(argc, argv, i)) continue;
+        if (!std::strcmp(argv[i], "--static-prune")) static_prune = true;
+        else if (budget.consume(argc, argv, i)) continue;
         else return usage();
       }
-      return cmd_sim(argv[2], argv[3], budget.budget);
+      return cmd_sim(argv[2], argv[3], static_prune, budget.budget);
     }
     if (cmd == "export" && argc >= 4) {
       std::string out;
@@ -801,6 +818,12 @@ int run_command(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Eager counter registration: every analysis.* and lint.* counter shows
+  // up (at zero) in --metrics-out / telemetry scrapes even for runs that
+  // never touch those subsystems, so dashboards see a stable catalog.
+  fstg::analysis::register_analysis_counters();
+  fstg::lint::register_lint_counters();
+
   // Global flags are stripped (with their values) before command dispatch
   // so every command accepts them in any position.
   std::string metrics_out, trace_out, telemetry_out;
@@ -912,7 +935,8 @@ int main(int argc, char** argv) {
       for (const auto& [name, value] : snap.counters) {
         if (name.rfind("budget.trips.", 0) == 0) record.budget_trips += value;
         for (const char* prefix : {"fault_sim.", "scan.", "cache.", "suite.",
-                                   "budget.", "telemetry."}) {
+                                   "budget.", "telemetry.", "analysis.",
+                                   "lint."}) {
           if (name.rfind(prefix, 0) == 0) {
             record.counters.emplace_back(name, value);
             break;

@@ -91,9 +91,12 @@ int usage() {
       stderr,
       "usage: fstg_difftest <run|replay> [options]\n"
       "  run     [--seed S] [--iters N] [--shrink] [--corpus-dir DIR]\n"
+      "          [--static-redundancy]\n"
       "          cross-check the fault-sim engines on N seeded random\n"
       "          workloads (seeds S..S+N-1); --shrink writes minimal\n"
-      "          repros of any divergence into DIR\n"
+      "          repros of any divergence into DIR; --static-redundancy\n"
+      "          forces the static-vs-exhaustive redundancy check on\n"
+      "          every workload\n"
       "  replay  <file.case ...> | --corpus-dir DIR\n"
       "          re-run saved divergence cases (regression gate)\n"
       "global flags: --threads N, --log-level L, --metrics-out FILE,\n"
@@ -105,7 +108,8 @@ int usage() {
 }
 
 int cmd_run(std::uint64_t seed, std::uint64_t iters, bool shrink,
-            const std::string& corpus_dir, const robust::Budget& budget) {
+            const std::string& corpus_dir, bool force_static,
+            const robust::Budget& budget) {
   robust::RunGuard guard(budget, "difftest.run");
   std::uint64_t diverged = 0;
   std::uint64_t checked = 0;
@@ -122,6 +126,7 @@ int cmd_run(std::uint64_t seed, std::uint64_t iters, bool shrink,
     }
     const std::uint64_t s = seed + i;
     Workload w = generate_workload(s);
+    if (force_static) w.check = CheckKind::kStaticRedundancy;
     const OracleReport report = run_oracle(w);
     ++checked;
     if (report.ok()) continue;
@@ -212,6 +217,7 @@ int run_command(int argc, char** argv) {
     if (cmd == "run") {
       std::uint64_t seed = 1, iters = 100;
       bool shrink = false;
+      bool force_static = false;
       std::string corpus_dir = "difftest_corpus";
       BudgetFlags budget;
       for (int i = 2; i < argc; ++i) {
@@ -223,6 +229,8 @@ int run_command(int argc, char** argv) {
               parse_int_flag("--iters", argv[++i], 1, 100'000'000));
         else if (!std::strcmp(argv[i], "--shrink"))
           shrink = true;
+        else if (!std::strcmp(argv[i], "--static-redundancy"))
+          force_static = true;
         else if (!std::strcmp(argv[i], "--corpus-dir") && i + 1 < argc)
           corpus_dir = argv[++i];
         else if (budget.consume(argc, argv, i))
@@ -230,7 +238,8 @@ int run_command(int argc, char** argv) {
         else
           return usage();
       }
-      return cmd_run(seed, iters, shrink, corpus_dir, budget.budget);
+      return cmd_run(seed, iters, shrink, corpus_dir, force_static,
+                     budget.budget);
     }
     if (cmd == "replay") {
       std::vector<std::string> paths;

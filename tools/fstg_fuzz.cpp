@@ -32,6 +32,15 @@
 //     gate, and failing random iterations print their chunks in corpus
 //     form.
 //
+//   analysis: the static implication engine's two contracts on arbitrary
+//     generated circuits. Never-throw: StaticAnalyzer construction and
+//     analyze() must complete on any well-formed netlist (random synthesis
+//     + observer enrichment + mixed fault lists). Soundness: no fault the
+//     analyzer proves untestable may be detected by simulating the
+//     workload's tests — pruning on static verdicts must never drop a
+//     detected fault. (The exhaustive cross-check lives in fstg_difftest's
+//     static-redundancy mode; this one is cheap enough to run wide.)
+//
 //   store: for any corruption of an artifact-store cache directory
 //     (payload bit-flips, truncation, smashed magic/header bytes, forged
 //     container versions, deleted blobs, foreign garbage, orphaned write
@@ -56,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/static_faults.h"
 #include "atpg/generator.h"
 #include "atpg/test_io.h"
 #include "base/error.h"
@@ -68,6 +78,8 @@
 #include "base/store/hash.h"
 #include "base/store/serial.h"
 #include "base/store/store.h"
+#include "difftest/workload.h"
+#include "fault/fault_sim.h"
 #include "fsm/state_table.h"
 #include "harness/experiment.h"
 #include "kiss/benchmarks.h"
@@ -86,7 +98,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fstg_fuzz <parsers|lint|budget|store|serve|all> "
+               "usage: fstg_fuzz <parsers|lint|budget|analysis|store|serve"
+               "|all> "
                "[--iters N] [--seed S]\n"
                "                 [--corpus-dir DIR] [--dir DIR]\n"
                "                 [--metrics-out FILE] [--trace-out FILE]\n"
@@ -99,6 +112,9 @@ int usage() {
                "  budget   inject budget exhaustion at every guard site;\n"
                "           the pipeline must return a valid or typed-partial\n"
                "           result, or a structured error\n"
+               "  analysis the static implication engine must never throw\n"
+               "           on generated circuits, and must never prove a\n"
+               "           fault untestable that simulation detects\n"
                "  serve    feed torn/truncated/mutated frames to the `fstg\n"
                "           serve` wire boundary; the decoder and request\n"
                "           parser must refuse with typed outcomes, never\n"
@@ -416,6 +432,50 @@ int run_budget(std::uint64_t iters) {
   clear_budget_injections();
   std::printf("fuzz budget: %llu injections across %zu sites: ok\n",
               static_cast<unsigned long long>(checked), sites.size());
+  return 0;
+}
+
+/// --- analysis mode --------------------------------------------------------
+
+/// Static implication engine over seeded random workloads (the same
+/// generator the difftest oracle uses: random synthesized FSMs, observer
+/// enrichment, mixed stuck-at/bridging fault lists). Two contracts:
+/// analyze() never throws on a well-formed netlist, and no statically
+/// "proved" fault may be detected by simulating the workload's own tests —
+/// a prune on these verdicts must never drop a detected fault.
+int run_analysis(std::uint64_t iters, std::uint64_t seed) {
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t s = seed + i;
+    const difftest::Workload w = difftest::generate_workload(s);
+    analysis::FaultAnalysis fa;
+    try {
+      const analysis::StaticAnalyzer analyzer(w.circuit.comb);
+      fa = analyzer.analyze(w.faults);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "FUZZ FAILURE seed %llu: StaticAnalyzer threw on a "
+                   "well-formed netlist: %s\n",
+                   static_cast<unsigned long long>(s), e.what());
+      return 1;
+    }
+    const FaultSimResult sim = simulate_faults(w.circuit, w.tests, w.faults);
+    for (std::size_t f = 0; f < w.faults.size(); ++f) {
+      if (fa.verdict[f] == analysis::FaultVerdict::kUnknown) continue;
+      if (f < sim.detected_by.size() && sim.detected_by[f] >= 0) {
+        std::fprintf(stderr,
+                     "FUZZ FAILURE seed %llu: fault %zu statically %s but "
+                     "detected by test %d — pruning would drop a detected "
+                     "fault\n",
+                     static_cast<unsigned long long>(s), f,
+                     analysis::fault_verdict_name(fa.verdict[f]),
+                     sim.detected_by[f]);
+        return 1;
+      }
+    }
+  }
+  std::printf("fuzz analysis: %llu workload(s), seed %llu: ok\n",
+              static_cast<unsigned long long>(iters),
+              static_cast<unsigned long long>(seed));
   return 0;
 }
 
@@ -917,6 +977,7 @@ int dispatch_mode(const std::string& mode, std::uint64_t iters,
   if (mode == "parsers") return run_parsers(iters, seed);
   if (mode == "lint") return run_lint_oracle(iters, seed);
   if (mode == "budget") return run_budget(iters);
+  if (mode == "analysis") return run_analysis(iters, seed);
   if (mode == "store") return run_store(iters, seed, corpus_dir, cache_dir);
   if (mode == "serve") return run_serve(iters, seed, corpus_dir);
   if (mode == "all") {
@@ -924,6 +985,8 @@ int dispatch_mode(const std::string& mode, std::uint64_t iters,
     if (p != 0) return p;
     const int l = run_lint_oracle(iters == 3 ? 200 : iters, seed);
     if (l != 0) return l;
+    const int a = run_analysis(iters == 3 ? 100 : iters, seed);
+    if (a != 0) return a;
     const int v = run_serve(iters == 3 ? 200 : iters, seed, "");
     if (v != 0) return v;
     const int b = run_budget(3);
